@@ -1,0 +1,61 @@
+// Command fairness reports Dice's fairness factor (§5.5, Figure 5b) for a
+// chosen lock across subscription ratios — 0.5 = perfectly fair, 1.0 =
+// completely unfair.
+//
+// Usage:
+//
+//	fairness -alg flexguard -scale 0.25
+//	fairness -alg malthusian -gap 10000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		alg      = flag.String("alg", "flexguard", "lock algorithm (or 'all')")
+		scale    = flag.Float64("scale", 0.25, "machine scale factor")
+		gap      = flag.Int64("gap", 100, "ticks between critical sections")
+		duration = flag.Int64("duration", 30_000_000, "virtual ticks per run")
+	)
+	flag.Parse()
+
+	base, err := harness.MachineConfig("intel")
+	if err != nil {
+		fatal(err)
+	}
+	cfg := harness.ScaleConfig(base, *scale)
+	algs := []string{*alg}
+	if *alg == "all" {
+		algs = harness.Algorithms
+	}
+	fmt.Printf("# fairness factor on %d contexts (0.5 = fair, 1.0 = unfair), CS gap %d ticks\n",
+		cfg.NumCPUs, *gap)
+	fmt.Printf("%-14s %12s %12s %12s\n", "alg", "0.5x", "1x", "2x")
+	for _, a := range algs {
+		fmt.Printf("%-14s", a)
+		for _, ratio := range []float64{0.5, 1.0, 2.0} {
+			threads := int(float64(cfg.NumCPUs) * ratio)
+			r, err := harness.RunSharedMem(harness.RunCfg{
+				Config: cfg, Alg: a, Threads: threads,
+				Duration: sim.Time(*duration), Seed: 7,
+			}, sim.Time(*gap))
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf(" %12.3f", r.Fairness)
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fairness:", err)
+	os.Exit(1)
+}

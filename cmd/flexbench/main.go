@@ -1,0 +1,81 @@
+// Command flexbench regenerates the paper's figures and tables on the
+// simulator. Each experiment prints the same rows/series the corresponding
+// figure reports (see DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	flexbench -list
+//	flexbench -experiment fig2a
+//	flexbench -experiment fig3a -scale 0.5 -duration 50000000 -seeds 3
+//	flexbench -experiment fig2a -algs blocking,mcs,flexguard
+//	flexbench -all
+//
+// Scale 1.0 with long durations approaches the paper's full sweeps; the
+// defaults finish each figure in minutes on a laptop.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list the available experiments")
+		exp      = flag.String("experiment", "", "experiment id to run (see -list)")
+		all      = flag.Bool("all", false, "run every experiment")
+		scale    = flag.Float64("scale", 0.25, "machine scale factor (1.0 = the paper's 104/512 contexts)")
+		duration = flag.Int64("duration", 20_000_000, "virtual ticks per measured run (~2200 ticks/µs)")
+		seeds    = flag.Int("seeds", 1, "repetitions averaged per data point (paper: 50)")
+		algsFlag = flag.String("algs", "", "comma-separated algorithm subset (default: the paper's ten)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments:")
+		harness.Describe(os.Stdout)
+		return
+	}
+	algs, err := harness.ParseAlgs(*algsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	opts := harness.ExpOptions{
+		Scale:    *scale,
+		Duration: sim.Time(*duration),
+		Seeds:    *seeds,
+		Algs:     algs,
+	}
+	switch {
+	case *all:
+		for _, e := range harness.Experiments() {
+			fmt.Printf("==== %s: %s ====\n", e.ID, e.Description)
+			if err := e.Run(opts, os.Stdout); err != nil {
+				fatal(fmt.Errorf("%s: %w", e.ID, err))
+			}
+			fmt.Println()
+		}
+	case *exp != "":
+		e, err := harness.FindExperiment(*exp)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("==== %s: %s ====\n", e.ID, e.Description)
+		if err := e.Run(opts, os.Stdout); err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "flexbench: pass -experiment <id>, -all, or -list")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flexbench:", err)
+	os.Exit(1)
+}

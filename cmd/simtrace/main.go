@@ -1,0 +1,97 @@
+// Command simtrace runs the shared-memory-access microbenchmark with a
+// chosen lock and prints the context-switch / preemption trace the
+// Preemption Monitor sees — the tool to use when studying why a lock
+// behaves the way it does under a given subscription level.
+//
+// Usage:
+//
+//	simtrace -alg flexguard -cpus 8 -threads 16 -duration 5000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+	"repro/internal/sim"
+	"repro/internal/workloads/sharedmem"
+)
+
+func main() {
+	var (
+		alg      = flag.String("alg", "flexguard", "lock algorithm")
+		cpus     = flag.Int("cpus", 8, "hardware contexts")
+		threads  = flag.Int("threads", 16, "worker threads")
+		duration = flag.Int64("duration", 5_000_000, "virtual ticks to run")
+		events   = flag.Int("events", 40, "max trace lines to print")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		rawTrace = flag.Int("rawtrace", 0, "also dump this many raw scheduler trace events")
+	)
+	flag.Parse()
+
+	cfg := sim.Intel()
+	cfg.NumCPUs = *cpus
+	cfg.Seed = *seed
+	cfg.RecordRunnable = true
+	env, err := harness.NewEnv(harness.EnvOptions{Config: cfg, Alg: *alg})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simtrace:", err)
+		os.Exit(1)
+	}
+	m := env.M
+	var tracer *sim.Tracer
+	if *rawTrace > 0 {
+		tracer = m.AttachTracer(*rawTrace)
+	}
+
+	printed := 0
+	var switches, preemptInCS int64
+	m.RegisterSwitchHook(func(prev, next *sim.Thread) {
+		switches++
+		inCS := prev != nil && (prev.CSCounter > 0 || prev.MonitorMark)
+		if inCS {
+			preemptInCS++
+		}
+		if printed >= *events {
+			return
+		}
+		printed++
+		name := func(t *sim.Thread) string {
+			if t == nil {
+				return "idle"
+			}
+			return fmt.Sprintf("%s#%d(cs=%d,region=%d)", t.Name(), t.ID(), t.CSCounter, t.Region)
+		}
+		fmt.Printf("%12d sched_switch %-34s -> %s\n", m.Now(), name(prev), name(next))
+	})
+
+	sharedmem.Build(m, sharedmem.Options{
+		Threads:  *threads,
+		Deadline: sim.Time(*duration),
+		NewLock:  env.NewLock,
+	})
+	m.Run(sim.Time(*duration) * 5 / 4)
+
+	fmt.Printf("\nsummary: %d context switches, %d involved a thread in a critical section\n",
+		switches, preemptInCS)
+	if env.Mon != nil {
+		fmt.Printf("monitor: %d in-CS preemptions detected, %d reschedules, num_preempted_cs=%d at end\n",
+			env.Mon.InCSPreemptions, env.Mon.Reschedules, env.Mon.NPCS().V())
+	}
+	var ops, spins int64
+	for i, th := range m.Threads() {
+		if i >= *threads {
+			break
+		}
+		ops += th.Ops
+		spins += th.SpinIters
+	}
+	fmt.Printf("workers: %d ops, %d spin iterations, %d preemptions total\n",
+		ops, spins, m.TotalPreemptions)
+	if tracer != nil {
+		fmt.Printf("\nraw scheduler trace (%d events, %d dropped):\n",
+			len(tracer.Events()), tracer.Dropped)
+		tracer.Dump(os.Stdout, *rawTrace)
+	}
+}

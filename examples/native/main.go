@@ -1,0 +1,77 @@
+// Native: use the FlexGuard policy in a real Go program. A shared counter
+// is protected by flexguard.Mutex while the program deliberately floods
+// the scheduler with busy goroutines; the NativeMonitor detects the
+// pressure and the mutex's waiters switch from spinning to blocking.
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	mon := flexguard.StartMonitor(flexguard.MonitorConfig{
+		Interval:  time.Millisecond,
+		Threshold: 2 * time.Millisecond,
+	})
+	defer mon.Stop()
+	mu := flexguard.NewMutex(mon)
+
+	var counter int64
+	var wg sync.WaitGroup
+	stopNoise := make(chan struct{})
+
+	// Phase 1: healthy — locked increments with no background noise.
+	phase := func(label string, workers, iters int) {
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < iters; i++ {
+					mu.Lock()
+					counter++
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		fmt.Printf("%-22s %8d ops in %8v  (monitor oversubscribed: %v)\n",
+			label, workers*iters, time.Since(start).Round(time.Millisecond),
+			mon.Oversubscribed())
+	}
+
+	phase("healthy / spinning:", 4, 50_000)
+
+	// Phase 2: flood the scheduler with CPU-bound goroutines (the
+	// "concurrent busy-waiting workload" of §5.2).
+	var noise atomic.Int64
+	for g := 0; g < runtime.GOMAXPROCS(0)*8; g++ {
+		go func() {
+			for {
+				select {
+				case <-stopNoise:
+					return
+				default:
+					for i := 0; i < 1_000_000; i++ {
+						noise.Add(1)
+					}
+				}
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond) // let the monitor observe the load
+	phase("oversubscribed:", 4, 50_000)
+	close(stopNoise)
+
+	fmt.Printf("\nfinal counter: %d (exact: mutual exclusion held)\n", counter)
+	fmt.Printf("monitor transitions to blocking mode: %d\n", mon.Trips())
+	fmt.Println("note: Go cannot observe kernel preemptions synchronously, so the")
+	fmt.Println("native monitor samples scheduling delay; the simulator (see the")
+	fmt.Println("other examples) carries the paper's exact eBPF-driven algorithm.")
+}

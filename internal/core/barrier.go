@@ -1,0 +1,52 @@
+package core
+
+import "repro/internal/sim"
+
+// FGBarrier is the barrier adaptation motivated by the Streamcluster
+// result (§5.3): the stock POSIX barrier blocks its waiters, but pairing
+// a busy-waiting lock with blocking barriers makes stragglers suffer
+// preemption by the lock's spinners. The paper flags adapting FlexGuard
+// to barriers as future work; this barrier applies the same policy —
+// arrivals busy-wait for the release while num_preempted_cs == 0 and
+// block on the futex otherwise, so barrier spinning also yields the CPU
+// exactly when a critical section (or straggler) is preempted.
+type FGBarrier struct {
+	n     int
+	count *sim.Word
+	sense *sim.Word
+	npcs  *sim.Word
+}
+
+// NewBarrier creates a FlexGuard-aware barrier for n participants.
+func (rt *Runtime) NewBarrier(name string, n int) *FGBarrier {
+	if n <= 0 {
+		panic("core: barrier participant count must be positive")
+	}
+	return &FGBarrier{
+		n:     n,
+		count: rt.m.NewWord(name+".count", uint64(n)),
+		sense: rt.m.NewWord(name+".sense", 0),
+		npcs:  rt.mon.NPCS(),
+	}
+}
+
+// Wait blocks until all n participants arrive, spinning or blocking
+// according to the Preemption Monitor.
+func (b *FGBarrier) Wait(p *sim.Proc) {
+	round := p.Load(b.sense)
+	if p.Add(b.count, -1) == 0 {
+		p.Store(b.count, uint64(b.n))
+		p.Add(b.sense, 1)
+		p.FutexWake(b.sense, 1<<30)
+		return
+	}
+	for p.Load(b.sense) == round {
+		if p.Load(b.npcs) == 0 {
+			p.SpinWhile(func() bool {
+				return b.sense.V() == round && b.npcs.V() == 0
+			})
+			continue
+		}
+		p.FutexWait(b.sense, round)
+	}
+}

@@ -1,0 +1,52 @@
+package core
+
+import "repro/internal/sim"
+
+// Cond is the condition-variable extension sketched in §6: waiters release
+// a FlexGuard lock and sleep on a sequence word; Signal and Broadcast wake
+// them futex-style. Re-acquisition goes through the FlexGuard lock, so
+// woken waiters spin or block according to the Preemption Monitor exactly
+// like any other acquisition — the property the paper wants standard-
+// library primitives to inherit.
+//
+// The protocol is the classic futex condvar (as in glibc, simplified): a
+// generation counter is bumped by each Signal/Broadcast; waiters sleep
+// while the generation is unchanged, which closes the missed-wakeup race
+// because the counter is read under the lock before waiting.
+type Cond struct {
+	l   *FlexGuard
+	seq *sim.Word
+}
+
+// NewCond creates a condition variable tied to lock l.
+func (rt *Runtime) NewCond(name string, l *FlexGuard) *Cond {
+	return &Cond{
+		l:   l,
+		seq: rt.m.NewWord(name+".seq", 0),
+	}
+}
+
+// Wait atomically releases the lock and sleeps until signaled, then
+// re-acquires the lock before returning. The caller must hold the lock
+// and, as with every condition variable, must re-check its predicate.
+func (c *Cond) Wait(p *sim.Proc) {
+	gen := p.Load(c.seq)
+	c.l.Unlock(p)
+	for p.Load(c.seq) == gen {
+		p.FutexWait(c.seq, gen)
+	}
+	c.l.Lock(p)
+}
+
+// Signal wakes one waiter. The caller should hold the lock (not
+// enforced, as with POSIX).
+func (c *Cond) Signal(p *sim.Proc) {
+	p.Add(c.seq, 1)
+	p.FutexWake(c.seq, 1)
+}
+
+// Broadcast wakes every waiter.
+func (c *Cond) Broadcast(p *sim.Proc) {
+	p.Add(c.seq, 1)
+	p.FutexWake(c.seq, 1<<30)
+}

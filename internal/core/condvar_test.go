@@ -1,0 +1,139 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestCondProducerConsumer: bounded-buffer handshake through the condvar.
+func TestCondProducerConsumer(t *testing.T) {
+	e := newEnv(4, 1)
+	l := e.rt.NewLock("L")
+	notEmpty := e.rt.NewCond("ne", l)
+	notFull := e.rt.NewCond("nf", l)
+	buf := e.m.NewWord("buf", 0) // items in the buffer
+	const capacity = 4
+	const total = 400
+	produced, consumed := 0, 0
+	for i := 0; i < 2; i++ {
+		e.m.Spawn("producer", func(p *sim.Proc) {
+			for {
+				l.Lock(p)
+				for p.Load(buf) == capacity && produced < total {
+					notFull.Wait(p)
+				}
+				if produced >= total {
+					l.Unlock(p)
+					notEmpty.Broadcast(p)
+					return
+				}
+				p.Add(buf, 1)
+				produced++
+				l.Unlock(p)
+				notEmpty.Signal(p)
+				p.Compute(100)
+			}
+		})
+	}
+	for i := 0; i < 3; i++ {
+		e.m.Spawn("consumer", func(p *sim.Proc) {
+			for {
+				l.Lock(p)
+				for p.Load(buf) == 0 {
+					if consumed >= total {
+						l.Unlock(p)
+						return
+					}
+					notEmpty.Wait(p)
+				}
+				p.Add(buf, -1)
+				consumed++
+				l.Unlock(p)
+				notFull.Signal(p)
+				p.Compute(150)
+			}
+		})
+	}
+	q := e.m.Run(2_000_000_000)
+	if q >= 2_000_000_000 {
+		t.Fatal("condvar producer/consumer deadlocked")
+	}
+	if produced != total || consumed != total {
+		t.Fatalf("produced %d consumed %d, want %d", produced, consumed, total)
+	}
+	if buf.V() != 0 {
+		t.Fatalf("buffer should drain, has %d", buf.V())
+	}
+}
+
+// TestCondBroadcastWakesAll: every waiter passes after one broadcast.
+func TestCondBroadcastWakesAll(t *testing.T) {
+	e := newEnv(4, 3)
+	l := e.rt.NewLock("L")
+	cond := e.rt.NewCond("c", l)
+	ready := e.m.NewWord("ready", 0)
+	woken := 0
+	const n = 6
+	for i := 0; i < n; i++ {
+		e.m.Spawn("waiter", func(p *sim.Proc) {
+			l.Lock(p)
+			for p.Load(ready) == 0 {
+				cond.Wait(p)
+			}
+			woken++
+			l.Unlock(p)
+		})
+	}
+	e.m.Spawn("broadcaster", func(p *sim.Proc) {
+		p.Compute(200_000) // let the waiters park first
+		l.Lock(p)
+		p.Store(ready, 1)
+		l.Unlock(p)
+		cond.Broadcast(p)
+	})
+	q := e.m.Run(500_000_000)
+	if q >= 500_000_000 {
+		t.Fatal("broadcast deadlocked")
+	}
+	if woken != n {
+		t.Fatalf("woke %d of %d waiters", woken, n)
+	}
+}
+
+// TestCondNoMissedWakeup: a signal racing a waiter about to sleep must
+// not be lost (the generation counter closes the window).
+func TestCondNoMissedWakeup(t *testing.T) {
+	e := newEnv(2, 5)
+	l := e.rt.NewLock("L")
+	cond := e.rt.NewCond("c", l)
+	flag := e.m.NewWord("flag", 0)
+	done := false
+	e.m.Spawn("waiter", func(p *sim.Proc) {
+		l.Lock(p)
+		for p.Load(flag) == 0 {
+			cond.Wait(p)
+		}
+		done = true
+		l.Unlock(p)
+	})
+	e.m.Spawn("signaler", func(p *sim.Proc) {
+		// Fire many signals at racy instants.
+		for i := 0; i < 50; i++ {
+			l.Lock(p)
+			if i == 25 {
+				p.Store(flag, 1)
+			}
+			l.Unlock(p)
+			cond.Signal(p)
+			p.Compute(sim.Time(100 + p.Rand().Intn(2000)))
+		}
+	})
+	q := e.m.Run(500_000_000)
+	if q >= 500_000_000 {
+		t.Fatal("missed wakeup: waiter never completed")
+	}
+	if !done {
+		t.Fatal("waiter did not observe the flag")
+	}
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestRWLockReadersShareWritersExclude: the fundamental rwlock property —
+// concurrent readers see a stable value; writers are mutually exclusive
+// with everyone.
+func TestRWLockReadersShareWritersExclude(t *testing.T) {
+	e := newEnv(4, 1)
+	l := e.rt.NewRWLock("rw")
+	data := e.m.NewWord("data", 0)
+	shadow := e.m.NewWord("shadow", 0)
+	torn := false
+	writes := make([]uint64, 2)
+	reads := make([]uint64, 4)
+	for i := 0; i < 2; i++ {
+		i := i
+		e.m.Spawn("writer", func(p *sim.Proc) {
+			for p.Now() < 10_000_000 {
+				l.Lock(p)
+				v := p.Load(data)
+				p.Compute(80)
+				p.Store(data, v+1)
+				p.Store(shadow, v+1) // must always equal data outside a write
+				l.Unlock(p)
+				writes[i]++
+				p.Compute(200)
+			}
+		})
+	}
+	for i := 0; i < 4; i++ {
+		i := i
+		e.m.Spawn("reader", func(p *sim.Proc) {
+			for p.Now() < 10_000_000 {
+				l.RLock(p)
+				a := p.Load(data)
+				p.Compute(40)
+				b := p.Load(shadow)
+				if a != b {
+					torn = true // a writer ran concurrently with us
+				}
+				l.RUnlock(p)
+				reads[i]++
+				p.Compute(100)
+			}
+		})
+	}
+	e.m.Run(16_000_000)
+	if torn {
+		t.Fatal("reader observed a torn write: writer ran during a read section")
+	}
+	if data.V() != writes[0]+writes[1] {
+		t.Fatalf("writer exclusion broken: %d vs %d", data.V(), writes[0]+writes[1])
+	}
+	for i, r := range reads {
+		if r == 0 {
+			t.Fatalf("reader %d starved", i)
+		}
+	}
+}
+
+// TestRWLockOversubscribed: correctness holds with preemptions and mode
+// switches.
+func TestRWLockOversubscribed(t *testing.T) {
+	e := newEnv(2, 3)
+	l := e.rt.NewRWLock("rw")
+	data := e.m.NewWord("data", 0)
+	var writes uint64
+	for i := 0; i < 3; i++ {
+		e.m.Spawn("writer", func(p *sim.Proc) {
+			for p.Now() < 12_000_000 {
+				l.Lock(p)
+				v := p.Load(data)
+				p.Compute(100)
+				p.Store(data, v+1)
+				l.Unlock(p)
+				writes++
+				p.Compute(60)
+			}
+		})
+	}
+	for i := 0; i < 6; i++ {
+		e.m.Spawn("reader", func(p *sim.Proc) {
+			for p.Now() < 12_000_000 {
+				l.RLock(p)
+				p.Load(data)
+				p.Compute(50)
+				l.RUnlock(p)
+				p.Compute(60)
+			}
+		})
+	}
+	q := e.m.Run(40_000_000)
+	if q >= 40_000_000 {
+		t.Fatal("rwlock deadlocked oversubscribed")
+	}
+	if data.V() != writes || writes == 0 {
+		t.Fatalf("writes lost: %d vs %d", data.V(), writes)
+	}
+}
+
+// TestFGBarrierRounds: all participants pass each round together.
+func TestFGBarrierRounds(t *testing.T) {
+	e := newEnv(4, 5)
+	b := e.rt.NewBarrier("bar", 4)
+	const rounds = 15
+	phase := make([]int, 4)
+	violated := false
+	for i := 0; i < 4; i++ {
+		i := i
+		e.m.Spawn("w", func(p *sim.Proc) {
+			for r := 0; r < rounds; r++ {
+				p.Compute(sim.Time(200 * (i + 1)))
+				phase[i] = r
+				b.Wait(p)
+				for j := range phase {
+					if phase[j] < r {
+						violated = true
+					}
+				}
+			}
+		})
+	}
+	q := e.m.Run(400_000_000)
+	if q >= 400_000_000 {
+		t.Fatal("FG barrier deadlocked")
+	}
+	if violated {
+		t.Fatal("barrier released before all arrivals")
+	}
+	for i := range phase {
+		if phase[i] != rounds-1 {
+			t.Fatalf("thread %d completed %d rounds, want %d", i, phase[i]+1, rounds)
+		}
+	}
+}
+
+// TestFGBarrierOversubscribedBlocks: oversubscribed, the barrier must
+// switch waiters to blocking when CS preemptions occur, and still
+// complete.
+func TestFGBarrierOversubscribedBlocks(t *testing.T) {
+	e := newEnv(2, 7)
+	const n = 6
+	b := e.rt.NewBarrier("bar", n)
+	l := e.rt.NewLock("L")
+	finished := 0
+	for i := 0; i < n; i++ {
+		e.m.Spawn("w", func(p *sim.Proc) {
+			for r := 0; r < 8; r++ {
+				l.Lock(p)
+				p.Compute(500)
+				l.Unlock(p)
+				p.Compute(3000)
+				b.Wait(p)
+			}
+			finished++
+		})
+	}
+	q := e.m.Run(600_000_000)
+	if q >= 600_000_000 {
+		t.Fatal("FG barrier deadlocked oversubscribed")
+	}
+	if finished != n {
+		t.Fatalf("%d/%d threads finished", finished, n)
+	}
+}
+
+// TestBarrierPanicsOnZeroParticipants: constructor validation.
+func TestBarrierPanicsOnZeroParticipants(t *testing.T) {
+	e := newEnv(1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBarrier(0) should panic")
+		}
+	}()
+	e.rt.NewBarrier("bar", 0)
+}
+
+// TestBlockingMCSExitAblation: the reverted mcs_exit variant stays a
+// correct mutex (the paper's point is only that it is not faster).
+func TestBlockingMCSExitAblation(t *testing.T) {
+	e := newEnv(2, 9)
+	l := e.rt.NewLock("L", WithBlockingMCSExit())
+	got, want := exerciseMutex(e, l, 8, 20_000_000)
+	if got != want || want == 0 {
+		t.Fatalf("blocking-mcs_exit ablation broken: %d vs %d", got, want)
+	}
+}

@@ -1,0 +1,321 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/monitor"
+	"repro/internal/sim"
+)
+
+// env bundles a machine with an attached monitor and runtime.
+type env struct {
+	m   *sim.Machine
+	mon *monitor.Monitor
+	rt  *Runtime
+}
+
+func newEnv(ncpu int, seed uint64, opts ...monitor.Option) *env {
+	cfg := sim.Small(ncpu)
+	cfg.Seed = seed
+	m := sim.New(cfg)
+	mon := monitor.Attach(m, opts...)
+	return &env{m: m, mon: mon, rt: NewRuntime(m, mon)}
+}
+
+// exerciseMutex spawns nThreads that each do non-atomic read-modify-write
+// increments of a shared counter under the lock. Any mutual-exclusion
+// violation loses updates. Returns (value, expected) after the run.
+func exerciseMutex(e *env, l *FlexGuard, nThreads int, horizon sim.Time) (uint64, uint64) {
+	ctr := e.m.NewWord("ctr", 0)
+	deadline := horizon * 2 / 3
+	var expected uint64
+	done := make([]uint64, nThreads)
+	for i := 0; i < nThreads; i++ {
+		i := i
+		e.m.Spawn("worker", func(p *sim.Proc) {
+			for p.Now() < deadline {
+				l.Lock(p)
+				v := p.Load(ctr)
+				p.Compute(100) // widen the race window
+				p.Store(ctr, v+1)
+				l.Unlock(p)
+				done[i]++
+				p.CountOp()
+				p.Compute(50)
+			}
+		})
+	}
+	e.m.Run(horizon)
+	for _, d := range done {
+		expected += d
+	}
+	return ctr.V(), expected
+}
+
+func TestMutualExclusionUndersubscribed(t *testing.T) {
+	e := newEnv(8, 1)
+	l := e.rt.NewLock("L")
+	got, want := exerciseMutex(e, l, 4, 20_000_000)
+	if got != want {
+		t.Fatalf("lost updates: counter=%d, completed CSs=%d", got, want)
+	}
+	if want == 0 {
+		t.Fatal("no critical sections executed")
+	}
+}
+
+func TestMutualExclusionOversubscribed(t *testing.T) {
+	e := newEnv(2, 7)
+	l := e.rt.NewLock("L")
+	got, want := exerciseMutex(e, l, 10, 30_000_000)
+	if got != want {
+		t.Fatalf("lost updates under oversubscription: counter=%d, CSs=%d", got, want)
+	}
+	if e.mon.InCSPreemptions == 0 {
+		t.Fatal("oversubscribed run should preempt critical sections")
+	}
+}
+
+func TestAllThreadsMakeProgress(t *testing.T) {
+	e := newEnv(2, 3)
+	l := e.rt.NewLock("L")
+	const n = 8
+	exerciseMutex(e, l, n, 40_000_000)
+	for i, th := range e.m.Threads() {
+		if th.Ops == 0 {
+			t.Fatalf("thread %d starved (0 ops)", i)
+		}
+	}
+}
+
+func TestModeSwitchesHappen(t *testing.T) {
+	// Oversubscribed: the lock must actually transition to blocking mode
+	// (threads parked on the futex) and back (spinning resumes).
+	e := newEnv(2, 5)
+	l := e.rt.NewLock("L")
+	sawBlocked := false
+	sawNPCS := false
+	e.m.RegisterSwitchHook(func(prev, next *sim.Thread) {
+		if e.m.FutexWaiters(l.val) > 0 {
+			sawBlocked = true
+		}
+		if e.mon.NPCS().V() > 0 {
+			sawNPCS = true
+		}
+	})
+	exerciseMutex(e, l, 12, 30_000_000)
+	if !sawNPCS {
+		t.Fatal("num_preempted_cs never became positive")
+	}
+	if !sawBlocked {
+		t.Fatal("no waiter ever blocked on the futex")
+	}
+}
+
+func TestNoBlockingWhenNotOversubscribed(t *testing.T) {
+	// With fewer threads than CPUs, no CS preemption should occur, so the
+	// lock should stay in busy-waiting mode the whole run.
+	e := newEnv(8, 2)
+	l := e.rt.NewLock("L")
+	exerciseMutex(e, l, 4, 10_000_000)
+	if e.mon.InCSPreemptions != 0 {
+		t.Fatalf("unexpected CS preemptions without oversubscription: %d", e.mon.InCSPreemptions)
+	}
+}
+
+func TestNestedLocks(t *testing.T) {
+	// Global per-thread queue node must tolerate nesting: a thread holds A
+	// then acquires B (it releases the MCS lock of A before its CS, so the
+	// single node is free for B's queue).
+	e := newEnv(4, 4)
+	a := e.rt.NewLock("A")
+	b := e.rt.NewLock("B")
+	ctr := e.m.NewWord("ctr", 0)
+	var total uint64
+	done := make([]uint64, 6)
+	for i := 0; i < 6; i++ {
+		i := i
+		e.m.Spawn("w", func(p *sim.Proc) {
+			for p.Now() < 14_000_000 {
+				a.Lock(p)
+				b.Lock(p)
+				v := p.Load(ctr)
+				p.Compute(60)
+				p.Store(ctr, v+1)
+				b.Unlock(p)
+				a.Unlock(p)
+				done[i]++
+			}
+		})
+	}
+	e.m.Run(20_000_000)
+	for _, d := range done {
+		total += d
+	}
+	if ctr.V() != total {
+		t.Fatalf("nested locking lost updates: %d vs %d", ctr.V(), total)
+	}
+	if total == 0 {
+		t.Fatal("no nested critical sections completed")
+	}
+}
+
+func TestUncontendedFastPath(t *testing.T) {
+	// A single thread acquiring an uncontended lock must use only the
+	// fast path: no futex waiters, no spin iterations beyond noise.
+	e := newEnv(2, 1)
+	l := e.rt.NewLock("L")
+	var acquired int
+	e.m.Spawn("solo", func(p *sim.Proc) {
+		for i := 0; i < 100; i++ {
+			l.Lock(p)
+			p.Compute(50)
+			l.Unlock(p)
+			acquired++
+		}
+	})
+	e.m.Run(10_000_000)
+	if acquired != 100 {
+		t.Fatalf("acquired %d, want 100", acquired)
+	}
+	if th := e.m.Threads()[0]; th.SpinIters > 5 {
+		t.Fatalf("uncontended fast path should not spin, got %d iterations", th.SpinIters)
+	}
+}
+
+func TestLockStateCleanAfterQuiesce(t *testing.T) {
+	// After all threads finish, the lock must be fully released: val
+	// unlocked, queue empty, counter zero.
+	e := newEnv(2, 9)
+	l := e.rt.NewLock("L")
+	for i := 0; i < 6; i++ {
+		e.m.Spawn("w", func(p *sim.Proc) {
+			for k := 0; k < 30; k++ {
+				l.Lock(p)
+				p.Compute(80)
+				l.Unlock(p)
+			}
+		})
+	}
+	q := e.m.Run(200_000_000)
+	if q >= 200_000_000 {
+		t.Fatal("run did not quiesce — possible livelock")
+	}
+	if l.val.V() != Unlocked {
+		t.Fatalf("lock value %d after quiesce, want Unlocked", l.val.V())
+	}
+	if l.tail.V() != 0 {
+		t.Fatalf("MCS tail %d after quiesce, want empty", l.tail.V())
+	}
+	if e.mon.NPCS().V() != 0 {
+		t.Fatalf("num_preempted_cs = %d after quiesce, want 0", e.mon.NPCS().V())
+	}
+}
+
+func TestManyLocksSharedNode(t *testing.T) {
+	// One global queue node per thread must work across many locks
+	// (the property that makes FlexGuard immune to Dedup's 266K locks).
+	e := newEnv(4, 11)
+	locks := make([]*FlexGuard, 64)
+	ctrs := make([]*sim.Word, 64)
+	for i := range locks {
+		locks[i] = e.rt.NewLock("L")
+		ctrs[i] = e.m.NewWord("c", 0)
+	}
+	counts := make([]uint64, 8)
+	for i := 0; i < 8; i++ {
+		i := i
+		e.m.Spawn("w", func(p *sim.Proc) {
+			for p.Now() < 14_000_000 {
+				k := p.Rand().Intn(len(locks))
+				locks[k].Lock(p)
+				v := p.Load(ctrs[k])
+				p.Compute(40)
+				p.Store(ctrs[k], v+1)
+				locks[k].Unlock(p)
+				counts[i]++
+			}
+		})
+	}
+	e.m.Run(20_000_000)
+	var totalDone, totalCtr uint64
+	for _, c := range counts {
+		totalDone += c
+	}
+	for _, w := range ctrs {
+		totalCtr += w.V()
+	}
+	if totalDone != totalCtr {
+		t.Fatalf("lost updates across many locks: done=%d counters=%d", totalDone, totalCtr)
+	}
+}
+
+func TestPerLockAblationStillCorrect(t *testing.T) {
+	// The per-lock-counter ablation must remain a correct mutex (the paper
+	// only claims it is slower, not broken).
+	e := newEnv(2, 13, monitor.PerLockCounters())
+	l := e.rt.NewLock("L")
+	got, want := exerciseMutex(e, l, 8, 20_000_000)
+	if got != want {
+		t.Fatalf("per-lock ablation lost updates: %d vs %d", got, want)
+	}
+}
+
+func TestTimesliceExtensionVariant(t *testing.T) {
+	cfg := sim.Small(2)
+	cfg.Seed = 17
+	cfg.Costs.SliceExt = 5_000
+	m := sim.New(cfg)
+	mon := monitor.Attach(m)
+	rt := NewRuntime(m, mon)
+	l := rt.NewLock("L", WithTimesliceExtension())
+	ctr := m.NewWord("ctr", 0)
+	var total uint64
+	done := make([]uint64, 8)
+	for i := 0; i < 8; i++ {
+		i := i
+		m.Spawn("w", func(p *sim.Proc) {
+			for p.Now() < 14_000_000 {
+				l.Lock(p)
+				v := p.Load(ctr)
+				p.Compute(100)
+				p.Store(ctr, v+1)
+				l.Unlock(p)
+				done[i]++
+			}
+		})
+	}
+	m.Run(20_000_000)
+	for _, d := range done {
+		total += d
+	}
+	if ctr.V() != total {
+		t.Fatalf("extension variant lost updates: %d vs %d", ctr.V(), total)
+	}
+	if total == 0 {
+		t.Fatal("no progress")
+	}
+}
+
+func TestFairnessUnderFullSubscription(t *testing.T) {
+	// §5.5: FlexGuard's fairness factor stays low even when transitioning.
+	e := newEnv(4, 21)
+	l := e.rt.NewLock("L")
+	exerciseMutex(e, l, 4, 30_000_000)
+	ops := make([]int64, 0, 4)
+	for _, th := range e.m.Threads() {
+		ops = append(ops, th.Ops)
+	}
+	var max, min int64 = ops[0], ops[0]
+	for _, o := range ops {
+		if o > max {
+			max = o
+		}
+		if o < min {
+			min = o
+		}
+	}
+	if min == 0 || max > min*4 {
+		t.Fatalf("grossly unfair op distribution: %v", ops)
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import "repro/internal/sim"
+
+// RWLock is the reader-writer extension the paper sketches in §6
+// ("the approach could be extended to speed up other typical
+// synchronization primitives in standard libraries, such as
+// reader/writer locks"): writers serialize through a FlexGuard lock, and
+// the writer's wait for active readers follows the same
+// monitor-driven policy — busy-wait while num_preempted_cs == 0, block
+// otherwise. Readers hold cs_counter so a preempted reader is a detected
+// critical-section preemption like any other.
+type RWLock struct {
+	rt      *Runtime
+	wl      *FlexGuard
+	readers *sim.Word
+	npcs    *sim.Word
+}
+
+// NewRWLock creates a FlexGuard reader-writer lock.
+func (rt *Runtime) NewRWLock(name string) *RWLock {
+	return &RWLock{
+		rt:      rt,
+		wl:      rt.NewLock(name + ".w"),
+		readers: rt.m.NewWord(name+".readers", 0),
+		npcs:    rt.mon.NPCS(),
+	}
+}
+
+// RLock acquires the lock for reading: briefly take the writer lock to
+// order with writers (write-preferring admission), register as a reader,
+// and release.
+func (l *RWLock) RLock(p *sim.Proc) {
+	l.wl.Lock(p)
+	p.Add(l.readers, 1)
+	p.IncCS() // the read-side critical section counts for the monitor
+	l.wl.Unlock(p)
+}
+
+// RUnlock releases a read acquisition, waking a writer draining the
+// reader count.
+func (l *RWLock) RUnlock(p *sim.Proc) {
+	p.DecCS()
+	if p.Add(l.readers, -1) == 0 {
+		p.FutexWake(l.readers, 1)
+	}
+}
+
+// Lock acquires the lock for writing: take the writer lock, then drain
+// active readers — spinning in busy-waiting mode, blocking on the reader
+// count otherwise.
+func (l *RWLock) Lock(p *sim.Proc) {
+	l.wl.Lock(p)
+	for {
+		v := p.Load(l.readers)
+		if v == 0 {
+			return
+		}
+		if p.Load(l.npcs) == 0 {
+			p.SpinWhile(func() bool {
+				return l.readers.V() != 0 && l.npcs.V() == 0
+			})
+			continue
+		}
+		// Blocking mode: sleep until the count we saw changes (EAGAIN on
+		// change re-checks; the last reader wakes us).
+		p.FutexWait(l.readers, v)
+	}
+}
+
+// Unlock releases a write acquisition.
+func (l *RWLock) Unlock(p *sim.Proc) {
+	l.wl.Unlock(p)
+}

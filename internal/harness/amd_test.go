@@ -1,0 +1,48 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestShapeAMDProfile: the reproduction's second machine (§5.1's 512-
+// context EPYC) at eighth scale (64 contexts) — the collapse and
+// FlexGuard's immunity must hold there too (Figure 2b/2d).
+func TestShapeAMDProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("AMD-profile sweep is slow")
+	}
+	base, err := MachineConfig("amd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ScaleConfig(base, 0.125)
+	if cfg.NumCPUs != 64 {
+		t.Fatalf("scaled AMD has %d contexts, want 64", cfg.NumCPUs)
+	}
+	run := func(alg string, threads int) Result {
+		r, err := RunSharedMem(RunCfg{
+			Config: cfg, Alg: alg, Threads: threads,
+			Duration: sim.Time(25_000_000), Seed: 3,
+		}, 100)
+		if err != nil {
+			t.Fatalf("%s@%d: %v", alg, threads, err)
+		}
+		return r
+	}
+	mcsUnder := run("mcs", cfg.NumCPUs-2)
+	mcsOver := run("mcs", cfg.NumCPUs*2)
+	if mcsOver.MeanLatUS < mcsUnder.MeanLatUS*8 {
+		t.Fatalf("AMD: MCS did not collapse (%.2f → %.2f µs)", mcsUnder.MeanLatUS, mcsOver.MeanLatUS)
+	}
+	fgOver := run("flexguard", cfg.NumCPUs*2)
+	blockingOver := run("blocking", cfg.NumCPUs*2)
+	if fgOver.MeanLatUS > blockingOver.MeanLatUS*1.2 {
+		t.Fatalf("AMD: oversubscribed FlexGuard %.2fµs vs blocking %.2fµs", fgOver.MeanLatUS, blockingOver.MeanLatUS)
+	}
+	if fgOver.MeanLatUS > mcsOver.MeanLatUS/4 {
+		t.Fatalf("AMD: FlexGuard (%.2fµs) should be far below collapsed MCS (%.2fµs)",
+			fgOver.MeanLatUS, mcsOver.MeanLatUS)
+	}
+}

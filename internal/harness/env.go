@@ -1,0 +1,225 @@
+// Package harness wires machines, lock algorithms, the Preemption Monitor
+// and the workloads into the paper's experiments (§5): it owns the
+// algorithm registry used by every figure (the role LiTL plays in the
+// paper), the thread-count sweeps, the concurrent busy-waiting
+// oversubscription mode, and the table printers that regenerate each
+// figure's rows.
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/locks"
+	"repro/internal/monitor"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Algorithms evaluated in §5.1, in the paper's order.
+var Algorithms = []string{
+	"blocking", "posix", "mcs", "mcstp", "shuffle", "malthusian", "uscl",
+	"flexguard", "spin-ext", "flexguard-ext",
+}
+
+// AllAlgorithms additionally includes the substrate baselines not shown in
+// the main figures.
+var AllAlgorithms = append([]string{"tas", "tatas", "ticket", "clh", "backoff"}, Algorithms...)
+
+// sliceExtGrant is the one-shot timeslice extension granted by the
+// patched scheduler (§2.4) for the *-ext variants, ≈9 µs.
+const sliceExtGrant = sim.Time(20_000)
+
+// monitorHookCost models the eBPF handler's per-context-switch cost; the
+// §5.4 experiment measures its end-to-end impact.
+const monitorHookCost = sim.Time(60)
+
+// Env bundles one machine with everything needed to hand locks to a
+// workload.
+type Env struct {
+	M      *sim.Machine
+	Shared *locks.Shared
+	Mon    *monitor.Monitor // nil unless a flexguard variant is in use
+	RT     *core.Runtime
+	Alg    string
+	info   locks.Info
+	nLocks int
+	maxed  bool
+	fgOpts []core.LockOption
+}
+
+// EnvOptions configures NewEnv.
+type EnvOptions struct {
+	Config  sim.Config
+	Alg     string
+	PerLock bool // monitor per-lock counter ablation (flexguard only)
+	// BlockingMCSExit enables the reverted mcs_exit optimization ablation.
+	BlockingMCSExit bool
+}
+
+// NewEnv builds a machine configured for the chosen algorithm.
+func NewEnv(o EnvOptions) (*Env, error) {
+	cfg := o.Config
+	needsExt := o.Alg == "spin-ext" || o.Alg == "flexguard-ext"
+	if needsExt {
+		cfg.Costs.SliceExt = sliceExtGrant
+	}
+	isFG := o.Alg == "flexguard" || o.Alg == "flexguard-ext"
+	if isFG {
+		cfg.Costs.HookCost = monitorHookCost
+	}
+	m := sim.New(cfg)
+	e := &Env{M: m, Shared: locks.NewShared(m), Alg: o.Alg}
+	if isFG {
+		var opts []monitor.Option
+		if o.PerLock {
+			opts = append(opts, monitor.PerLockCounters())
+		}
+		e.Mon = monitor.Attach(m, opts...)
+		e.RT = core.NewRuntime(m, e.Mon)
+		if o.Alg == "flexguard-ext" {
+			e.fgOpts = append(e.fgOpts, core.WithTimesliceExtension())
+		}
+		if o.BlockingMCSExit {
+			e.fgOpts = append(e.fgOpts, core.WithBlockingMCSExit())
+		}
+		return e, nil
+	}
+	info, err := locks.Lookup(o.Alg)
+	if err != nil {
+		return nil, err
+	}
+	e.info = info
+	return e, nil
+}
+
+// NewLock creates the next lock instance. For algorithms with a MaxLocks
+// cap (u-SCL), exceeding the cap marks the env "crashed", mirroring the
+// crashes the paper reports; the caller checks Crashed after building.
+func (e *Env) NewLock(name string) locks.Lock {
+	e.nLocks++
+	if e.RT != nil {
+		return e.RT.NewLock(name, e.fgOpts...)
+	}
+	if e.info.MaxLocks > 0 && e.nLocks > e.info.MaxLocks {
+		e.maxed = true
+	}
+	return e.info.New(e.Shared, name)
+}
+
+// Crashed reports whether the algorithm exceeded its lock-count capacity
+// (the paper's u-SCL crashes on PiBench and Dedup).
+func (e *Env) Crashed() bool { return e.maxed }
+
+// SpawnSpinners adds n background busy-waiting threads that never touch
+// any lock — the "concurrent busy-waiting workload" of Figures 3 and 4.
+func (e *Env) SpawnSpinners(n int, deadline sim.Time) {
+	for i := 0; i < n; i++ {
+		e.M.Spawn("spinner", func(p *sim.Proc) {
+			for p.Now() < deadline {
+				p.Compute(10_000)
+			}
+		})
+	}
+}
+
+// Result carries the metrics of one run.
+type Result struct {
+	Alg       string
+	Threads   int
+	Spinners  int
+	Crashed   bool
+	Ops       int64
+	Duration  sim.Time
+	OpsPerSec float64 // virtual operations per virtual second
+	MeanLatUS float64 // mean recorded latency, µs
+	P99LatUS  float64 // ~99th-percentile latency from the reservoirs, µs
+	Fairness  float64 // Dice fairness factor over worker ops
+	SpinIters int64
+	Preempt   int64 // total involuntary context switches
+	CSPreempt int64 // monitor-detected critical-section preemptions
+}
+
+// Collect gathers metrics for the worker threads spawned before the call
+// to SpawnSpinners (workers are identified by index < workers).
+func (e *Env) Collect(workers int, duration sim.Time) Result {
+	r := Result{Alg: e.Alg, Threads: workers, Duration: duration, Crashed: e.Crashed()}
+	var latSum, latCount int64
+	ops := make([]int64, 0, workers)
+	var samples []float64
+	for i, th := range e.M.Threads() {
+		if i >= workers {
+			break
+		}
+		r.Ops += th.Ops
+		ops = append(ops, th.Ops)
+		latSum += th.LatSum
+		latCount += th.LatCount
+		r.SpinIters += th.SpinIters
+		for _, s := range th.LatencySamples() {
+			samples = append(samples, float64(s))
+		}
+	}
+	if len(samples) > 0 {
+		r.P99LatUS = stats.Summarize(samples).P99 / sim.TicksPerMicrosecond
+	}
+	r.Preempt = e.M.TotalPreemptions
+	if e.Mon != nil {
+		r.CSPreempt = e.Mon.InCSPreemptions
+	}
+	if duration > 0 {
+		r.OpsPerSec = float64(r.Ops) / (float64(duration) / (sim.TicksPerMicrosecond * 1e6))
+	}
+	if latCount > 0 {
+		r.MeanLatUS = float64(latSum) / float64(latCount) / sim.TicksPerMicrosecond
+	}
+	r.Fairness = stats.FairnessFactor(ops)
+	return r
+}
+
+// ScaleConfig shrinks a machine profile by factor (0 < f <= 1), keeping
+// the cost table: a 0.25-scaled Intel profile has 26 hardware contexts.
+// Thread counts in experiments scale the same way so subscription ratios
+// are preserved.
+func ScaleConfig(cfg sim.Config, f float64) sim.Config {
+	if f <= 0 || f > 1 {
+		panic(fmt.Sprintf("harness: scale %g out of (0,1]", f))
+	}
+	n := int(float64(cfg.NumCPUs) * f)
+	if n < 2 {
+		n = 2
+	}
+	cfg.NumCPUs = n
+	return cfg
+}
+
+// ScaleThreads maps a full-scale thread count to the scaled machine.
+func ScaleThreads(threads int, f float64) int {
+	n := int(float64(threads) * f)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// MachineConfig returns the named profile ("intel", "amd", "small").
+func MachineConfig(name string) (sim.Config, error) {
+	switch name {
+	case "intel":
+		return sim.Intel(), nil
+	case "amd":
+		return sim.AMD(), nil
+	case "small":
+		return sim.Small(8), nil
+	default:
+		return sim.Config{}, fmt.Errorf("harness: unknown machine %q", name)
+	}
+}
+
+// SortedCopy returns values sorted ascending (printing helper).
+func SortedCopy(v []int) []int {
+	out := append([]int(nil), v...)
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,481 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/locks"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workloads/hackbench"
+	"repro/internal/workloads/kvstore"
+)
+
+// ExpOptions tunes how experiments run. Defaults regenerate every figure
+// at a scale that completes in minutes; Scale=1 with long durations
+// approaches the paper's full sweeps.
+type ExpOptions struct {
+	// Scale shrinks machines and thread counts together (default 0.25:
+	// the "Intel" profile becomes 26 contexts, "AMD" 128).
+	Scale float64
+	// Duration of each measured run in ticks (default 20M ≈ 9 ms).
+	Duration sim.Time
+	// Seeds is the number of repetitions averaged per point (default 1;
+	// the paper averages 50 runs).
+	Seeds int
+	// Algs overrides the algorithm list.
+	Algs []string
+}
+
+func (o ExpOptions) withDefaults() ExpOptions {
+	if o.Scale == 0 {
+		o.Scale = 0.25
+	}
+	if o.Duration == 0 {
+		o.Duration = 20_000_000
+	}
+	if o.Seeds == 0 {
+		o.Seeds = 1
+	}
+	if len(o.Algs) == 0 {
+		o.Algs = Algorithms
+	}
+	return o
+}
+
+// Experiment regenerates one of the paper's figures or tables.
+type Experiment struct {
+	ID          string
+	Description string
+	Run         func(o ExpOptions, w io.Writer) error
+}
+
+// Experiments returns the full catalog, in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"fig1", "Fig 1: normalized CS execution time vs threads (Intel, sharedmem)", runFig2Norm("intel")},
+		{"fig2a", "Fig 2a: normalized CS execution time (Intel, sharedmem)", runFig2Norm("intel")},
+		{"fig2b", "Fig 2b: normalized CS execution time (AMD, sharedmem)", runFig2Norm("amd")},
+		{"fig2c", "Fig 2c: raw CS execution time in µs (Intel, sharedmem)", runFig2Raw("intel")},
+		{"fig2d", "Fig 2d: raw CS execution time in µs (AMD, sharedmem)", runFig2Raw("amd")},
+		{"fig3a", "Fig 3a: hash-table throughput vs threads (Intel)", runApp("intel", false, RunHashTable)},
+		{"fig3b", "Fig 3b: hash-table + concurrent spinners (Intel)", runApp("intel", true, RunHashTable)},
+		{"fig3c", "Fig 3c: hash-table throughput vs threads (AMD)", runApp("amd", false, RunHashTable)},
+		{"fig3d", "Fig 3d: hash-table + concurrent spinners (AMD)", runApp("amd", true, RunHashTable)},
+		{"fig3e", "Fig 3e: DB index throughput vs threads (Intel)", runApp("intel", false, RunDBIndex)},
+		{"fig3f", "Fig 3f: DB index + concurrent spinners (Intel)", runApp("intel", true, RunDBIndex)},
+		{"fig3g", "Fig 3g: DB index throughput vs threads (AMD)", runApp("amd", false, RunDBIndex)},
+		{"fig3h", "Fig 3h: DB index + concurrent spinners (AMD)", runApp("amd", true, RunDBIndex)},
+		{"fig3i", "Fig 3i: Dedup throughput vs threads (Intel)", runApp("intel", false, RunDedup)},
+		{"fig3j", "Fig 3j: Dedup + concurrent spinners (Intel)", runApp("intel", true, RunDedup)},
+		{"fig3k", "Fig 3k: Dedup throughput vs threads (AMD)", runApp("amd", false, RunDedup)},
+		{"fig3l", "Fig 3l: Dedup + concurrent spinners (AMD)", runApp("amd", true, RunDedup)},
+		{"fig3m", "Fig 3m: Raytrace throughput vs threads (Intel)", runApp("intel", false, RunRaytrace)},
+		{"fig3n", "Fig 3n: Raytrace + concurrent spinners (Intel)", runApp("intel", true, RunRaytrace)},
+		{"fig3o", "Fig 3o: Raytrace throughput vs threads (AMD)", runApp("amd", false, RunRaytrace)},
+		{"fig3p", "Fig 3p: Raytrace + concurrent spinners (AMD)", runApp("amd", true, RunRaytrace)},
+		{"fig3q", "Fig 3q: Streamcluster throughput vs threads (Intel)", runApp("intel", false, RunStreamcluster)},
+		{"fig3r", "Fig 3r: Streamcluster + concurrent spinners (Intel)", runApp("intel", true, RunStreamcluster)},
+		{"fig3s", "Fig 3s: Streamcluster throughput vs threads (AMD)", runApp("amd", false, RunStreamcluster)},
+		{"fig3t", "Fig 3t: Streamcluster + concurrent spinners (AMD)", runApp("amd", true, RunStreamcluster)},
+		{"fig4a", "Fig 4a: LevelDB readrandom vs threads (Intel)", runKVExp("intel", false, kvstore.ReadRandom)},
+		{"fig4b", "Fig 4b: LevelDB readrandom + spinners (Intel)", runKVExp("intel", true, kvstore.ReadRandom)},
+		{"fig4c", "Fig 4c: LevelDB readrandom vs threads (AMD)", runKVExp("amd", false, kvstore.ReadRandom)},
+		{"fig4d", "Fig 4d: LevelDB readrandom + spinners (AMD)", runKVExp("amd", true, kvstore.ReadRandom)},
+		{"fig4e", "Fig 4e: LevelDB fillrandom vs threads (Intel)", runKVExp("intel", false, kvstore.FillRandom)},
+		{"fig4f", "Fig 4f: LevelDB fillrandom + spinners (Intel)", runKVExp("intel", true, kvstore.FillRandom)},
+		{"fig4g", "Fig 4g: LevelDB fillrandom vs threads (AMD)", runKVExp("amd", false, kvstore.FillRandom)},
+		{"fig4h", "Fig 4h: LevelDB fillrandom + spinners (AMD)", runKVExp("amd", true, kvstore.FillRandom)},
+		{"fig5a", "Fig 5a: runnable threads over time (Intel, 1.35× subscription)", runFig5a},
+		{"fig5b", "Fig 5b: fairness factor by subscription and CS gap", runFig5b},
+		{"fig5c", "Fig 5c: spin-loop iterations per lock algorithm", runFig5c},
+		{"overhead", "§5.4: Preemption Monitor overhead on Hackbench", runOverhead},
+		{"ablation-perlock", "§3.2.2 ablation: per-lock vs system-wide counter", runAblationPerLock},
+		{"ablation-mcsexit", "§3.2.1 ablation: blocking-aware mcs_exit", runAblationMCSExit},
+	}
+}
+
+// FindExperiment looks an experiment up by ID.
+func FindExperiment(id string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("harness: unknown experiment %q", id)
+}
+
+// threadSweep returns the benchmark thread counts for a machine with n
+// contexts: the paper sweeps from 1 to 2.5× the context count.
+func threadSweep(n int) []int {
+	fracs := []float64{0.05, 0.125, 0.25, 0.5, 0.75, 1.0, 1.15, 1.35, 1.75, 2.5}
+	out := make([]int, 0, len(fracs))
+	seen := map[int]bool{}
+	for _, f := range fracs {
+		t := int(float64(n) * f)
+		if t < 1 {
+			t = 1
+		}
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// averageRuns runs fn over o.Seeds seeds and averages throughput/latency.
+func averageRuns(o ExpOptions, fn func(seed uint64) (Result, error)) (Result, error) {
+	var acc Result
+	var lat, ops, fair float64
+	for s := 0; s < o.Seeds; s++ {
+		r, err := fn(uint64(1000*s + 7))
+		if err != nil {
+			return r, err
+		}
+		if r.Crashed {
+			return r, nil
+		}
+		acc = r
+		lat += r.MeanLatUS
+		ops += r.OpsPerSec
+		fair += r.Fairness
+	}
+	acc.MeanLatUS = lat / float64(o.Seeds)
+	acc.OpsPerSec = ops / float64(o.Seeds)
+	acc.Fairness = fair / float64(o.Seeds)
+	return acc, nil
+}
+
+func header(w io.Writer, title string, threads []int, unit string) {
+	fmt.Fprintf(w, "# %s\n", title)
+	fmt.Fprintf(w, "# rows: lock algorithm; columns: threads; cells: %s\n", unit)
+	fmt.Fprintf(w, "%-14s", "alg\\threads")
+	for _, t := range threads {
+		fmt.Fprintf(w, " %10d", t)
+	}
+	fmt.Fprintln(w)
+}
+
+func cell(w io.Writer, v float64, crashed bool) {
+	if crashed {
+		fmt.Fprintf(w, " %10s", "crash")
+		return
+	}
+	fmt.Fprintf(w, " %10.2f", v)
+}
+
+// runFig2Norm builds the Figure 1/2a/2b generator: mean CS execution time
+// normalized to the pure blocking lock.
+func runFig2Norm(machine string) func(ExpOptions, io.Writer) error {
+	return func(o ExpOptions, w io.Writer) error {
+		return fig2(machine, true, o, w)
+	}
+}
+
+// runFig2Raw builds the Figure 2c/2d generator (raw µs).
+func runFig2Raw(machine string) func(ExpOptions, io.Writer) error {
+	return func(o ExpOptions, w io.Writer) error {
+		return fig2(machine, false, o, w)
+	}
+}
+
+func fig2(machine string, normalize bool, o ExpOptions, w io.Writer) error {
+	o = o.withDefaults()
+	base, err := MachineConfig(machine)
+	if err != nil {
+		return err
+	}
+	cfg := ScaleConfig(base, o.Scale)
+	threads := threadSweep(cfg.NumCPUs)
+	unit := "mean CS execution time (µs)"
+	if normalize {
+		unit = "CS execution time normalized to the blocking lock"
+	}
+	header(w, fmt.Sprintf("shared-memory-access microbenchmark, %s (%d contexts)", machine, cfg.NumCPUs), threads, unit)
+	baseline := make(map[int]float64)
+	for _, alg := range o.Algs {
+		fmt.Fprintf(w, "%-14s", alg)
+		for _, t := range threads {
+			r, err := averageRuns(o, func(seed uint64) (Result, error) {
+				return RunSharedMem(RunCfg{
+					Config: cfg, Alg: alg, Threads: t,
+					Duration: o.Duration, Seed: seed,
+				}, 100)
+			})
+			if err != nil {
+				return fmt.Errorf("%s @%d threads: %w", alg, t, err)
+			}
+			if alg == "blocking" {
+				baseline[t] = r.MeanLatUS
+			}
+			v := r.MeanLatUS
+			if normalize && baseline[t] > 0 {
+				v = r.MeanLatUS / baseline[t]
+			}
+			cell(w, v, r.Crashed)
+		}
+		fmt.Fprintln(w)
+	}
+	if normalize {
+		fmt.Fprintln(w, "# note: run the 'blocking' row first (it is the denominator);")
+		fmt.Fprintln(w, "# the default algorithm list already orders it first.")
+	}
+	return nil
+}
+
+// runApp builds a Figure-3 style generator: application throughput vs
+// thread count (standalone), or vs concurrent-spinner count at a fixed
+// half-context worker count (concurrent).
+func runApp(machine string, concurrent bool, runner func(RunCfg) (Result, error)) func(ExpOptions, io.Writer) error {
+	return func(o ExpOptions, w io.Writer) error {
+		o = o.withDefaults()
+		base, err := MachineConfig(machine)
+		if err != nil {
+			return err
+		}
+		cfg := ScaleConfig(base, o.Scale)
+		var sweep []int
+		workers := 0
+		if concurrent {
+			workers = cfg.NumCPUs / 2 // 52 on Intel, 256 on AMD (scaled)
+			sweep = threadSweep(cfg.NumCPUs)
+			header(w, fmt.Sprintf("%s + %d worker threads, sweep = concurrent busy-waiting threads (%d contexts)",
+				machine, workers, cfg.NumCPUs), sweep, "throughput (Mops/s)")
+		} else {
+			sweep = threadSweep(cfg.NumCPUs)
+			header(w, fmt.Sprintf("%s, sweep = worker threads (%d contexts)", machine, cfg.NumCPUs),
+				sweep, "throughput (Mops/s)")
+		}
+		for _, alg := range o.Algs {
+			fmt.Fprintf(w, "%-14s", alg)
+			for _, x := range sweep {
+				c := RunCfg{Config: cfg, Alg: alg, Duration: o.Duration}
+				if concurrent {
+					c.Threads, c.Spinners = workers, x
+				} else {
+					c.Threads = x
+				}
+				r, err := averageRuns(o, func(seed uint64) (Result, error) {
+					c.Seed = seed
+					return runner(c)
+				})
+				if err != nil {
+					return fmt.Errorf("%s @%d: %w", alg, x, err)
+				}
+				cell(w, r.OpsPerSec/1e6, r.Crashed)
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	}
+}
+
+// runKVExp builds a Figure-4 generator.
+func runKVExp(machine string, concurrent bool, kind kvstore.WorkloadKind) func(ExpOptions, io.Writer) error {
+	return runApp(machine, concurrent, func(c RunCfg) (Result, error) {
+		return RunKV(c, kind)
+	})
+}
+
+// runFig5a prints the runnable-thread timeline for MCS, the blocking lock
+// and FlexGuard at 1.35× subscription (the paper's 140 threads on 104
+// contexts).
+func runFig5a(o ExpOptions, w io.Writer) error {
+	o = o.withDefaults()
+	base, _ := MachineConfig("intel")
+	cfg := ScaleConfig(base, o.Scale)
+	threads := cfg.NumCPUs * 135 / 100
+	fmt.Fprintf(w, "# runnable threads over time, %d threads on %d contexts\n", threads, cfg.NumCPUs)
+	fmt.Fprintf(w, "# 40 samples across the run; the paper's Figure 5a\n")
+	for _, alg := range []string{"mcs", "blocking", "flexguard"} {
+		e, _, err := RunSharedMemEnv(RunCfg{
+			Config: cfg, Alg: alg, Threads: threads,
+			Duration: o.Duration, Seed: 7, RecordRunnable: true,
+		}, 100)
+		if err != nil {
+			return err
+		}
+		tl := e.M.RunnableTimeline()
+		samples := tl.Sample(0, o.Duration, 40)
+		min, max, _ := tl.MinMax(o.Duration/10, o.Duration)
+		fmt.Fprintf(w, "%-10s min=%3d max=%3d mean=%6.1f series=%v\n",
+			alg, min, max, tl.TimeWeightedMean(o.Duration/10, o.Duration), samples)
+	}
+	return nil
+}
+
+// runFig5b prints Dice fairness factors across subscription ratios and
+// inter-CS delays.
+func runFig5b(o ExpOptions, w io.Writer) error {
+	o = o.withDefaults()
+	base, _ := MachineConfig("intel")
+	cfg := ScaleConfig(base, o.Scale)
+	subs := []struct {
+		name  string
+		ratio float64
+	}{{"0.5x", 0.5}, {"1x", 1.0}, {"2x", 2.0}}
+	gaps := []sim.Time{100, 1_000, 10_000}
+	fmt.Fprintf(w, "# Dice fairness factor (0.5 = fair, 1 = unfair), %d contexts\n", cfg.NumCPUs)
+	fmt.Fprintf(w, "%-14s", "alg")
+	for _, s := range subs {
+		for _, g := range gaps {
+			fmt.Fprintf(w, " %11s", fmt.Sprintf("%s/gap%d", s.name, g))
+		}
+	}
+	fmt.Fprintln(w)
+	for _, alg := range o.Algs {
+		fmt.Fprintf(w, "%-14s", alg)
+		for _, s := range subs {
+			for _, g := range gaps {
+				threads := int(float64(cfg.NumCPUs) * s.ratio)
+				r, err := averageRuns(o, func(seed uint64) (Result, error) {
+					return RunSharedMem(RunCfg{
+						Config: cfg, Alg: alg, Threads: threads,
+						Duration: o.Duration, Seed: seed,
+					}, g)
+				})
+				if err != nil {
+					return err
+				}
+				cell(w, r.Fairness, r.Crashed)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// runFig5c prints total spin-loop iterations per algorithm across the
+// thread sweep.
+func runFig5c(o ExpOptions, w io.Writer) error {
+	o = o.withDefaults()
+	base, _ := MachineConfig("intel")
+	cfg := ScaleConfig(base, o.Scale)
+	threads := threadSweep(cfg.NumCPUs)
+	header(w, fmt.Sprintf("spin-loop iterations, sharedmem, intel (%d contexts)", cfg.NumCPUs),
+		threads, "spin iterations (millions)")
+	for _, alg := range o.Algs {
+		fmt.Fprintf(w, "%-14s", alg)
+		for _, t := range threads {
+			r, err := averageRuns(o, func(seed uint64) (Result, error) {
+				return RunSharedMem(RunCfg{
+					Config: cfg, Alg: alg, Threads: t,
+					Duration: o.Duration, Seed: seed,
+				}, 100)
+			})
+			if err != nil {
+				return err
+			}
+			cell(w, float64(r.SpinIters)/1e6, r.Crashed)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// runOverhead reproduces §5.4: hackbench runtime with the Preemption
+// Monitor attached vs detached.
+func runOverhead(o ExpOptions, w io.Writer) error {
+	o = o.withDefaults()
+	base, _ := MachineConfig("intel")
+	cfg := ScaleConfig(base, o.Scale)
+	opts := hackbench.Options{Groups: 6, Pairs: 8, Messages: 300}
+	var offs, ons []float64
+	for s := 0; s < o.Seeds; s++ {
+		off, on, err := RunHackbench(cfg, uint64(7+s), opts)
+		if err != nil {
+			return err
+		}
+		offs = append(offs, float64(off))
+		ons = append(ons, float64(on))
+	}
+	off := stats.Summarize(offs).Mean
+	on := stats.Summarize(ons).Mean
+	fmt.Fprintf(w, "# Hackbench (%d groups × %d pairs × %d msgs, %d threads) on %d contexts\n",
+		opts.Groups, opts.Pairs, opts.Messages, 2*opts.Groups*opts.Pairs, cfg.NumCPUs)
+	fmt.Fprintf(w, "monitor off: %12.0f ticks (%.3f ms)\n", off, off/sim.TicksPerMicrosecond/1000)
+	fmt.Fprintf(w, "monitor on:  %12.0f ticks (%.3f ms)\n", on, on/sim.TicksPerMicrosecond/1000)
+	fmt.Fprintf(w, "overhead:    %12.2f %%   (paper: < 1%%)\n", (on-off)/off*100)
+	return nil
+}
+
+// runAblationPerLock reproduces §3.2.2's claim that a per-lock
+// num_preempted_cs counter performs worse than the system-wide one.
+func runAblationPerLock(o ExpOptions, w io.Writer) error {
+	o = o.withDefaults()
+	base, _ := MachineConfig("intel")
+	cfg := ScaleConfig(base, o.Scale)
+	threads := cfg.NumCPUs * 2
+	fmt.Fprintf(w, "# hash-table (multiple locks), %d threads on %d contexts (2× oversubscribed)\n",
+		threads, cfg.NumCPUs)
+	for _, perLock := range []bool{false, true} {
+		r, err := averageRuns(o, func(seed uint64) (Result, error) {
+			return RunHashTable(RunCfg{
+				Config: cfg, Alg: "flexguard", Threads: threads,
+				Duration: o.Duration, Seed: seed, PerLock: perLock,
+			})
+		})
+		if err != nil {
+			return err
+		}
+		name := "system-wide counter"
+		if perLock {
+			name = "per-lock counters "
+		}
+		fmt.Fprintf(w, "%s: %8.3f Mops/s\n", name, r.OpsPerSec/1e6)
+	}
+	return nil
+}
+
+// runAblationMCSExit reproduces §3.2.1's note that the blocking-aware
+// mcs_exit loop brings no gains.
+func runAblationMCSExit(o ExpOptions, w io.Writer) error {
+	o = o.withDefaults()
+	base, _ := MachineConfig("intel")
+	cfg := ScaleConfig(base, o.Scale)
+	threads := cfg.NumCPUs * 2
+	fmt.Fprintf(w, "# sharedmem, %d threads on %d contexts (2× oversubscribed)\n", threads, cfg.NumCPUs)
+	for _, blocking := range []bool{false, true} {
+		r, err := averageRuns(o, func(seed uint64) (Result, error) {
+			return RunSharedMem(RunCfg{
+				Config: cfg, Alg: "flexguard", Threads: threads,
+				Duration: o.Duration, Seed: seed, BlockingMCSExit: blocking,
+			}, 100)
+		})
+		if err != nil {
+			return err
+		}
+		name := "shipped mcs_exit (spin only)     "
+		if blocking {
+			name = "ablation: blocking-aware mcs_exit"
+		}
+		fmt.Fprintf(w, "%s: mean CS time %8.2f µs\n", name, r.MeanLatUS)
+	}
+	return nil
+}
+
+// Describe prints the experiment catalog.
+func Describe(w io.Writer) {
+	for _, e := range Experiments() {
+		fmt.Fprintf(w, "  %-18s %s\n", e.ID, e.Description)
+	}
+}
+
+// ParseAlgs splits a comma-separated algorithm list, validating names.
+func ParseAlgs(s string) ([]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	for _, p := range parts {
+		if p == "flexguard" || p == "flexguard-ext" {
+			continue
+		}
+		if _, err := locks.Lookup(p); err != nil {
+			return nil, err
+		}
+	}
+	return parts, nil
+}

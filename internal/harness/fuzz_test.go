@@ -1,0 +1,174 @@
+package harness
+
+// Schedule-fuzz tests: sweep random machine shapes, subscription ratios
+// and seeds across every algorithm, checking the two invariants that must
+// survive any interleaving — mutual exclusion (the two cache lines of the
+// microbenchmark's critical section receive identical increments) and
+// global progress. Each failure seed is a deterministic reproducer.
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/locks"
+	"repro/internal/sim"
+	"repro/internal/workloads/sharedmem"
+)
+
+// fuzzOne runs one randomized configuration for one algorithm.
+func fuzzOne(t *testing.T, alg string, seed uint64) {
+	t.Helper()
+	rng := dist.NewRand(seed)
+	cfg := sim.Small(2 + rng.Intn(6))
+	cfg.Seed = seed
+	// Randomize the preemption-relevant knobs within sane ranges.
+	cfg.Costs.Timeslice = sim.Time(10_000 + rng.Intn(90_000))
+	cfg.Costs.MinSlice = cfg.Costs.Timeslice / 10
+	if rng.Intn(2) == 0 {
+		cfg.Costs.SliceExt = sim.Time(2_000 + rng.Intn(10_000))
+	}
+	threads := 1 + rng.Intn(4*cfg.NumCPUs)
+	horizon := sim.Time(3_000_000 + rng.Intn(5_000_000))
+
+	e, err := NewEnv(EnvOptions{Config: cfg, Alg: alg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := sharedmem.Build(e.M, sharedmem.Options{
+		Threads:  threads,
+		Deadline: horizon,
+		NewLock:  e.NewLock,
+	})
+	// u-SCL drains slowly by design: a thread that exits while holding the
+	// slice (or a queued ticket) stalls the others for ~2 slice lengths
+	// each until the expiry-stealing path reclaims it.
+	grace := horizon * 3
+	if alg == "uscl" {
+		grace += sim.Time(threads) * 1_000_000
+	}
+	q := e.M.Run(grace)
+	if q >= grace {
+		t.Fatalf("seed %d (%d cpus, %d threads, slice %d): possible livelock",
+			seed, cfg.NumCPUs, threads, cfg.Costs.Timeslice)
+	}
+	if ok, a, b := w.Validate(e.M); !ok {
+		t.Fatalf("seed %d (%d cpus, %d threads): mutual exclusion violated: %d vs %d",
+			seed, cfg.NumCPUs, threads, a, b)
+	}
+	var ops int64
+	for _, th := range e.M.Threads() {
+		ops += th.Ops
+	}
+	if ops == 0 {
+		t.Fatalf("seed %d (%d cpus, %d threads): no progress", seed, cfg.NumCPUs, threads)
+	}
+}
+
+// TestFuzzAllAlgorithms: ~a dozen random schedules per algorithm.
+func TestFuzzAllAlgorithms(t *testing.T) {
+	rounds := 12
+	if testing.Short() {
+		rounds = 3
+	}
+	algs := append([]string{}, AllAlgorithms...)
+	for _, alg := range algs {
+		alg := alg
+		t.Run(alg, func(t *testing.T) {
+			t.Parallel()
+			for s := 0; s < rounds; s++ {
+				fuzzOne(t, alg, uint64(1000*s+13))
+			}
+		})
+	}
+}
+
+// TestFuzzFlexGuardPerLock: the ablation mode through the same fuzz.
+func TestFuzzFlexGuardPerLock(t *testing.T) {
+	for s := 0; s < 6; s++ {
+		seed := uint64(500*s + 3)
+		rng := dist.NewRand(seed)
+		cfg := sim.Small(2 + rng.Intn(4))
+		cfg.Seed = seed
+		threads := 2 + rng.Intn(3*cfg.NumCPUs)
+		e, err := NewEnv(EnvOptions{Config: cfg, Alg: "flexguard", PerLock: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := sharedmem.Build(e.M, sharedmem.Options{
+			Threads:  threads,
+			Deadline: 4_000_000,
+			NewLock:  e.NewLock,
+		})
+		e.M.Run(8_000_000)
+		if ok, a, b := w.Validate(e.M); !ok {
+			t.Fatalf("seed %d: per-lock ablation lost updates: %d vs %d", seed, a, b)
+		}
+	}
+}
+
+// TestFuzzDeterminism: the same seed must give bit-identical results for
+// every algorithm (the property debugging and the figures rely on).
+func TestFuzzDeterminism(t *testing.T) {
+	for _, alg := range []string{"blocking", "mcs", "shuffle", "flexguard"} {
+		alg := alg
+		t.Run(alg, func(t *testing.T) {
+			t.Parallel()
+			run := func() (uint64, int64, int64) {
+				cfg := sim.Small(3)
+				cfg.Seed = 99
+				e, err := NewEnv(EnvOptions{Config: cfg, Alg: alg})
+				if err != nil {
+					t.Fatal(err)
+				}
+				w := sharedmem.Build(e.M, sharedmem.Options{
+					Threads:  7,
+					Deadline: 4_000_000,
+					NewLock:  e.NewLock,
+				})
+				e.M.Run(6_000_000)
+				_, a, _ := w.Validate(e.M)
+				return a, e.M.TotalSwitches, e.M.TotalPreemptions
+			}
+			a1, s1, p1 := run()
+			a2, s2, p2 := run()
+			if a1 != a2 || s1 != s2 || p1 != p2 {
+				t.Fatalf("%s nondeterministic: (%d,%d,%d) vs (%d,%d,%d)", alg, a1, s1, p1, a2, s2, p2)
+			}
+		})
+	}
+}
+
+// TestFuzzLockHandoffUnderKill: repeated short horizons (threads killed at
+// arbitrary points) never corrupt a fresh machine's determinism or hang
+// shutdown.
+func TestFuzzLockHandoffUnderKill(t *testing.T) {
+	for s := 0; s < 8; s++ {
+		cfg := sim.Small(2)
+		cfg.Seed = uint64(s + 1)
+		e, err := NewEnv(EnvOptions{Config: cfg, Alg: "flexguard"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedmem.Build(e.M, sharedmem.Options{
+			Threads:  6,
+			Deadline: 1 << 50, // never stop voluntarily: force mid-CS kills
+			NewLock:  e.NewLock,
+		})
+		// Short horizon: shutdown lands at an arbitrary lock state.
+		e.M.Run(sim.Time(100_000 * (s + 1)))
+		// The machine must have quiesced its goroutines (no panic/leak);
+		// nothing to assert beyond clean completion.
+	}
+}
+
+// lookupGuard ensures AllAlgorithms stays consistent with the registry.
+func TestAllAlgorithmsResolvable(t *testing.T) {
+	for _, a := range AllAlgorithms {
+		if a == "flexguard" || a == "flexguard-ext" {
+			continue
+		}
+		if _, err := locks.Lookup(a); err != nil {
+			t.Fatalf("%s in AllAlgorithms but not in registry: %v", a, err)
+		}
+	}
+}

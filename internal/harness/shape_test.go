@@ -1,0 +1,352 @@
+package harness
+
+// Shape tests: integration assertions that the simulator reproduces the
+// paper's qualitative results (who wins, where the crossovers are), at a
+// scale that runs in seconds. EXPERIMENTS.md records the full-scale
+// numbers next to the paper's.
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workloads/hackbench"
+	"repro/internal/workloads/kvstore"
+)
+
+// intelQuarter returns the Intel profile scaled to 26 contexts.
+func intelQuarter(t *testing.T) sim.Config {
+	t.Helper()
+	cfg, err := MachineConfig("intel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ScaleConfig(cfg, 0.25)
+}
+
+func runSM(t *testing.T, cfg sim.Config, alg string, threads int) Result {
+	t.Helper()
+	r, err := RunSharedMem(RunCfg{
+		Config: cfg, Alg: alg, Threads: threads,
+		Duration: 30_000_000, Seed: 1,
+	}, 100)
+	if err != nil {
+		t.Fatalf("%s @%d: %v", alg, threads, err)
+	}
+	return r
+}
+
+// TestShapeMCSCollapse: Figure 1/2 — MCS is the fastest lock while not
+// oversubscribed, and collapses by at least an order of magnitude once
+// threads exceed hardware contexts.
+func TestShapeMCSCollapse(t *testing.T) {
+	cfg := intelQuarter(t)
+	under := runSM(t, cfg, "mcs", cfg.NumCPUs-1)
+	over := runSM(t, cfg, "mcs", cfg.NumCPUs*2)
+	if over.MeanLatUS < under.MeanLatUS*10 {
+		t.Fatalf("MCS did not collapse: %.2fµs under vs %.2fµs over", under.MeanLatUS, over.MeanLatUS)
+	}
+	blockingOver := runSM(t, cfg, "blocking", cfg.NumCPUs*2)
+	if over.MeanLatUS < blockingOver.MeanLatUS*5 {
+		t.Fatalf("oversubscribed MCS (%.2fµs) should be ≫ blocking (%.2fµs)", over.MeanLatUS, blockingOver.MeanLatUS)
+	}
+}
+
+// TestShapeFlexGuardNoCollapse: the paper's headline — FlexGuard keeps
+// spinlock-class performance without the collapse: oversubscribed it beats
+// the pure blocking lock, and it stays within a small factor of its own
+// non-oversubscribed latency.
+func TestShapeFlexGuardNoCollapse(t *testing.T) {
+	cfg := intelQuarter(t)
+	under := runSM(t, cfg, "flexguard", cfg.NumCPUs-1)
+	over := runSM(t, cfg, "flexguard", cfg.NumCPUs*2)
+	if over.MeanLatUS > under.MeanLatUS*4 {
+		t.Fatalf("FlexGuard degraded too much: %.2fµs → %.2fµs", under.MeanLatUS, over.MeanLatUS)
+	}
+	blockingOver := runSM(t, cfg, "blocking", cfg.NumCPUs*2)
+	if over.MeanLatUS > blockingOver.MeanLatUS*1.15 {
+		t.Fatalf("oversubscribed FlexGuard (%.2fµs) should match/beat blocking (%.2fµs)", over.MeanLatUS, blockingOver.MeanLatUS)
+	}
+	if over.CSPreempt == 0 {
+		t.Fatal("oversubscribed run detected no CS preemptions — monitor inactive?")
+	}
+	// Light oversubscription (the paper's 140/104 band): FlexGuard should
+	// be the best of the non-collapsing locks.
+	light := runSM(t, cfg, "flexguard", cfg.NumCPUs*135/100)
+	blockingLight := runSM(t, cfg, "blocking", cfg.NumCPUs*135/100)
+	if light.MeanLatUS > blockingLight.MeanLatUS {
+		t.Fatalf("lightly oversubscribed FlexGuard (%.2fµs) should beat blocking (%.2fµs)",
+			light.MeanLatUS, blockingLight.MeanLatUS)
+	}
+}
+
+// TestShapeFlexGuardNearMCS: while not oversubscribed FlexGuard stays
+// within 2× of MCS (it busy-waits through the same queue).
+func TestShapeFlexGuardNearMCS(t *testing.T) {
+	cfg := intelQuarter(t)
+	mcs := runSM(t, cfg, "mcs", cfg.NumCPUs-1)
+	fg := runSM(t, cfg, "flexguard", cfg.NumCPUs-1)
+	if fg.MeanLatUS > mcs.MeanLatUS*2 {
+		t.Fatalf("FlexGuard (%.2fµs) too far from MCS (%.2fµs) non-oversubscribed", fg.MeanLatUS, mcs.MeanLatUS)
+	}
+}
+
+// TestShapeSpinThenParkNoCollapse: the Shuffle spin-then-park variant and
+// POSIX avoid the collapse (they block), unlike MCS.
+func TestShapeSpinThenParkNoCollapse(t *testing.T) {
+	cfg := intelQuarter(t)
+	for _, alg := range []string{"shuffle", "posix", "blocking", "uscl"} {
+		over := runSM(t, cfg, alg, cfg.NumCPUs*2)
+		under := runSM(t, cfg, alg, cfg.NumCPUs/2)
+		if over.MeanLatUS > under.MeanLatUS*30 {
+			t.Fatalf("%s collapsed: %.2fµs → %.2fµs", alg, under.MeanLatUS, over.MeanLatUS)
+		}
+	}
+}
+
+// TestShapeMCSTPCollapsesLate: MCS-TP degrades heavily under heavy
+// oversubscription (paper: two orders of magnitude worse than blocking
+// beyond light oversubscription).
+func TestShapeMCSTPCollapsesLate(t *testing.T) {
+	cfg := intelQuarter(t)
+	over := runSM(t, cfg, "mcstp", cfg.NumCPUs*2)
+	blocking := runSM(t, cfg, "blocking", cfg.NumCPUs*2)
+	if over.MeanLatUS < blocking.MeanLatUS*3 {
+		t.Fatalf("MCS-TP at heavy oversubscription (%.2fµs) should be ≫ blocking (%.2fµs)",
+			over.MeanLatUS, blocking.MeanLatUS)
+	}
+}
+
+// TestShapeSpinIterations: Figure 5c — pure spinlocks spin ever more;
+// blocking never spins; FlexGuard and POSIX sit in between, with FlexGuard
+// spinning less than MCS once oversubscribed (blocking-mode episodes).
+func TestShapeSpinIterations(t *testing.T) {
+	cfg := intelQuarter(t)
+	n := cfg.NumCPUs * 2
+	mcs := runSM(t, cfg, "mcs", n)
+	fg := runSM(t, cfg, "flexguard", n)
+	posix := runSM(t, cfg, "posix", n)
+	blocking := runSM(t, cfg, "blocking", n)
+	if blocking.SpinIters != 0 {
+		t.Fatalf("blocking lock spun %d iterations", blocking.SpinIters)
+	}
+	if !(posix.SpinIters < fg.SpinIters && fg.SpinIters < mcs.SpinIters) {
+		t.Fatalf("spin ordering violated: posix=%d flexguard=%d mcs=%d",
+			posix.SpinIters, fg.SpinIters, mcs.SpinIters)
+	}
+}
+
+// TestShapeRunnableTimeline: Figure 5a — with 1.35× subscription, MCS
+// keeps every thread runnable; the blocking lock keeps only a handful;
+// FlexGuard sits in between and dips when transitioning to blocking.
+func TestShapeRunnableTimeline(t *testing.T) {
+	cfg := intelQuarter(t)
+	threads := cfg.NumCPUs * 135 / 100
+	means := map[string]float64{}
+	for _, alg := range []string{"mcs", "blocking", "flexguard"} {
+		e, _, err := RunSharedMemEnv(RunCfg{
+			Config: cfg, Alg: alg, Threads: threads,
+			Duration: 30_000_000, Seed: 3, RecordRunnable: true,
+		}, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		means[alg] = e.M.RunnableTimeline().TimeWeightedMean(3_000_000, 30_000_000)
+	}
+	if means["mcs"] < float64(threads)*0.95 {
+		t.Fatalf("MCS should keep all %d threads runnable, mean %.1f", threads, means["mcs"])
+	}
+	if means["blocking"] > float64(threads)*0.5 {
+		t.Fatalf("blocking lock should park most threads, mean runnable %.1f of %d", means["blocking"], threads)
+	}
+	if !(means["blocking"] < means["flexguard"] && means["flexguard"] <= means["mcs"]) {
+		t.Fatalf("runnable ordering violated: blocking=%.1f flexguard=%.1f mcs=%.1f",
+			means["blocking"], means["flexguard"], means["mcs"])
+	}
+}
+
+// TestShapeMonitorOverhead: §5.4 — the sched_switch hook costs hackbench
+// only a small fraction.
+func TestShapeMonitorOverhead(t *testing.T) {
+	cfg := intelQuarter(t)
+	off, on, err := RunHackbench(cfg, 7, hackbench.Options{Groups: 4, Pairs: 6, Messages: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	overhead := float64(on-off) / float64(off)
+	if overhead > 0.05 {
+		t.Fatalf("monitor overhead %.1f%%, paper reports <1%%", overhead*100)
+	}
+}
+
+// TestShapePerLockAblation: §3.2.2 — the system-wide counter performs at
+// least as well as per-lock counters on a multi-lock workload.
+func TestShapePerLockAblation(t *testing.T) {
+	cfg := intelQuarter(t)
+	run := func(perLock bool) Result {
+		r, err := RunHashTable(RunCfg{
+			Config: cfg, Alg: "flexguard", Threads: cfg.NumCPUs * 2,
+			Duration: 20_000_000, Seed: 5, PerLock: perLock,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	global := run(false)
+	perLock := run(true)
+	if perLock.OpsPerSec > global.OpsPerSec*1.15 {
+		t.Fatalf("per-lock counters unexpectedly better: %.0f vs %.0f ops/s",
+			perLock.OpsPerSec, global.OpsPerSec)
+	}
+}
+
+// TestShapeUSCLCrashesOnManyLocks: §5.3 — u-SCL cannot handle the
+// high-lock-count workloads (PiBench/Dedup); the harness reports the
+// crash instead of a datapoint.
+func TestShapeUSCLCrashesOnManyLocks(t *testing.T) {
+	cfg := intelQuarter(t)
+	r, err := RunDBIndex(RunCfg{
+		Config: cfg, Alg: "uscl", Threads: 4, Duration: 2_000_000, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Crashed {
+		t.Fatal("u-SCL should exceed its lock-count capacity on the DB index")
+	}
+	// FlexGuard handles the same lock count fine.
+	r2, err := RunDBIndex(RunCfg{
+		Config: cfg, Alg: "flexguard", Threads: 4, Duration: 4_000_000, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Crashed || r2.Ops == 0 {
+		t.Fatal("FlexGuard failed on the DB index")
+	}
+}
+
+// TestShapeFlexGuardBeatsBlockingOnApps: across the application workloads,
+// oversubscribed FlexGuard stays at least competitive with the pure
+// blocking lock (the paper reports 11%–5× improvements).
+func TestShapeFlexGuardBeatsBlockingOnApps(t *testing.T) {
+	cfg := intelQuarter(t)
+	apps := []struct {
+		name string
+		run  func(RunCfg) (Result, error)
+	}{
+		{"hashtable", RunHashTable},
+		{"dedup", RunDedup},
+		{"raytrace", RunRaytrace},
+		{"kv-readrandom", func(c RunCfg) (Result, error) { return RunKV(c, kvstore.ReadRandom) }},
+	}
+	for _, app := range apps {
+		c := RunCfg{Config: cfg, Threads: cfg.NumCPUs * 3 / 2, Duration: 20_000_000, Seed: 9}
+		c.Alg = "flexguard"
+		fg, err := app.run(c)
+		if err != nil {
+			t.Fatalf("%s/flexguard: %v", app.name, err)
+		}
+		c.Alg = "blocking"
+		bl, err := app.run(c)
+		if err != nil {
+			t.Fatalf("%s/blocking: %v", app.name, err)
+		}
+		if fg.OpsPerSec < bl.OpsPerSec*0.8 {
+			t.Fatalf("%s: FlexGuard %.0f ops/s well below blocking %.0f ops/s",
+				app.name, fg.OpsPerSec, bl.OpsPerSec)
+		}
+	}
+}
+
+// TestExperimentCatalogRuns: every experiment in the catalog executes at a
+// tiny scale without error (output discarded).
+func TestExperimentCatalogRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("catalog smoke test is slow")
+	}
+	o := ExpOptions{
+		Scale:    0.08, // intel → 8 contexts
+		Duration: 4_000_000,
+		Seeds:    1,
+		Algs:     []string{"blocking", "mcs", "flexguard"},
+	}
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			if err := e.Run(o, io.Discard); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+		})
+	}
+}
+
+func TestFindExperiment(t *testing.T) {
+	if _, err := FindExperiment("fig2a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FindExperiment("nope"); err == nil {
+		t.Fatal("bogus experiment id should error")
+	}
+}
+
+func TestParseAlgs(t *testing.T) {
+	algs, err := ParseAlgs("mcs,flexguard,blocking")
+	if err != nil || len(algs) != 3 {
+		t.Fatalf("parse failed: %v %v", algs, err)
+	}
+	if _, err := ParseAlgs("mcs,bogus"); err == nil {
+		t.Fatal("bogus alg should error")
+	}
+	if algs, err := ParseAlgs(""); err != nil || algs != nil {
+		t.Fatalf("empty list: %v %v", algs, err)
+	}
+}
+
+func TestMachineConfigNames(t *testing.T) {
+	for _, n := range []string{"intel", "amd", "small"} {
+		if _, err := MachineConfig(n); err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+	}
+	if _, err := MachineConfig("sparc"); err == nil {
+		t.Fatal("unknown machine should error")
+	}
+}
+
+func TestScaleHelpers(t *testing.T) {
+	cfg, _ := MachineConfig("intel")
+	s := ScaleConfig(cfg, 0.25)
+	if s.NumCPUs != 26 {
+		t.Fatalf("scaled Intel has %d contexts, want 26", s.NumCPUs)
+	}
+	if got := ScaleThreads(104, 0.25); got != 26 {
+		t.Fatalf("ScaleThreads = %d, want 26", got)
+	}
+	if got := ScaleThreads(1, 0.01); got != 1 {
+		t.Fatalf("ScaleThreads floor = %d, want 1", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ScaleConfig(2) should panic")
+		}
+	}()
+	ScaleConfig(cfg, 2)
+}
+
+// TestEnvCrashedFlag: exceeding a lock-capacity cap flips Crashed.
+func TestEnvCrashedFlag(t *testing.T) {
+	cfg := sim.Small(2)
+	cfg.Seed = 1
+	e, err := NewEnv(EnvOptions{Config: cfg, Alg: "uscl"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		e.NewLock("x")
+	}
+	if !e.Crashed() {
+		t.Fatal("5000 u-SCL locks should exceed the cap")
+	}
+}

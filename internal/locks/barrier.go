@@ -1,0 +1,40 @@
+package locks
+
+import "repro/internal/sim"
+
+// Barrier is a POSIX-style centralized sense-reversing barrier built on
+// the futex, as used by the SPLASH-2X workloads (§5.3, Streamcluster).
+// Arriving threads decrement a counter; the last arrival flips the sense
+// word and wakes everyone else.
+type Barrier struct {
+	n     int
+	count *sim.Word // remaining arrivals in the current round
+	sense *sim.Word // round number; waiters block until it changes
+}
+
+// NewBarrier returns a barrier for n participants.
+func NewBarrier(m *sim.Machine, name string, n int) *Barrier {
+	if n <= 0 {
+		panic("locks: barrier participant count must be positive")
+	}
+	return &Barrier{
+		n:     n,
+		count: m.NewWord(name+".count", uint64(n)),
+		sense: m.NewWord(name+".sense", 0),
+	}
+}
+
+// Wait blocks until all n participants have called Wait for this round.
+func (b *Barrier) Wait(p *sim.Proc) {
+	round := p.Load(b.sense)
+	if p.Add(b.count, -1) == 0 {
+		// Last arrival: reset and release the round.
+		p.Store(b.count, uint64(b.n))
+		p.Add(b.sense, 1)
+		p.FutexWake(b.sense, 1<<30)
+		return
+	}
+	for p.Load(b.sense) == round {
+		p.FutexWait(b.sense, round)
+	}
+}

@@ -1,0 +1,76 @@
+package locks
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestBarrierRounds(t *testing.T) {
+	m, _ := newMachine(4, 1)
+	b := NewBarrier(m, "B", 4)
+	const rounds = 20
+	phase := make([]int, 4)
+	bad := false
+	for i := 0; i < 4; i++ {
+		i := i
+		m.Spawn("w", func(p *sim.Proc) {
+			for r := 0; r < rounds; r++ {
+				p.Compute(sim.Time(100 * (i + 1))) // staggered arrival
+				phase[i] = r
+				b.Wait(p)
+				// After the barrier, nobody may still be in round r-1.
+				for j := range phase {
+					if phase[j] < r {
+						bad = true
+					}
+				}
+			}
+		})
+	}
+	q := m.Run(200_000_000)
+	if q >= 200_000_000 {
+		t.Fatal("barrier deadlocked")
+	}
+	if bad {
+		t.Fatal("barrier released a round before all arrivals")
+	}
+	for i := range phase {
+		if phase[i] != rounds-1 {
+			t.Fatalf("thread %d finished only %d rounds", i, phase[i]+1)
+		}
+	}
+}
+
+func TestBarrierOversubscribed(t *testing.T) {
+	m, _ := newMachine(2, 3)
+	const n = 6
+	b := NewBarrier(m, "B", n)
+	finished := 0
+	for i := 0; i < n; i++ {
+		m.Spawn("w", func(p *sim.Proc) {
+			for r := 0; r < 10; r++ {
+				p.Compute(2000)
+				b.Wait(p)
+			}
+			finished++
+		})
+	}
+	q := m.Run(500_000_000)
+	if q >= 500_000_000 {
+		t.Fatal("barrier deadlocked oversubscribed")
+	}
+	if finished != n {
+		t.Fatalf("%d/%d threads finished", finished, n)
+	}
+}
+
+func TestBarrierPanicsOnZero(t *testing.T) {
+	m, _ := newMachine(1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBarrier(0) should panic")
+		}
+	}()
+	NewBarrier(m, "B", 0)
+}

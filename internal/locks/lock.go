@@ -1,0 +1,91 @@
+// Package locks implements the baseline lock algorithms the paper
+// evaluates FlexGuard against (§5.1): the pure blocking (futex) lock, the
+// POSIX adaptive spin-then-park mutex, classic spinlocks (TAS, TATAS,
+// Ticket, MCS, CLH), the blocking-backoff lock, the time-published MCS-TP
+// lock, Dice's Malthusian lock, the spin-then-park Shuffle lock, the
+// scheduler-cooperative u-SCL, and the TATAS spinlock with timeslice
+// extension. All run on the simulator through the common Lock interface,
+// playing the role the LiTL interposition library plays in the paper:
+// identical workload, swap the lock.
+package locks
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Lock is the mutual-exclusion interface every algorithm implements.
+type Lock interface {
+	Lock(p *sim.Proc)
+	Unlock(p *sim.Proc)
+}
+
+// Shared holds per-machine state shared across lock instances of the
+// algorithms that use one global queue node per thread (Shuffle lock).
+type Shared struct {
+	m            *sim.Machine
+	shuffleNodes []*shuffleNode
+}
+
+// NewShared creates the shared state for machine m.
+func NewShared(m *sim.Machine) *Shared {
+	return &Shared{m: m, shuffleNodes: make([]*shuffleNode, m.Config().MaxThreads)}
+}
+
+// Machine returns the machine this shared state belongs to.
+func (s *Shared) Machine() *sim.Machine { return s.m }
+
+// Factory builds one lock instance.
+type Factory func(s *Shared, name string) Lock
+
+// Info describes a baseline algorithm in the registry.
+type Info struct {
+	Name string
+	New  Factory
+	// MaxLocks caps the number of lock instances the implementation can
+	// handle (0 = unlimited). u-SCL's heavyweight per-lock state makes it
+	// crash on the paper's high-lock-count benchmarks; the harness uses
+	// this cap to reproduce the "missing lines" in Figures 3e–l.
+	MaxLocks int
+	// PerThreadPerLockNode marks queue locks that allocate one node per
+	// thread per lock (MCS, CLH, MCS-TP, Malthusian), which the paper
+	// identifies as a cache liability at high lock counts.
+	PerThreadPerLockNode bool
+}
+
+// Registry lists the baseline algorithms (FlexGuard variants are
+// registered by the harness, which owns the Preemption Monitor).
+func Registry() []Info {
+	return []Info{
+		{Name: "blocking", New: func(s *Shared, n string) Lock { return NewBlocking(s.m, n) }},
+		{Name: "posix", New: func(s *Shared, n string) Lock { return NewPosix(s.m, n) }},
+		{Name: "tas", New: func(s *Shared, n string) Lock { return NewTAS(s.m, n) }},
+		{Name: "tatas", New: func(s *Shared, n string) Lock { return NewTATAS(s.m, n) }},
+		{Name: "ticket", New: func(s *Shared, n string) Lock { return NewTicket(s.m, n) }},
+		{Name: "backoff", New: func(s *Shared, n string) Lock { return NewBackoff(s.m, n) }},
+		{Name: "mcs", New: func(s *Shared, n string) Lock { return NewMCS(s.m, n) }, PerThreadPerLockNode: true},
+		{Name: "clh", New: func(s *Shared, n string) Lock { return NewCLH(s.m, n) }, PerThreadPerLockNode: true},
+		{Name: "mcstp", New: func(s *Shared, n string) Lock { return NewMCSTP(s.m, n) }, PerThreadPerLockNode: true},
+		{Name: "malthusian", New: func(s *Shared, n string) Lock { return NewMalthusian(s.m, n) }, PerThreadPerLockNode: true},
+		{Name: "shuffle", New: func(s *Shared, n string) Lock { return NewShuffle(s, n) }},
+		{Name: "uscl", New: func(s *Shared, n string) Lock { return NewUSCL(s.m, n) }, MaxLocks: 4096},
+		{Name: "spin-ext", New: func(s *Shared, n string) Lock { return NewSpinExt(s.m, n) }},
+	}
+}
+
+// Lookup returns the registry entry for name.
+func Lookup(name string) (Info, error) {
+	for _, in := range Registry() {
+		if in.Name == name {
+			return in, nil
+		}
+	}
+	return Info{}, fmt.Errorf("locks: unknown algorithm %q", name)
+}
+
+// enc encodes a thread id into a queue word (0 is reserved for "none").
+func enc(id int) uint64 { return uint64(id + 1) }
+
+// dec decodes a queue word back to a thread id.
+func dec(v uint64) int { return int(v - 1) }

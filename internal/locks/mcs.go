@@ -1,0 +1,140 @@
+package locks
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// mcsNode is one waiter's queue node (one per thread per lock — the memory
+// behavior the paper contrasts with the Shuffle lock's global node).
+type mcsNode struct {
+	next   *sim.Word // encoded successor id; 0 = none
+	locked *sim.Word // 1 while the owner must wait
+}
+
+// MCS is the Mellor-Crummey & Scott queue spinlock (§2.1.2): waiters form
+// a linked list and each spins on its own node, so handover touches only
+// two cache lines.
+type MCS struct {
+	m     *sim.Machine
+	name  string
+	tail  *sim.Word
+	nodes map[int]*mcsNode
+}
+
+// NewMCS returns an MCS lock.
+func NewMCS(m *sim.Machine, name string) *MCS {
+	return &MCS{
+		m:     m,
+		name:  name,
+		tail:  m.NewWord(name+".tail", 0),
+		nodes: make(map[int]*mcsNode),
+	}
+}
+
+func (l *MCS) node(id int) *mcsNode {
+	n := l.nodes[id]
+	if n == nil {
+		n = &mcsNode{
+			next:   l.m.NewWord(fmt.Sprintf("%s.n%d.next", l.name, id), 0),
+			locked: l.m.NewWord(fmt.Sprintf("%s.n%d.locked", l.name, id), 0),
+		}
+		l.nodes[id] = n
+	}
+	return n
+}
+
+// Lock implements Lock.
+func (l *MCS) Lock(p *sim.Proc) {
+	qn := l.node(p.ID())
+	p.Store(qn.next, 0)
+	p.Store(qn.locked, 1)
+	pred := p.Xchg(l.tail, enc(p.ID()))
+	if pred == 0 {
+		return
+	}
+	p.Store(l.node(dec(pred)).next, enc(p.ID()))
+	p.SpinWhile(func() bool { return qn.locked.V() == 1 })
+}
+
+// Unlock implements Lock.
+func (l *MCS) Unlock(p *sim.Proc) {
+	qn := l.node(p.ID())
+	if p.Load(qn.next) == 0 {
+		if p.CAS(l.tail, enc(p.ID()), 0) == enc(p.ID()) {
+			return
+		}
+		p.SpinWhile(func() bool { return qn.next.V() == 0 })
+	}
+	p.Store(l.node(dec(p.Load(qn.next))).locked, 0)
+}
+
+// clhNode is a CLH queue node; nodes migrate between threads at release.
+type clhNode struct {
+	succMustWait *sim.Word
+}
+
+// CLH is the Craig / Landin-Hagersten queue spinlock (§2.1.2): an implicit
+// queue where each waiter spins on its predecessor's node.
+type CLH struct {
+	m    *sim.Machine
+	name string
+	tail *sim.Word // encoded node index + 1
+	// nodes is the node pool; mine maps a thread to the node it will
+	// enqueue next (nodes rotate thread→thread at release, as in CLH);
+	// adopt maps a holder to the predecessor node it takes over at unlock.
+	// Both maps are only mutated by their owning thread / the holder.
+	nodes []*clhNode
+	mine  map[int]int
+	adopt map[int]int
+}
+
+// NewCLH returns a CLH lock.
+func NewCLH(m *sim.Machine, name string) *CLH {
+	l := &CLH{
+		m:     m,
+		name:  name,
+		mine:  make(map[int]int),
+		adopt: make(map[int]int),
+	}
+	// Node 0 is the initial dummy (released).
+	l.nodes = []*clhNode{{succMustWait: m.NewWord(name+".clh0", 0)}}
+	l.tail = m.NewWord(name+".tail", 1) // points at the dummy
+	return l
+}
+
+func (l *CLH) newNode() int {
+	idx := len(l.nodes)
+	l.nodes = append(l.nodes, &clhNode{
+		succMustWait: l.m.NewWord(fmt.Sprintf("%s.clh%d", l.name, idx), 0),
+	})
+	return idx
+}
+
+// Lock implements Lock.
+func (l *CLH) Lock(p *sim.Proc) {
+	id := p.ID()
+	my, ok := l.mine[id]
+	if !ok {
+		my = l.newNode()
+		l.mine[id] = my
+	}
+	p.Store(l.nodes[my].succMustWait, 1)
+	predEnc := p.Xchg(l.tail, uint64(my+1))
+	pred := int(predEnc - 1)
+	predWord := l.nodes[pred].succMustWait
+	if p.Load(predWord) == 1 {
+		p.SpinWhile(func() bool { return predWord.V() == 1 })
+	}
+	// Adopt the predecessor's node for the next acquisition.
+	l.adopt[id] = pred
+}
+
+// Unlock implements Lock.
+func (l *CLH) Unlock(p *sim.Proc) {
+	id := p.ID()
+	my := l.mine[id]
+	p.Store(l.nodes[my].succMustWait, 0)
+	l.mine[id] = l.adopt[id]
+}

@@ -1,0 +1,207 @@
+// Package monitor implements the FlexGuard Preemption Monitor (paper §3.1,
+// Listing 1): a handler attached to the scheduler's sched_switch tracepoint
+// that detects, synchronously and without heuristics, when a thread is
+// switched out while inside a critical section, and maintains the
+// num_preempted_cs counter read by lock algorithms.
+//
+// On real hardware the monitor is an eBPF program reading the preempted
+// thread's stack (preemption address vs. assembly labels), saved registers
+// (the XCHG/CAS result pinned into RCX) and the user-space cs_counter TLS
+// variable. In the simulator those three signals are the Thread's Region,
+// Reg and CSCounter fields; the structure of the handler is otherwise
+// identical to Listing 1.
+package monitor
+
+import "repro/internal/sim"
+
+// Classifier decides whether a thread being switched out with CSCounter==0
+// is nonetheless inside a lock-function window where the lock is held
+// (the at_xchg/at_break/at_store label logic of Listing 1). It is
+// lock-algorithm specific and registered by the lock implementation.
+//
+// The returned counter selects which num_preempted_cs word the preemption
+// is charged to; nil selects the system-wide counter. Only the per-lock
+// ablation mode (paper §3.2.2) returns non-nil counters.
+type Classifier func(t *sim.Thread) (inCS bool, counter *sim.Word)
+
+// Monitor is the Preemption Monitor instance attached to one machine.
+type Monitor struct {
+	m           *sim.Machine
+	global      *sim.Word
+	classifiers []Classifier
+	rechecks    []Recheck
+	pending     []*sim.Thread // preempted threads eligible for re-checking
+	perLock     bool
+	chargedTo   map[*sim.Thread]*sim.Word // which counter a mark was charged to
+
+	// InCSPreemptions counts critical-section preemptions detected over
+	// the run (diagnostics).
+	InCSPreemptions int64
+	// Reschedules counts preempted-in-CS threads switched back in.
+	Reschedules int64
+}
+
+// Option configures Attach.
+type Option func(*Monitor)
+
+// PerLockCounters enables the §3.2.2 ablation: preemptions are charged to
+// the counter returned by the classifier (one per lock) instead of the
+// system-wide counter. The paper shows this performs worse; the ablation
+// benchmark reproduces that claim.
+func PerLockCounters() Option {
+	return func(mo *Monitor) { mo.perLock = true }
+}
+
+// Attach installs the Preemption Monitor on m's sched_switch tracepoint
+// and returns it. Attach before spawning threads.
+func Attach(m *sim.Machine, opts ...Option) *Monitor {
+	mo := &Monitor{
+		m:         m,
+		global:    m.NewWord("num_preempted_cs", 0),
+		chargedTo: make(map[*sim.Thread]*sim.Word),
+	}
+	for _, o := range opts {
+		o(mo)
+	}
+	m.RegisterSwitchHook(mo.schedSwitch)
+	return mo
+}
+
+// NPCS returns the system-wide num_preempted_cs word. Lock algorithms read
+// it (it is an eBPF global variable shared with user space); only the
+// monitor writes it.
+func (mo *Monitor) NPCS() *sim.Word { return mo.global }
+
+// PerLock reports whether the per-lock ablation mode is active.
+func (mo *Monitor) PerLock() bool { return mo.perLock }
+
+// RegisterClassifier adds a lock-family classifier consulted for threads
+// whose cs_counter is zero at switch-out time.
+func (mo *Monitor) RegisterClassifier(c Classifier) {
+	mo.classifiers = append(mo.classifiers, c)
+}
+
+// Recheck handles next-waiter preemptions that materialize after the
+// switch (§3.2.2): a thread preempted while waiting in the MCS queue may
+// be handed the MCS lock while off-CPU — it is then a preempted MCS
+// holder, stalling the queue, but no sched_switch fires for it. Eligible
+// marks a just-preempted thread for re-examination; Check re-reads its
+// user-space queue state (eBPF can read user memory) on subsequent
+// context switches and reports when it has become an in-CS thread.
+type Recheck struct {
+	Eligible func(t *sim.Thread) bool
+	Check    func(t *sim.Thread) (inCS bool, counter *sim.Word)
+}
+
+// RegisterRecheck adds a lock-family recheck rule.
+func (mo *Monitor) RegisterRecheck(r Recheck) {
+	mo.rechecks = append(mo.rechecks, r)
+}
+
+// schedSwitch is the tracepoint handler — the structure mirrors Listing 1,
+// plus the pending-thread re-examination for next-waiter preemptions.
+func (mo *Monitor) schedSwitch(prev, next *sim.Thread) {
+	// If next was previously preempted in a critical section, it is now
+	// back on CPU: clear the mark and decrement the counter.
+	if next != nil && next.MonitorMark {
+		next.MonitorMark = false
+		mo.m.KernelAdd(mo.counterFor(next), -1)
+		mo.Reschedules++
+	}
+	if next != nil {
+		mo.unpend(next)
+	}
+	mo.recheckPending()
+	if prev == nil || prev.State() == sim.StateDone {
+		return
+	}
+	inCS := prev.CSCounter > 0 // values > 1 indicate nesting
+	var counter *sim.Word
+	if !inCS {
+		// cs_counter == 0: consult the label windows inside the lock
+		// functions (preemption address + register checks).
+		for _, c := range mo.classifiers {
+			if in, w := c(prev); in {
+				inCS = true
+				counter = w
+				break
+			}
+		}
+	} else if mo.perLock {
+		counter = prev.MonitorHint
+	}
+	if inCS {
+		mo.mark(prev, counter)
+		return
+	}
+	// Not currently in CS: it may still become the MCS holder while
+	// off-CPU; remember it for re-examination if a lock family asks.
+	for _, r := range mo.rechecks {
+		if r.Eligible(prev) {
+			mo.pending = append(mo.pending, prev)
+			return
+		}
+	}
+}
+
+// mark flags a thread as a preempted critical section.
+func (mo *Monitor) mark(t *sim.Thread, counter *sim.Word) {
+	t.MonitorMark = true
+	w := mo.resolve(counter)
+	mo.chargedTo[t] = w
+	mo.m.KernelAdd(w, +1)
+	mo.InCSPreemptions++
+}
+
+// recheckPending re-examines preempted queue waiters: one of them may
+// have been handed the MCS lock while off-CPU.
+func (mo *Monitor) recheckPending() {
+	if len(mo.pending) == 0 {
+		return
+	}
+	kept := mo.pending[:0]
+	for _, t := range mo.pending {
+		if t.State() == sim.StateDone || t.MonitorMark {
+			continue
+		}
+		promoted := false
+		for _, r := range mo.rechecks {
+			if in, w := r.Check(t); in {
+				mo.mark(t, w)
+				promoted = true
+				break
+			}
+		}
+		if !promoted {
+			kept = append(kept, t)
+		}
+	}
+	mo.pending = kept
+}
+
+// unpend drops a rescheduled thread from the re-examination list.
+func (mo *Monitor) unpend(t *sim.Thread) {
+	for i, p := range mo.pending {
+		if p == t {
+			mo.pending = append(mo.pending[:i], mo.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// counterFor returns the counter a thread's mark was charged to.
+func (mo *Monitor) counterFor(t *sim.Thread) *sim.Word {
+	if w, ok := mo.chargedTo[t]; ok {
+		delete(mo.chargedTo, t)
+		return w
+	}
+	return mo.global
+}
+
+// resolve maps a classifier-provided counter to the effective one.
+func (mo *Monitor) resolve(counter *sim.Word) *sim.Word {
+	if mo.perLock && counter != nil {
+		return counter
+	}
+	return mo.global
+}

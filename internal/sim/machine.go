@@ -1,0 +1,471 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/stats"
+	"repro/internal/vtime"
+)
+
+// SchedSwitchHook is the simulator analogue of an eBPF program attached to
+// the kernel's sched_switch tracepoint. It is invoked on every context
+// switch with the outgoing and incoming threads; either may be nil (the
+// idle task). Hooks run in "kernel context": they may read task-struct
+// fields and use KernelStore/KernelAdd, but must not call Proc methods.
+type SchedSwitchHook func(prev, next *Thread)
+
+// cpuCtx is one hardware context.
+type cpuCtx struct {
+	id        int
+	cur       *Thread
+	switching bool // a dispatch is in flight toward this context
+}
+
+// Machine is a simulated multicore machine. Create with New, add threads
+// with Spawn, then call Run once.
+type Machine struct {
+	cfg   Config
+	clock Time
+	eq    vtime.Queue
+
+	cpus    []*cpuCtx
+	threads []*Thread
+
+	runq     []*Thread
+	runqHead int
+
+	futexQ map[*Word][]*Thread
+
+	hooks  []SchedSwitchHook
+	tracer *Tracer
+
+	spinners []*Thread
+
+	rng *dist.Rand
+
+	runnable int64
+	timeline stats.Timeline
+
+	running  bool
+	finished bool
+
+	// TotalSwitches and TotalPreemptions count context switches across the
+	// run; TotalPreemptions counts only involuntary ones.
+	TotalSwitches    int64
+	TotalPreemptions int64
+}
+
+// New builds a machine from cfg.
+func New(cfg Config) *Machine {
+	if cfg.NumCPUs <= 0 {
+		panic("sim: Config.NumCPUs must be positive")
+	}
+	if cfg.Costs.Timeslice <= 0 {
+		panic("sim: Config.Costs.Timeslice must be positive")
+	}
+	m := &Machine{
+		cfg:    cfg,
+		futexQ: make(map[*Word][]*Thread),
+		rng:    dist.NewRand(cfg.Seed),
+	}
+	m.cpus = make([]*cpuCtx, cfg.NumCPUs)
+	for i := range m.cpus {
+		m.cpus[i] = &cpuCtx{id: i}
+	}
+	return m
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Now returns the current virtual time.
+func (m *Machine) Now() Time { return m.clock }
+
+// Rand returns the machine's root deterministic random stream.
+func (m *Machine) Rand() *dist.Rand { return m.rng }
+
+// Threads returns all spawned threads in spawn order.
+func (m *Machine) Threads() []*Thread { return m.threads }
+
+// RunnableTimeline returns the recorded runnable-thread step function
+// (only populated when Config.RecordRunnable is set).
+func (m *Machine) RunnableTimeline() *stats.Timeline { return &m.timeline }
+
+// RegisterSwitchHook attaches a sched_switch hook. Attach before Run.
+func (m *Machine) RegisterSwitchHook(h SchedSwitchHook) {
+	m.hooks = append(m.hooks, h)
+}
+
+// Spawn creates a simulated thread executing body and makes it runnable at
+// the current time. Must not be called after Run returns.
+func (m *Machine) Spawn(name string, body func(p *Proc)) *Thread {
+	if m.finished {
+		panic("sim: Spawn after Run finished")
+	}
+	t := &Thread{
+		id:     len(m.threads),
+		name:   name,
+		m:      m,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+		cpu:    -1,
+		Rand:   m.rng.Split(),
+	}
+	t.proc = &Proc{t: t, m: m}
+	t.pending = pendStep
+	m.threads = append(m.threads, t)
+	go func() {
+		<-t.resume
+		if !t.killed {
+			func() {
+				defer func() {
+					if r := recover(); r != nil && r != errKilled {
+						panic(r)
+					}
+				}()
+				body(t.proc)
+			}()
+		}
+		t.done = true
+		t.yield <- struct{}{}
+	}()
+	m.makeRunnable(t)
+	return t
+}
+
+// Run processes events until virtual time `until`, then terminates every
+// live thread. It returns the time at which the machine went quiescent
+// (equal to until unless all threads blocked or exited earlier — a return
+// value below until with blocked threads indicates deadlock).
+func (m *Machine) Run(until Time) Time {
+	if m.finished {
+		panic("sim: Run called twice")
+	}
+	m.running = true
+	for {
+		ev := m.eq.Pop()
+		if ev == nil {
+			break
+		}
+		if ev.At >= until {
+			m.clock = until
+			break
+		}
+		if ev.At < m.clock {
+			panic(fmt.Sprintf("sim: time went backwards: event at %d, clock %d", ev.At, m.clock))
+		}
+		m.clock = ev.At
+		ev.Fn()
+	}
+	quiesced := m.clock
+	if m.clock < until {
+		// Queue drained early: everything is blocked or done.
+		m.clock = until
+	}
+	m.shutdown()
+	m.running = false
+	m.finished = true
+	return quiesced
+}
+
+// shutdown terminates all live threads deterministically (spawn order) and
+// flushes statistics.
+func (m *Machine) shutdown() {
+	// Flush accounting for threads still spinning.
+	for _, t := range m.spinners {
+		m.accountSpin(t)
+	}
+	m.spinners = nil
+	for _, t := range m.threads {
+		if t.done {
+			continue
+		}
+		t.killed = true
+		t.resume <- struct{}{}
+		<-t.yield
+	}
+	if m.cfg.RecordRunnable {
+		m.timeline.Record(m.clock, m.runnable)
+	}
+}
+
+// ---- Runqueue ----
+
+func (m *Machine) runqLen() int { return len(m.runq) - m.runqHead }
+
+func (m *Machine) runqPush(t *Thread) { m.runq = append(m.runq, t) }
+
+// runqPushFront inserts t at the head of the runqueue (wake preemption:
+// the woken thread takes the context its victim releases).
+func (m *Machine) runqPushFront(t *Thread) {
+	if m.runqHead > 0 {
+		m.runqHead--
+		m.runq[m.runqHead] = t
+		return
+	}
+	m.runq = append([]*Thread{t}, m.runq...)
+}
+
+func (m *Machine) runqPop() *Thread {
+	if m.runqHead == len(m.runq) {
+		return nil
+	}
+	t := m.runq[m.runqHead]
+	m.runq[m.runqHead] = nil
+	m.runqHead++
+	if m.runqHead > 64 && m.runqHead*2 > len(m.runq) {
+		m.runq = append(m.runq[:0], m.runq[m.runqHead:]...)
+		m.runqHead = 0
+	}
+	return t
+}
+
+func (m *Machine) idleCPU() *cpuCtx {
+	for _, c := range m.cpus {
+		if c.cur == nil && !c.switching {
+			return c
+		}
+	}
+	return nil
+}
+
+func (m *Machine) setRunnable(delta int64) {
+	m.runnable += delta
+	if m.cfg.RecordRunnable {
+		m.timeline.Record(m.clock, m.runnable)
+	}
+}
+
+// makeRunnable transitions t to runnable, dispatching immediately if a
+// hardware context is idle. With no idle context, a newly woken thread
+// may preempt the running thread that has consumed the most slice (CFS
+// wakeup preemption): the woken thread's vruntime is far behind the
+// hogs', so the real scheduler runs it promptly.
+func (m *Machine) makeRunnable(t *Thread) {
+	t.state = StateRunnable
+	m.setRunnable(+1)
+	if c := m.idleCPU(); c != nil {
+		m.contextSwitch(c, nil, t)
+		return
+	}
+	if c := m.wakePreemptVictim(); c != nil {
+		m.runqPushFront(t)
+		m.forcePreempt(c, c.cur)
+		return
+	}
+	m.runqPush(t)
+}
+
+// wakePreemptVictim picks the running thread that has consumed the most
+// of its current slice, if beyond the wake granularity.
+func (m *Machine) wakePreemptVictim() *cpuCtx {
+	g := m.cfg.Costs.WakeGranularity
+	if g <= 0 {
+		return nil
+	}
+	var best *cpuCtx
+	var bestConsumed Time
+	for _, c := range m.cpus {
+		t := c.cur
+		if t == nil || c.switching || t.state != StateRunning {
+			continue
+		}
+		consumed := m.clock - t.sliceStart
+		if consumed > g && consumed > bestConsumed {
+			best, bestConsumed = c, consumed
+		}
+	}
+	return best
+}
+
+// forcePreempt preempts t on c immediately if possible, or at the current
+// instruction's boundary otherwise.
+func (m *Machine) forcePreempt(c *cpuCtx, t *Thread) {
+	if t.opNonPreempt {
+		t.needResched = true
+		return
+	}
+	switch t.pending {
+	case pendCompute:
+		if t.opEv != nil {
+			t.pendTicks = t.opEv.At - m.clock
+			t.opEv.Cancel()
+			t.opEv = nil
+		}
+	case pendSpin:
+		m.pauseSpin(t)
+	default:
+		t.needResched = true
+		return
+	}
+	m.preempt(c, t)
+}
+
+// ---- Context switching ----
+
+// contextSwitch performs the switch decision on context c: fires the
+// sched_switch hooks, then schedules next's dispatch after the switch
+// cost. prev must already be detached by the caller (or nil for idle).
+func (m *Machine) contextSwitch(c *cpuCtx, prev, next *Thread) {
+	m.TotalSwitches++
+	if prev != nil {
+		prev.Switches++
+	}
+	m.tracer.record(m.clock, TraceSwitch, tid(prev), tid(next))
+	for _, h := range m.hooks {
+		h(prev, next)
+	}
+	c.cur = nil
+	if next == nil {
+		c.switching = false
+		return
+	}
+	cost := m.cfg.Costs.CtxSwitch
+	if len(m.hooks) > 0 {
+		cost += m.cfg.Costs.HookCost
+	}
+	c.switching = true
+	m.eq.Schedule(m.clock+cost, func() { m.dispatch(c, next) })
+}
+
+// dispatch puts t on context c and resumes its pending continuation.
+func (m *Machine) dispatch(c *cpuCtx, t *Thread) {
+	if c.cur != nil {
+		panic("sim: dispatch to busy cpu")
+	}
+	c.switching = false
+	c.cur = t
+	t.state = StateRunning
+	t.cpu = c.id
+	slice := m.cfg.Costs.Timeslice - t.slicePenalty
+	if slice < m.cfg.Costs.MinSlice {
+		slice = m.cfg.Costs.MinSlice
+	}
+	t.slicePenalty = 0
+	t.extGranted = false
+	t.sliceStart = m.clock
+	t.sliceEnd = m.clock + slice
+	t.sliceEv = m.eq.Schedule(t.sliceEnd, func() { m.onSliceExpiry(c, t) })
+	switch t.pending {
+	case pendStep:
+		m.step(t)
+	case pendCompute:
+		m.scheduleCompute(t, t.pendTicks)
+	case pendSpin:
+		m.resumeSpin(t)
+	}
+}
+
+// detach removes t from its context's bookkeeping (slice timer).
+func (m *Machine) detach(t *Thread) {
+	if t.sliceEv != nil {
+		t.sliceEv.Cancel()
+		t.sliceEv = nil
+	}
+	t.cpu = -1
+	t.needResched = false
+}
+
+// renewSlice grants t a fresh timeslice (used when there is nothing else
+// to run).
+func (m *Machine) renewSlice(c *cpuCtx, t *Thread) {
+	if t.sliceEv != nil {
+		t.sliceEv.Cancel()
+	}
+	t.sliceStart = m.clock
+	t.sliceEnd = m.clock + m.cfg.Costs.Timeslice
+	t.sliceEv = m.eq.Schedule(t.sliceEnd, func() { m.onSliceExpiry(c, t) })
+}
+
+// onSliceExpiry fires when t's timeslice ends on context c.
+func (m *Machine) onSliceExpiry(c *cpuCtx, t *Thread) {
+	if c.cur != t || t.state != StateRunning {
+		return // stale timer
+	}
+	t.sliceEv = nil
+	// Timeslice extension (the rseq-patch behaviour of §2.4): honor a
+	// user-space request once per slice, penalizing the next slice.
+	if t.extendSlice && !t.extGranted && m.cfg.Costs.SliceExt > 0 {
+		t.extGranted = true
+		t.slicePenalty = m.cfg.Costs.SliceExt
+		t.sliceEnd = m.clock + m.cfg.Costs.SliceExt
+		t.sliceEv = m.eq.Schedule(t.sliceEnd, func() { m.onSliceExpiry(c, t) })
+		return
+	}
+	if m.runqLen() == 0 {
+		m.renewSlice(c, t)
+		return
+	}
+	if t.opNonPreempt {
+		t.needResched = true
+		return
+	}
+	switch t.pending {
+	case pendCompute:
+		if t.opEv != nil {
+			t.pendTicks = t.opEv.At - m.clock
+			t.opEv.Cancel()
+			t.opEv = nil
+		}
+	case pendSpin:
+		m.pauseSpin(t)
+	default:
+		// Between-ops instants are synchronous; reaching here means an
+		// instruction is in flight without opNonPreempt. Be conservative.
+		t.needResched = true
+		return
+	}
+	m.preempt(c, t)
+}
+
+// preempt moves the running t to the runqueue tail and switches c to the
+// next runnable thread.
+func (m *Machine) preempt(c *cpuCtx, t *Thread) {
+	t.Preemptions++
+	m.TotalPreemptions++
+	m.detach(t)
+	t.state = StateRunnable
+	m.runqPush(t)
+	m.contextSwitch(c, t, m.runqPop())
+}
+
+// finishOp delivers the current op's result: if a preemption was deferred
+// to the instruction boundary it happens now, otherwise the thread is
+// stepped to its next operation.
+func (m *Machine) finishOp(t *Thread) {
+	t.pending = pendStep
+	c := m.cpus[t.cpu]
+	if t.needResched {
+		t.needResched = false
+		if m.runqLen() == 0 {
+			m.renewSlice(c, t)
+			m.step(t)
+			return
+		}
+		m.preempt(c, t)
+		return
+	}
+	m.step(t)
+}
+
+// step resumes t's goroutine until it posts its next operation or exits.
+func (m *Machine) step(t *Thread) {
+	t.resume <- struct{}{}
+	<-t.yield
+	if t.done {
+		m.onExit(t)
+		return
+	}
+	m.beginOp(t)
+}
+
+// onExit handles a thread whose body returned.
+func (m *Machine) onExit(t *Thread) {
+	m.tracer.record(m.clock, TraceExit, tid(t), -1)
+	c := m.cpus[t.cpu]
+	m.detach(t)
+	t.state = StateDone
+	m.setRunnable(-1)
+	m.contextSwitch(c, t, m.runqPop())
+}

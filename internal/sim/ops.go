@@ -1,0 +1,367 @@
+package sim
+
+// jitter returns a small deterministic extra latency (0..Costs.Jitter),
+// modeling coherence-arbitration variance; see Costs.Jitter.
+func (m *Machine) jitter() Time {
+	j := m.cfg.Costs.Jitter
+	if j <= 0 {
+		return 0
+	}
+	return Time(m.rng.Intn(int(j) + 1))
+}
+
+// beginOp starts processing the operation t just posted. It runs
+// synchronously inside an event callback; completions are scheduled as
+// future events so that memory effects linearize in virtual-time order.
+func (m *Machine) beginOp(t *Thread) {
+	req := &t.req
+	switch req.kind {
+	case opCompute:
+		m.scheduleCompute(t, Time(req.a))
+	case opLoad:
+		cost := m.loadCost(t.cpu, req.w)
+		m.instr(t, cost, func() {
+			t.res = opRes{val: req.w.v}
+		})
+	case opStore:
+		cost := m.rmwCost(t.cpu, req.w, false) + m.jitter()
+		m.instr(t, cost, func() {
+			req.w.v = req.a
+			t.res = opRes{}
+			m.applyRegionAfter(t, req)
+			m.checkSpinners()
+		})
+	case opCAS:
+		cost := m.rmwCost(t.cpu, req.w, true) + m.jitter()
+		m.instr(t, cost, func() {
+			old := req.w.v
+			if old == req.a {
+				req.w.v = req.b
+			}
+			t.res = opRes{val: old}
+			if req.setReg {
+				t.Reg = old
+			}
+			m.applyRegionAfter(t, req)
+			m.checkSpinners()
+		})
+	case opXchg:
+		cost := m.rmwCost(t.cpu, req.w, true) + m.jitter()
+		m.instr(t, cost, func() {
+			old := req.w.v
+			req.w.v = req.a
+			t.res = opRes{val: old}
+			if req.setReg {
+				t.Reg = old
+			}
+			m.applyRegionAfter(t, req)
+			m.checkSpinners()
+		})
+	case opAdd:
+		cost := m.rmwCost(t.cpu, req.w, true) + m.jitter()
+		m.instr(t, cost, func() {
+			req.w.v = uint64(int64(req.w.v) + int64(req.a))
+			t.res = opRes{val: req.w.v}
+			m.applyRegionAfter(t, req)
+			m.checkSpinners()
+		})
+	case opCSAdd:
+		m.instr(t, m.cfg.Costs.TLSOp, func() {
+			t.CSCounter += int32(int64(req.a))
+			if t.CSCounter < 0 {
+				panic("sim: cs_counter went negative")
+			}
+			t.res = opRes{}
+		})
+	case opSpin:
+		t.spinCond = req.cond
+		t.spinBudget = req.max
+		m.resumeSpin(t)
+	case opFutexWait:
+		// Value check and blocking happen atomically at syscall completion
+		// (futexWaitDone).
+		m.instr(t, m.cfg.Costs.Syscall, nil)
+	case opFutexWake:
+		cost := m.cfg.Costs.Syscall
+		if len(m.futexQ[req.w]) > 0 {
+			// Waking real waiters costs the waker the full wake path.
+			cost += m.cfg.Costs.FutexWakeWork
+		}
+		m.instr(t, cost, func() {
+			t.res = opRes{val: uint64(m.futexWake(req.w, int(req.a)))}
+		})
+	case opYield:
+		m.instr(t, m.cfg.Costs.Syscall, nil) // effect applied in finish path
+	case opSleep:
+		m.instr(t, m.cfg.Costs.Syscall, nil)
+	default:
+		panic("sim: unknown op kind")
+	}
+}
+
+// applyRegionAfter applies an op's atomic region transition (the label
+// directly following an instruction).
+func (m *Machine) applyRegionAfter(t *Thread, req *opReq) {
+	if req.hasRegionAfter {
+		t.Region = req.regionAfter
+	}
+}
+
+// instr schedules a non-preemptible instruction of the given cost. effect
+// (if non-nil) is applied at completion; then control continues at the
+// instruction boundary (where a deferred preemption may land). Ops with
+// scheduling side effects (futex, yield, sleep) are finalized in
+// instrDone.
+func (m *Machine) instr(t *Thread, cost Time, effect func()) {
+	t.opNonPreempt = true
+	t.pending = pendStep
+	t.opEv = m.eq.Schedule(m.clock+cost, func() {
+		t.opEv = nil
+		t.opNonPreempt = false
+		if effect != nil {
+			effect()
+		}
+		m.instrDone(t)
+	})
+}
+
+// instrDone finalizes an instruction at its boundary, handling the ops
+// whose completion changes scheduling state.
+func (m *Machine) instrDone(t *Thread) {
+	req := &t.req
+	switch req.kind {
+	case opFutexWait:
+		m.futexWaitDone(t)
+		return
+	case opYield:
+		m.yieldDone(t)
+		return
+	case opSleep:
+		m.sleepDone(t)
+		return
+	}
+	m.finishOp(t)
+}
+
+// ---- Compute ----
+
+func (m *Machine) scheduleCompute(t *Thread, n Time) {
+	if n <= 0 {
+		n = 1
+	}
+	t.pending = pendCompute
+	t.pendTicks = n
+	t.opEv = m.eq.Schedule(m.clock+n, func() {
+		t.opEv = nil
+		t.res = opRes{}
+		m.finishOp(t)
+	})
+}
+
+// ---- Spin ----
+
+// resumeSpin (re)starts the current spin op on-CPU: either the condition
+// is already false (one observation iteration, then done), the budget is
+// exhausted (timeout), or the thread registers as a live spinner.
+func (m *Machine) resumeSpin(t *Thread) {
+	t.pending = pendSpin
+	t.spinStart = m.clock
+	if t.req.max > 0 && t.spinBudget <= 0 {
+		// Budget consumed on earlier legs; deliver the timeout after one
+		// final check iteration.
+		m.eq.Schedule(m.clock+m.cfg.Costs.Pause, func() {
+			if t.state == StateRunning && t.pending == pendSpin {
+				m.completeSpin(t, true)
+			}
+		})
+		return
+	}
+	if !t.spinCond() {
+		t.spinExitEv = m.eq.Schedule(m.clock+m.cfg.Costs.Pause+m.jitter(), func() { m.spinExitCheck(t) })
+		m.spinners = append(m.spinners, t)
+		return
+	}
+	m.spinners = append(m.spinners, t)
+	if t.req.max > 0 {
+		t.spinTimeEv = m.eq.Schedule(m.clock+t.spinBudget, func() { m.spinTimeoutFire(t) })
+	}
+}
+
+// checkSpinners re-evaluates every live spinner's condition after a memory
+// effect; spinners whose condition turned false observe it after the
+// detection latency.
+func (m *Machine) checkSpinners() {
+	for _, t := range m.spinners {
+		if t.spinExitEv == nil && !t.spinCond() {
+			tt := t
+			t.spinExitEv = m.eq.Schedule(m.clock+m.cfg.Costs.SpinDetect+m.jitter(), func() { m.spinExitCheck(tt) })
+		}
+	}
+}
+
+// spinExitCheck fires when a spinner is due to observe its condition
+// false; the condition may have flipped back, in which case spinning
+// continues.
+func (m *Machine) spinExitCheck(t *Thread) {
+	t.spinExitEv = nil
+	if t.state != StateRunning || t.pending != pendSpin {
+		return // stale: the spinner was preempted meanwhile
+	}
+	if t.spinCond() {
+		return // flipped back; remain registered and spinning
+	}
+	m.completeSpin(t, false)
+}
+
+// spinTimeoutFire ends a bounded spin that exhausted its budget on-CPU.
+func (m *Machine) spinTimeoutFire(t *Thread) {
+	t.spinTimeEv = nil
+	if t.state != StateRunning || t.pending != pendSpin {
+		return
+	}
+	m.completeSpin(t, true)
+}
+
+// completeSpin finalizes the spin op.
+func (m *Machine) completeSpin(t *Thread, timeout bool) {
+	m.accountSpin(t)
+	m.unregisterSpinner(t)
+	if t.spinExitEv != nil {
+		t.spinExitEv.Cancel()
+		t.spinExitEv = nil
+	}
+	if t.spinTimeEv != nil {
+		t.spinTimeEv.Cancel()
+		t.spinTimeEv = nil
+	}
+	t.res = opRes{timeout: timeout}
+	m.finishOp(t)
+}
+
+// pauseSpin interrupts a spin because of preemption: deregister, account
+// the on-CPU leg against the budget, and arrange resumption.
+func (m *Machine) pauseSpin(t *Thread) {
+	m.accountSpin(t)
+	m.unregisterSpinner(t)
+	if t.spinExitEv != nil {
+		t.spinExitEv.Cancel()
+		t.spinExitEv = nil
+	}
+	if t.spinTimeEv != nil {
+		t.spinTimeEv.Cancel()
+		t.spinTimeEv = nil
+	}
+	if t.req.max > 0 {
+		t.spinBudget -= m.clock - t.spinStart
+	}
+	t.pending = pendSpin
+}
+
+// accountSpin attributes the elapsed on-CPU spin leg to SpinIters.
+func (m *Machine) accountSpin(t *Thread) {
+	elapsed := m.clock - t.spinStart
+	iters := elapsed / m.cfg.Costs.Pause
+	if iters < 1 {
+		iters = 1
+	}
+	t.SpinIters += iters
+	t.spinStart = m.clock
+}
+
+func (m *Machine) unregisterSpinner(t *Thread) {
+	for i, s := range m.spinners {
+		if s == t {
+			m.spinners = append(m.spinners[:i], m.spinners[i+1:]...)
+			return
+		}
+	}
+}
+
+// ---- Futex ----
+
+// futexWaitDone runs at the end of the futex_wait syscall entry: check the
+// expected value atomically and either return EAGAIN or block.
+func (m *Machine) futexWaitDone(t *Thread) {
+	req := &t.req
+	if req.w.v != req.a {
+		t.res = opRes{ok: false}
+		m.finishOp(t)
+		return
+	}
+	c := m.cpus[t.cpu]
+	m.detach(t)
+	t.state = StateBlocked
+	m.setRunnable(-1)
+	m.tracer.record(m.clock, TraceBlock, tid(t), -1)
+	t.pending = pendStep // result delivered when rescheduled after wake
+	m.futexQ[req.w] = append(m.futexQ[req.w], t)
+	m.contextSwitch(c, t, m.runqPop())
+}
+
+// futexWake wakes up to n FIFO waiters on w, returning the count. Woken
+// threads become dispatchable after the wakeup-path latency.
+func (m *Machine) futexWake(w *Word, n int) int {
+	q := m.futexQ[w]
+	woken := 0
+	for woken < n && len(q) > 0 {
+		wt := q[0]
+		q = q[1:]
+		wt.res = opRes{ok: true}
+		m.tracer.record(m.clock, TraceWake, tid(wt), -1)
+		lat := m.cfg.Costs.WakeLatency
+		if lat > 0 {
+			m.eq.Schedule(m.clock+lat, func() {
+				if wt.state == StateBlocked {
+					m.makeRunnable(wt)
+				}
+			})
+			wt.state = StateBlocked // remains blocked during the wake path
+		} else {
+			m.makeRunnable(wt)
+		}
+		woken++
+	}
+	if len(q) == 0 {
+		delete(m.futexQ, w)
+	} else {
+		m.futexQ[w] = q
+	}
+	return woken
+}
+
+// FutexWaiters reports how many threads are blocked on w (post-run
+// inspection and tests).
+func (m *Machine) FutexWaiters(w *Word) int { return len(m.futexQ[w]) }
+
+// ---- Yield / sleep ----
+
+func (m *Machine) yieldDone(t *Thread) {
+	t.res = opRes{}
+	if m.runqLen() == 0 {
+		m.finishOp(t)
+		return
+	}
+	c := m.cpus[t.cpu]
+	m.detach(t)
+	t.state = StateRunnable
+	t.pending = pendStep
+	m.runqPush(t)
+	m.contextSwitch(c, t, m.runqPop())
+}
+
+func (m *Machine) sleepDone(t *Thread) {
+	d := Time(t.req.a)
+	c := m.cpus[t.cpu]
+	m.detach(t)
+	t.state = StateSleeping
+	m.setRunnable(-1)
+	m.tracer.record(m.clock, TraceSleep, tid(t), -1)
+	t.pending = pendStep
+	t.res = opRes{}
+	m.eq.Schedule(m.clock+d, func() {
+		if t.state == StateSleeping {
+			m.makeRunnable(t)
+		}
+	})
+	m.contextSwitch(c, t, m.runqPop())
+}

@@ -1,0 +1,238 @@
+package sim
+
+import "repro/internal/dist"
+
+// Proc is a simulated thread's handle for performing work. Every memory
+// access, atomic instruction, spin loop, computation and system call goes
+// through Proc so the machine can account time, apply preemption, and
+// linearize effects in virtual-time order.
+//
+// Metadata calls (SetRegion, SetExtendSlice, CountOp, Now, ID) are free:
+// they model information that costs nothing at run time (assembly labels,
+// an rseq-area flag, reading an already-loaded TSC value).
+type Proc struct {
+	t *Thread
+	m *Machine
+}
+
+// opKind enumerates simulated operations.
+type opKind int8
+
+const (
+	opCompute opKind = iota + 1
+	opLoad
+	opStore
+	opCAS
+	opXchg
+	opAdd
+	opSpin
+	opFutexWait
+	opFutexWake
+	opYield
+	opSleep
+	opCSAdd
+)
+
+// opReq describes the operation a thread is blocked on.
+type opReq struct {
+	kind opKind
+	w    *Word
+	a, b uint64 // operands (old/new, value, delta, expect, ticks, wake count)
+	cond func() bool
+	max  Time // spin budget (0 = unbounded)
+	// regionAfter is applied atomically with the op's effect, modeling a
+	// label immediately following the instruction (e.g. at_store).
+	regionAfter    Region
+	hasRegionAfter bool
+	setReg         bool // store the result in Thread.Reg (the RCX idiom)
+}
+
+// opRes carries an operation's result back to the thread.
+type opRes struct {
+	val     uint64
+	ok      bool
+	timeout bool
+}
+
+// do submits the op and parks the goroutine until the machine delivers the
+// result.
+func (p *Proc) do(req opReq) opRes {
+	t := p.t
+	t.req = req
+	t.yield <- struct{}{}
+	<-t.resume
+	if t.killed {
+		panic(errKilled)
+	}
+	return t.res
+}
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.m.clock }
+
+// ID returns the thread id.
+func (p *Proc) ID() int { return p.t.id }
+
+// Thread returns the underlying thread (for post-run statistics).
+func (p *Proc) Thread() *Thread { return p.t }
+
+// Rand returns the thread's private deterministic random stream.
+func (p *Proc) Rand() *dist.Rand { return p.t.Rand }
+
+// Machine returns the machine this thread runs on.
+func (p *Proc) Machine() *Machine { return p.m }
+
+// Compute burns n ticks of CPU (application work, hashing, etc.). It is
+// preemptible: a timeslice may expire mid-computation.
+func (p *Proc) Compute(n Time) {
+	if n <= 0 {
+		return
+	}
+	p.do(opReq{kind: opCompute, a: uint64(n)})
+}
+
+// Pause executes one spin-loop pause iteration.
+func (p *Proc) Pause() {
+	p.t.SpinIters++
+	p.do(opReq{kind: opCompute, a: uint64(p.m.cfg.Costs.Pause)})
+}
+
+// Load reads w with cache-cost accounting.
+func (p *Proc) Load(w *Word) uint64 {
+	return p.do(opReq{kind: opLoad, w: w}).val
+}
+
+// Store writes w with cache-cost accounting.
+func (p *Proc) Store(w *Word, v uint64) {
+	p.do(opReq{kind: opStore, w: w, a: v})
+}
+
+// StoreTo writes w and atomically enters region r with the store's effect
+// (modeling a label directly after the store instruction).
+func (p *Proc) StoreTo(w *Word, v uint64, r Region) {
+	p.do(opReq{kind: opStore, w: w, a: v, regionAfter: r, hasRegionAfter: true})
+}
+
+// CAS atomically compares w to old and, if equal, sets it to new. It
+// returns the prior value (compare to old to detect success) and stores it
+// in Thread.Reg, mirroring the paper's inline-assembly idiom of pinning
+// the atomic's result into RCX for the Preemption Monitor.
+func (p *Proc) CAS(w *Word, old, new uint64) uint64 {
+	return p.do(opReq{kind: opCAS, w: w, a: old, b: new, setReg: true}).val
+}
+
+// Xchg atomically exchanges w's value with v, returning the prior value
+// (also latched into Thread.Reg).
+func (p *Proc) Xchg(w *Word, v uint64) uint64 {
+	return p.do(opReq{kind: opXchg, w: w, a: v, setReg: true}).val
+}
+
+// XchgTo is Xchg plus an atomic transition to region r with the effect
+// (e.g. the unlock store followed immediately by the at_store label).
+func (p *Proc) XchgTo(w *Word, v uint64, r Region) uint64 {
+	return p.do(opReq{kind: opXchg, w: w, a: v, setReg: true, regionAfter: r, hasRegionAfter: true}).val
+}
+
+// Add atomically adds delta to w and returns the new value.
+func (p *Proc) Add(w *Word, delta int64) uint64 {
+	return p.do(opReq{kind: opAdd, w: w, a: uint64(delta)}).val
+}
+
+// SpinWhile spins while cond() reports true. The machine advances virtual
+// time without enumerating iterations; the thread occupies its hardware
+// context, its timeslice keeps expiring, and iterations are accounted into
+// SpinIters. Returns once cond() is observed false.
+func (p *Proc) SpinWhile(cond func() bool) {
+	p.do(opReq{kind: opSpin, cond: cond})
+}
+
+// SpinWhileMax is SpinWhile with an on-CPU budget of max ticks. It returns
+// true if cond became false, false on timeout. Time spent preempted does
+// not consume budget (spin-then-park timeouts count spinning work).
+func (p *Proc) SpinWhileMax(cond func() bool, max Time) bool {
+	if max <= 0 {
+		return !cond()
+	}
+	res := p.do(opReq{kind: opSpin, cond: cond, max: max})
+	return !res.timeout
+}
+
+// FutexWait blocks the thread if w's value equals expect at syscall time,
+// until woken by FutexWake. It returns false immediately (EAGAIN) if the
+// value differs.
+func (p *Proc) FutexWait(w *Word, expect uint64) bool {
+	return p.do(opReq{kind: opFutexWait, w: w, a: expect}).ok
+}
+
+// FutexWake wakes up to n threads blocked on w, in FIFO order, returning
+// the number woken.
+func (p *Proc) FutexWake(w *Word, n int) int {
+	return int(p.do(opReq{kind: opFutexWake, w: w, a: uint64(n)}).val)
+}
+
+// Yield releases the CPU to the next runnable thread (sched_yield). If no
+// other thread is runnable the caller keeps running.
+func (p *Proc) Yield() {
+	p.do(opReq{kind: opYield})
+}
+
+// Sleep blocks the thread for d ticks.
+func (p *Proc) Sleep(d Time) {
+	if d <= 0 {
+		return
+	}
+	p.do(opReq{kind: opSleep, a: uint64(d)})
+}
+
+// IncCS increments the thread's critical-section counter (the user-space
+// cs_counter TLS variable of Listing 1). It is a real instruction: a
+// preemption can land between the acquiring atomic and this increment,
+// which is exactly the window the monitor's register check covers.
+func (p *Proc) IncCS() {
+	p.do(opReq{kind: opCSAdd, a: 1})
+}
+
+// DecCS decrements the critical-section counter.
+func (p *Proc) DecCS() {
+	p.do(opReq{kind: opCSAdd, a: uint64(^uint64(0))}) // -1
+}
+
+// SetRegion sets the thread's label region (free; labels cost nothing).
+func (p *Proc) SetRegion(r Region) { p.t.Region = r }
+
+// SetExtendSlice sets or clears the user-space timeslice-extension request
+// flag (the rseq-area bit of the kernel patch in §2.4). Free.
+func (p *Proc) SetExtendSlice(on bool) { p.t.extendSlice = on }
+
+// CountOp records one completed workload operation (free bookkeeping).
+func (p *Proc) CountOp() { p.t.Ops++ }
+
+// latSampleCap bounds the per-thread latency reservoir.
+const latSampleCap = 512
+
+// RecordLatency accumulates one latency sample in ticks (free
+// bookkeeping). A deterministic strided reservoir keeps up to 512
+// samples per thread for percentile reporting (Thread.LatencySamples).
+func (p *Proc) RecordLatency(d Time) {
+	t := p.t
+	t.LatSum += d
+	t.LatCount++
+	if t.latStride == 0 {
+		t.latStride = 1
+	}
+	if (t.LatCount-1)%t.latStride == 0 {
+		if len(t.latSamples) == latSampleCap {
+			// Compact: keep every other sample, double the stride.
+			kept := t.latSamples[:0]
+			for i := 0; i < latSampleCap; i += 2 {
+				kept = append(kept, t.latSamples[i])
+			}
+			t.latSamples = kept
+			t.latStride *= 2
+			if (t.LatCount-1)%t.latStride != 0 {
+				return
+			}
+		}
+		t.latSamples = append(t.latSamples, int64(d))
+	}
+}

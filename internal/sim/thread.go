@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"errors"
+
+	"repro/internal/dist"
+	"repro/internal/vtime"
+)
+
+// State is a simulated thread's scheduler state.
+type State int8
+
+// Thread states.
+const (
+	StateNew      State = iota // spawned, never dispatched
+	StateRunnable              // on the runqueue
+	StateRunning               // on a hardware context
+	StateBlocked               // waiting on a futex
+	StateSleeping              // in a timed sleep
+	StateDone                  // exited
+)
+
+func (s State) String() string {
+	switch s {
+	case StateNew:
+		return "new"
+	case StateRunnable:
+		return "runnable"
+	case StateRunning:
+		return "running"
+	case StateBlocked:
+		return "blocked"
+	case StateSleeping:
+		return "sleeping"
+	case StateDone:
+		return "done"
+	default:
+		return "invalid"
+	}
+}
+
+// Region is the simulator analogue of the preemption address checked by
+// the FlexGuard Preemption Monitor against assembly labels. Lock code sets
+// the thread's Region at the points where labels sit in the paper's
+// Listings 1–2; the monitor reads it in the sched_switch hook. Region 0
+// (RegionNone) means "not inside any labeled lock-function window".
+type Region int32
+
+// RegionNone is the default region (not inside a lock/unlock window).
+const RegionNone Region = 0
+
+// errKilled terminates thread goroutines during machine shutdown.
+var errKilled = errors.New("sim: thread killed at machine shutdown")
+
+// pendingKind says how to resume a thread when it is next dispatched.
+type pendingKind int8
+
+const (
+	pendStep    pendingKind = iota // resume the goroutine (start, or deliver op result)
+	pendCompute                    // finish an interrupted Compute
+	pendSpin                       // continue an interrupted spin
+)
+
+// Thread is a simulated kernel thread. The exported fields form the "task
+// struct" visible to sched_switch hooks (the data the paper's eBPF program
+// reads): the per-thread critical-section counter, the label region and the
+// register holding the last atomic result, plus the monitor's own mark.
+type Thread struct {
+	// Task-struct fields visible to tracepoint hooks.
+	CSCounter   int32  // per-thread count of critical sections held
+	Region      Region // analogue of the preemption address vs. labels
+	Reg         uint64 // analogue of RCX: result of the last tagged atomic
+	MonitorMark bool   // monitor's is_cs_preempted flag
+	MonitorHint *Word  // lock-specific counter hint (per-lock ablation mode)
+
+	// Statistics, readable after the run.
+	SpinIters   int64 // spin-loop iterations executed (Figure 5c)
+	Ops         int64 // workload operations completed (fairness, throughput)
+	LatSum      int64 // sum of recorded latencies (ticks)
+	LatCount    int64 // number of recorded latencies
+	latSamples  []int64
+	latStride   int64
+	Preemptions int64 // involuntary context switches
+	Switches    int64 // all context switches off-CPU
+
+	// Rand is this thread's private deterministic stream.
+	Rand *dist.Rand
+
+	id     int
+	name   string
+	m      *Machine
+	proc   *Proc
+	resume chan struct{}
+	yield  chan struct{}
+
+	state  State
+	cpu    int // hardware context while running, else -1
+	killed bool
+	done   bool
+
+	// Current op plumbing.
+	req       opReq
+	res       opRes
+	pending   pendingKind
+	pendTicks Time // remaining compute ticks when pending == pendCompute
+
+	// Spin bookkeeping (valid while the current op is a spin).
+	spinCond   func() bool
+	spinBudget Time // remaining spin ticks before timeout (0 = unbounded)
+	spinStart  Time // when the current on-CPU spin leg began
+	spinExitEv *vtime.Event
+	spinTimeEv *vtime.Event
+
+	// Scheduling.
+	sliceStart   Time
+	sliceEnd     Time
+	sliceEv      *vtime.Event
+	opEv         *vtime.Event
+	needResched  bool
+	extendSlice  bool // user-space request (rseq-area flag)
+	extGranted   bool // extension already granted this slice
+	slicePenalty Time // reduction of the next slice (extension fairness)
+
+	opNonPreempt bool // current op is a non-preemptible instruction
+}
+
+// ID returns the thread's dense identifier (0..N-1 in spawn order).
+func (t *Thread) ID() int { return t.id }
+
+// Name returns the thread's debug name.
+func (t *Thread) Name() string { return t.name }
+
+// State returns the scheduler state.
+func (t *Thread) State() State { return t.state }
+
+// LatencySamples returns the thread's strided latency reservoir (ticks),
+// suitable for percentile estimation via stats.Summarize.
+func (t *Thread) LatencySamples() []int64 {
+	return append([]int64(nil), t.latSamples...)
+}

@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+)
+
+// TraceKind classifies trace events.
+type TraceKind int8
+
+// Trace event kinds.
+const (
+	TraceSwitch TraceKind = iota // context switch on a CPU (Prev -> Next)
+	TraceBlock                   // thread blocked on a futex
+	TraceWake                    // thread woken from a futex
+	TraceSleep                   // thread entered a timed sleep
+	TraceExit                    // thread finished
+)
+
+func (k TraceKind) String() string {
+	switch k {
+	case TraceSwitch:
+		return "switch"
+	case TraceBlock:
+		return "block"
+	case TraceWake:
+		return "wake"
+	case TraceSleep:
+		return "sleep"
+	case TraceExit:
+		return "exit"
+	default:
+		return "invalid"
+	}
+}
+
+// TraceEvent is one recorded scheduler event. Prev/Next are thread ids
+// (-1 = the idle task / not applicable).
+type TraceEvent struct {
+	At   Time
+	Kind TraceKind
+	Prev int32
+	Next int32
+}
+
+// Tracer records scheduler events up to a capacity (older events are
+// kept; recording stops at capacity — runs that need the tail should size
+// accordingly). Attach with Machine.AttachTracer before Run.
+type Tracer struct {
+	events []TraceEvent
+	max    int
+	// Dropped counts events beyond capacity.
+	Dropped int64
+}
+
+// AttachTracer installs a scheduler tracer recording up to max events.
+func (m *Machine) AttachTracer(max int) *Tracer {
+	if max <= 0 {
+		max = 1 << 16
+	}
+	tr := &Tracer{max: max}
+	m.tracer = tr
+	return tr
+}
+
+// record appends an event if capacity remains.
+func (tr *Tracer) record(at Time, kind TraceKind, prev, next int32) {
+	if tr == nil {
+		return
+	}
+	if len(tr.events) >= tr.max {
+		tr.Dropped++
+		return
+	}
+	tr.events = append(tr.events, TraceEvent{At: at, Kind: kind, Prev: prev, Next: next})
+}
+
+// Events returns the recorded events in time order.
+func (tr *Tracer) Events() []TraceEvent { return tr.events }
+
+// Count returns the number of recorded events of the given kind.
+func (tr *Tracer) Count(kind TraceKind) int {
+	n := 0
+	for _, e := range tr.events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// SwitchesPerThread tallies, per thread id, how many times it was
+// switched out.
+func (tr *Tracer) SwitchesPerThread() map[int]int {
+	out := make(map[int]int)
+	for _, e := range tr.events {
+		if e.Kind == TraceSwitch && e.Prev >= 0 {
+			out[int(e.Prev)]++
+		}
+	}
+	return out
+}
+
+// Dump writes a human-readable listing of up to limit events.
+func (tr *Tracer) Dump(w io.Writer, limit int) {
+	if limit <= 0 || limit > len(tr.events) {
+		limit = len(tr.events)
+	}
+	for _, e := range tr.events[:limit] {
+		switch e.Kind {
+		case TraceSwitch:
+			fmt.Fprintf(w, "%12d switch  %4d -> %4d\n", e.At, e.Prev, e.Next)
+		default:
+			fmt.Fprintf(w, "%12d %-7s %4d\n", e.At, e.Kind, e.Prev)
+		}
+	}
+	if tr.Dropped > 0 {
+		fmt.Fprintf(w, "... %d events dropped at capacity\n", tr.Dropped)
+	}
+}
+
+// tid returns a thread's id or -1 for nil (idle).
+func tid(t *Thread) int32 {
+	if t == nil {
+		return -1
+	}
+	return int32(t.id)
+}

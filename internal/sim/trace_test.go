@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestTracerRecordsSchedulerEvents(t *testing.T) {
+	m := small(2)
+	tr := m.AttachTracer(1 << 14)
+	w := m.NewWord("futex", 1)
+	m.Spawn("blocker", func(p *Proc) {
+		p.FutexWait(w, 1)
+	})
+	m.Spawn("waker", func(p *Proc) {
+		p.Compute(20_000)
+		p.Store(w, 0)
+		p.FutexWake(w, 1)
+	})
+	m.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(5_000)
+	})
+	m.Run(1_000_000)
+	if tr.Count(TraceSwitch) == 0 {
+		t.Fatal("no switches recorded")
+	}
+	if tr.Count(TraceBlock) != 1 {
+		t.Fatalf("blocks recorded: %d, want 1", tr.Count(TraceBlock))
+	}
+	if tr.Count(TraceWake) != 1 {
+		t.Fatalf("wakes recorded: %d, want 1", tr.Count(TraceWake))
+	}
+	if tr.Count(TraceSleep) != 1 {
+		t.Fatalf("sleeps recorded: %d, want 1", tr.Count(TraceSleep))
+	}
+	if tr.Count(TraceExit) != 3 {
+		t.Fatalf("exits recorded: %d, want 3", tr.Count(TraceExit))
+	}
+	// Events are in nondecreasing time order.
+	evs := tr.Events()
+	if !sort.SliceIsSorted(evs, func(i, j int) bool { return evs[i].At < evs[j].At }) {
+		t.Fatal("trace not time-ordered")
+	}
+}
+
+func TestTracerCapacity(t *testing.T) {
+	m := small(1)
+	tr := m.AttachTracer(4)
+	for i := 0; i < 6; i++ {
+		m.Spawn("w", func(p *Proc) { p.Compute(100) })
+	}
+	m.Run(1_000_000)
+	if len(tr.Events()) != 4 {
+		t.Fatalf("capacity not honored: %d events", len(tr.Events()))
+	}
+	if tr.Dropped == 0 {
+		t.Fatal("drops not counted")
+	}
+}
+
+func TestTracerSwitchesPerThread(t *testing.T) {
+	m := small(1)
+	tr := m.AttachTracer(0) // default capacity
+	for i := 0; i < 3; i++ {
+		m.Spawn("w", func(p *Proc) {
+			for k := 0; k < 5; k++ {
+				p.Compute(30_000)
+			}
+		})
+	}
+	m.Run(10_000_000)
+	per := tr.SwitchesPerThread()
+	for id := 0; id < 3; id++ {
+		if per[id] == 0 {
+			t.Fatalf("thread %d has no recorded switch-outs: %v", id, per)
+		}
+	}
+}
+
+func TestTracerDump(t *testing.T) {
+	m := small(1)
+	tr := m.AttachTracer(64)
+	m.Spawn("w", func(p *Proc) { p.Sleep(1_000) })
+	m.Run(100_000)
+	var sb strings.Builder
+	tr.Dump(&sb, 0)
+	out := sb.String()
+	if !strings.Contains(out, "switch") || !strings.Contains(out, "sleep") {
+		t.Fatalf("dump missing events:\n%s", out)
+	}
+	if TraceKind(99).String() != "invalid" {
+		t.Fatal("unknown kind should stringify as invalid")
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	// Machines without a tracer must not crash on record calls.
+	m := small(1)
+	m.Spawn("w", func(p *Proc) { p.Compute(100) })
+	m.Run(10_000) // records via nil tracer internally
+}

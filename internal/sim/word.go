@@ -1,0 +1,136 @@
+package sim
+
+// ownerNone marks a cache line not exclusively held by any context;
+// ownerKernel marks a line last written by kernel-side code (tracepoint
+// handlers), which invalidates all user-space copies.
+const (
+	ownerNone   int32 = -1
+	ownerKernel int32 = -2
+)
+
+// CacheLine models coherence state for cost purposes: an exclusive owner
+// and a set of sharers. It does not store data; Words point at their line.
+type CacheLine struct {
+	owner   int32
+	sharers []uint64 // bitmap over hardware contexts
+}
+
+func newLine(ncpu int) *CacheLine {
+	return &CacheLine{owner: ownerNone, sharers: make([]uint64, (ncpu+63)/64)}
+}
+
+func (l *CacheLine) hasSharer(cpu int) bool {
+	return l.sharers[cpu/64]&(1<<uint(cpu%64)) != 0
+}
+
+func (l *CacheLine) addSharer(cpu int) {
+	l.sharers[cpu/64] |= 1 << uint(cpu%64)
+}
+
+func (l *CacheLine) clearSharers() {
+	for i := range l.sharers {
+		l.sharers[i] = 0
+	}
+}
+
+func (l *CacheLine) onlySharerIs(cpu int) bool {
+	for i, w := range l.sharers {
+		mask := uint64(0)
+		if cpu/64 == i {
+			mask = 1 << uint(cpu%64)
+		}
+		if w&^mask != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Word is a 64-bit simulated memory location. All contended state in the
+// lock algorithms and workloads lives in Words so that the cache cost model
+// applies. Reads of the raw value via V are free and are used by spin
+// conditions and kernel-side (tracepoint) code; thread code pays costs by
+// going through Proc.Load/Store/CAS/Xchg/Add.
+type Word struct {
+	v    uint64
+	line *CacheLine
+	name string
+}
+
+// V returns the current raw value without cost accounting. Use only from
+// spin conditions, kernel-side hooks, or post-run inspection.
+func (w *Word) V() uint64 { return w.v }
+
+// Name returns the debug name given at allocation.
+func (w *Word) Name() string { return w.name }
+
+// NewWord allocates a Word on its own cache line.
+func (m *Machine) NewWord(name string, init uint64) *Word {
+	return &Word{v: init, line: newLine(m.cfg.NumCPUs), name: name}
+}
+
+// NewWords allocates n Words that share a single cache line (for modeling
+// false/true sharing, e.g. the two cache lines touched by the
+// shared-memory-access microbenchmark's critical section).
+func (m *Machine) NewWords(name string, n int) []*Word {
+	line := newLine(m.cfg.NumCPUs)
+	ws := make([]*Word, n)
+	for i := range ws {
+		ws[i] = &Word{line: line, name: name}
+	}
+	return ws
+}
+
+// loadCost computes the cost of a load by cpu and updates sharer state.
+func (m *Machine) loadCost(cpu int, w *Word) Time {
+	l := w.line
+	if l.owner == int32(cpu) || l.hasSharer(cpu) {
+		return m.cfg.Costs.LoadHit
+	}
+	l.addSharer(cpu)
+	if l.owner == ownerKernel {
+		l.owner = ownerNone
+	}
+	return m.cfg.Costs.LoadRemote
+}
+
+// rmwCost computes the cost of a store or atomic RMW by cpu and takes
+// exclusive ownership of the line.
+func (m *Machine) rmwCost(cpu int, w *Word, atomic bool) Time {
+	l := w.line
+	local := l.owner == int32(cpu) && l.onlySharerIs(cpu)
+	l.owner = int32(cpu)
+	l.clearSharers()
+	l.addSharer(cpu)
+	c := &m.cfg.Costs
+	switch {
+	case atomic && local:
+		return c.AtomicLocal
+	case atomic:
+		return c.AtomicRemote
+	case local:
+		return c.StoreHit
+	default:
+		return c.StoreRemote
+	}
+}
+
+// KernelStore writes w from kernel-side code (a sched_switch hook),
+// invalidating user-space copies and re-evaluating spin conditions. It
+// charges no thread cost: hook cost is charged via Costs.HookCost.
+func (m *Machine) KernelStore(w *Word, v uint64) {
+	w.v = v
+	w.line.owner = ownerKernel
+	w.line.clearSharers()
+	m.checkSpinners()
+}
+
+// KernelAdd adds delta to w from kernel-side code and returns the new
+// value. See KernelStore.
+func (m *Machine) KernelAdd(w *Word, delta int64) uint64 {
+	w.v = uint64(int64(w.v) + delta)
+	w.line.owner = ownerKernel
+	w.line.clearSharers()
+	m.checkSpinners()
+	return w.v
+}

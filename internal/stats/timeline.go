@@ -1,0 +1,108 @@
+package stats
+
+// Timeline records a step function of an integer quantity over virtual
+// time — used for the runnable-thread count of Figure 5a. Points are
+// appended in nondecreasing time order; consecutive equal values are
+// coalesced.
+type Timeline struct {
+	times  []int64
+	values []int64
+}
+
+// Record appends (t, v). If v equals the previous value the point is
+// dropped (the step function is unchanged).
+func (tl *Timeline) Record(t, v int64) {
+	if n := len(tl.values); n > 0 && tl.values[n-1] == v {
+		return
+	}
+	tl.times = append(tl.times, t)
+	tl.values = append(tl.values, v)
+}
+
+// Len returns the number of recorded steps.
+func (tl *Timeline) Len() int { return len(tl.times) }
+
+// At returns the value of the step function at time t (the last recorded
+// value with time <= t), or 0 before the first point.
+func (tl *Timeline) At(t int64) int64 {
+	lo, hi := 0, len(tl.times)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if tl.times[mid] <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return tl.values[lo-1]
+}
+
+// Sample evaluates the step function at n evenly spaced instants across
+// [from, to] and returns the values; used to print a compact series.
+func (tl *Timeline) Sample(from, to int64, n int) []int64 {
+	if n <= 0 || to < from {
+		return nil
+	}
+	out := make([]int64, n)
+	if n == 1 {
+		out[0] = tl.At(from)
+		return out
+	}
+	span := to - from
+	for i := 0; i < n; i++ {
+		t := from + span*int64(i)/int64(n-1)
+		out[i] = tl.At(t)
+	}
+	return out
+}
+
+// TimeWeightedMean returns the mean value of the step function over
+// [from, to], weighting each value by how long it held.
+func (tl *Timeline) TimeWeightedMean(from, to int64) float64 {
+	if to <= from || len(tl.times) == 0 {
+		return 0
+	}
+	var acc float64
+	cur := tl.At(from)
+	prev := from
+	for i, tt := range tl.times {
+		if tt <= from {
+			continue
+		}
+		if tt >= to {
+			break
+		}
+		acc += float64(cur) * float64(tt-prev)
+		cur = tl.values[i]
+		prev = tt
+	}
+	acc += float64(cur) * float64(to-prev)
+	return acc / float64(to-from)
+}
+
+// MinMax returns the extrema of the recorded values over [from, to],
+// including the value holding at from. ok is false if the timeline is
+// empty.
+func (tl *Timeline) MinMax(from, to int64) (min, max int64, ok bool) {
+	if len(tl.values) == 0 {
+		return 0, 0, false
+	}
+	min = tl.At(from)
+	max = min
+	for i, tt := range tl.times {
+		if tt < from || tt > to {
+			continue
+		}
+		v := tl.values[i]
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max, true
+}

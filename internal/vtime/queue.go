@@ -1,0 +1,147 @@
+// Package vtime provides the virtual-time primitives used by the
+// discrete-event simulator: a tick-based clock type and a deterministic
+// event queue.
+//
+// Events are ordered by (time, sequence). The sequence number is assigned
+// at scheduling time, so two events scheduled for the same tick always fire
+// in scheduling order, which makes entire simulation runs reproducible for
+// a given seed.
+package vtime
+
+// Time is a point in virtual time, measured in ticks. One tick is
+// calibrated to roughly one CPU cycle by the simulator's cost tables.
+type Time = int64
+
+// Event is a scheduled callback. Events are single-shot: once fired or
+// canceled they are inert. The zero Event is not usable; obtain events
+// from Queue.Schedule.
+type Event struct {
+	At       Time
+	seq      uint64
+	index    int // heap index, -1 if popped/canceled
+	canceled bool
+	Fn       func()
+}
+
+// Cancel marks the event so that it will not fire. Canceling an already
+// fired or canceled event is a no-op. The event is removed lazily when it
+// reaches the head of the queue.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.canceled = true
+	}
+}
+
+// Canceled reports whether Cancel has been called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Queue is a deterministic min-heap of events. The zero value is an empty
+// queue ready for use. Queue is not safe for concurrent use; the simulator
+// drives it from a single goroutine.
+type Queue struct {
+	heap []*Event
+	seq  uint64
+}
+
+// Len returns the number of events in the queue, including canceled events
+// that have not yet been removed.
+func (q *Queue) Len() int { return len(q.heap) }
+
+// Schedule adds fn to run at time at and returns a handle that can be used
+// to cancel it. Scheduling in the past is permitted (the simulator guards
+// against it separately); such events fire before any later ones.
+func (q *Queue) Schedule(at Time, fn func()) *Event {
+	e := &Event{At: at, seq: q.seq, Fn: fn}
+	q.seq++
+	q.push(e)
+	return e
+}
+
+// PeekTime returns the firing time of the earliest live event, discarding
+// canceled events from the head. ok is false if the queue is empty.
+func (q *Queue) PeekTime() (t Time, ok bool) {
+	q.dropCanceled()
+	if len(q.heap) == 0 {
+		return 0, false
+	}
+	return q.heap[0].At, true
+}
+
+// Pop removes and returns the earliest live event, or nil if the queue is
+// empty.
+func (q *Queue) Pop() *Event {
+	q.dropCanceled()
+	if len(q.heap) == 0 {
+		return nil
+	}
+	return q.pop()
+}
+
+func (q *Queue) dropCanceled() {
+	for len(q.heap) > 0 && q.heap[0].canceled {
+		q.pop()
+	}
+}
+
+func (q *Queue) less(i, j int) bool {
+	a, b := q.heap[i], q.heap[j]
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	return a.seq < b.seq
+}
+
+func (q *Queue) push(e *Event) {
+	e.index = len(q.heap)
+	q.heap = append(q.heap, e)
+	q.up(e.index)
+}
+
+func (q *Queue) pop() *Event {
+	n := len(q.heap) - 1
+	q.swap(0, n)
+	e := q.heap[n]
+	q.heap[n] = nil
+	q.heap = q.heap[:n]
+	if n > 0 {
+		q.down(0)
+	}
+	e.index = -1
+	return e
+}
+
+func (q *Queue) swap(i, j int) {
+	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
+	q.heap[i].index = i
+	q.heap[j].index = j
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *Queue) down(i int) {
+	n := len(q.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.swap(i, smallest)
+		i = smallest
+	}
+}

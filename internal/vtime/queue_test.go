@@ -1,0 +1,163 @@
+package vtime
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueOrdering(t *testing.T) {
+	var q Queue
+	var got []int
+	q.Schedule(30, func() { got = append(got, 30) })
+	q.Schedule(10, func() { got = append(got, 10) })
+	q.Schedule(20, func() { got = append(got, 20) })
+	for e := q.Pop(); e != nil; e = q.Pop() {
+		e.Fn()
+	}
+	want := []int{10, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestQueueStableTies(t *testing.T) {
+	var q Queue
+	var got []int
+	for i := 0; i < 16; i++ {
+		i := i
+		q.Schedule(5, func() { got = append(got, i) })
+	}
+	for e := q.Pop(); e != nil; e = q.Pop() {
+		e.Fn()
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events fired out of scheduling order: %v", got)
+		}
+	}
+}
+
+func TestQueueCancel(t *testing.T) {
+	var q Queue
+	fired := false
+	e := q.Schedule(1, func() { fired = true })
+	e.Cancel()
+	if !e.Canceled() {
+		t.Fatal("Canceled() should report true after Cancel")
+	}
+	if got := q.Pop(); got != nil {
+		t.Fatalf("expected no live events, got one at %d", got.At)
+	}
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	// Double cancel is a no-op.
+	e.Cancel()
+	// Cancel of nil is a no-op.
+	var nilEv *Event
+	nilEv.Cancel()
+}
+
+func TestQueueCancelMiddle(t *testing.T) {
+	var q Queue
+	var got []Time
+	q.Schedule(1, func() { got = append(got, 1) })
+	e2 := q.Schedule(2, func() { got = append(got, 2) })
+	q.Schedule(3, func() { got = append(got, 3) })
+	e2.Cancel()
+	for e := q.Pop(); e != nil; e = q.Pop() {
+		e.Fn()
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("got %v, want [1 3]", got)
+	}
+}
+
+func TestQueuePeekTime(t *testing.T) {
+	var q Queue
+	if _, ok := q.PeekTime(); ok {
+		t.Fatal("PeekTime on empty queue should report !ok")
+	}
+	e := q.Schedule(7, func() {})
+	q.Schedule(9, func() {})
+	if at, ok := q.PeekTime(); !ok || at != 7 {
+		t.Fatalf("PeekTime = %d,%v want 7,true", at, ok)
+	}
+	e.Cancel()
+	if at, ok := q.PeekTime(); !ok || at != 9 {
+		t.Fatalf("PeekTime after cancel = %d,%v want 9,true", at, ok)
+	}
+}
+
+// Property: popping every event yields a sequence sorted by time, and for
+// equal times sorted by scheduling order.
+func TestQueueHeapProperty(t *testing.T) {
+	check := func(times []uint8) bool {
+		var q Queue
+		type rec struct {
+			at  Time
+			seq int
+		}
+		var got []rec
+		for i, tt := range times {
+			at := Time(tt % 16) // force many ties
+			i := i
+			q.Schedule(at, func() { got = append(got, rec{at, i}) })
+		}
+		for e := q.Pop(); e != nil; e = q.Pop() {
+			e.Fn()
+		}
+		if len(got) != len(times) {
+			return false
+		}
+		return sort.SliceIsSorted(got, func(i, j int) bool {
+			if got[i].at != got[j].at {
+				return got[i].at < got[j].at
+			}
+			return got[i].seq < got[j].seq
+		})
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueInterleavedScheduleAndPop(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var q Queue
+	now := Time(0)
+	live := 0
+	for i := 0; i < 1000; i++ {
+		if live == 0 || rng.Intn(2) == 0 {
+			q.Schedule(now+Time(rng.Intn(100)), func() {})
+			live++
+		} else {
+			e := q.Pop()
+			if e == nil {
+				t.Fatal("queue unexpectedly empty")
+			}
+			if e.At < now {
+				t.Fatalf("time went backwards: %d < %d", e.At, now)
+			}
+			now = e.At
+			live--
+		}
+	}
+}
+
+func BenchmarkQueueScheduleAndPop(b *testing.B) {
+	var q Queue
+	for i := 0; i < b.N; i++ {
+		q.Schedule(Time(i%128), func() {})
+		if q.Len() > 64 {
+			q.Pop()
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package dbindex
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/locks"
+	"repro/internal/monitor"
+	"repro/internal/sim"
+)
+
+func TestTreeStructure(t *testing.T) {
+	cfg := sim.Small(2)
+	cfg.Seed = 1
+	m := sim.New(cfg)
+	created := 0
+	tr := Build(m, Options{
+		Threads:  1,
+		Deadline: 500_000,
+		Keys:     1 << 14,
+		NewLock: func(n string) locks.Lock {
+			created++
+			return locks.NewTATAS(m, n)
+		},
+	})
+	if created != tr.NodeCount {
+		t.Fatalf("created %d locks for %d nodes", created, tr.NodeCount)
+	}
+	if tr.NodeCount < 100 {
+		t.Fatalf("tree too small: %d nodes (want a high lock count)", tr.NodeCount)
+	}
+	m.Run(1_000_000)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexNoLostUpdates(t *testing.T) {
+	cfg := sim.Small(4)
+	cfg.Seed = 3
+	m := sim.New(cfg)
+	tr := Build(m, Options{
+		Threads:  6,
+		Deadline: 8_000_000,
+		Keys:     1 << 12,
+		NewLock:  func(n string) locks.Lock { return locks.NewMCS(m, n) },
+	})
+	m.Run(16_000_000)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var ops int64
+	for _, th := range m.Threads() {
+		ops += th.Ops
+	}
+	if ops == 0 {
+		t.Fatal("no index operations completed")
+	}
+}
+
+func TestIndexWithFlexGuardOversubscribed(t *testing.T) {
+	cfg := sim.Small(2)
+	cfg.Seed = 5
+	m := sim.New(cfg)
+	mon := monitor.Attach(m)
+	rt := core.NewRuntime(m, mon)
+	tr := Build(m, Options{
+		Threads:  6,
+		Deadline: 8_000_000,
+		Keys:     1 << 12,
+		NewLock:  func(n string) locks.Lock { return rt.NewLock(n) },
+	})
+	m.Run(16_000_000)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEveryKeyReachesCorrectLeaf(t *testing.T) {
+	cfg := sim.Small(1)
+	cfg.Seed = 7
+	m := sim.New(cfg)
+	tr := Build(m, Options{
+		Threads:  1,
+		Deadline: 1, // workers do ~nothing; we drive access directly below
+		Keys:     3000,
+		Fanout:   8,
+		NewLock:  func(n string) locks.Lock { return locks.NewTATAS(m, n) },
+	})
+	// The access() panics internally if a traversal reaches a wrong leaf;
+	// walk the whole keyspace.
+	probes := 0
+	m.Spawn("prober", func(p *sim.Proc) {
+		for k := 0; k < 3000; k += 7 {
+			tr.access(p, k, true)
+			probes++
+		}
+	})
+	m.Run(500_000_000)
+	// Every probe wrote +1 to its leaf: the total must match exactly.
+	tr.writes = append(tr.writes, uint64(probes))
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if probes != 429 {
+		t.Fatalf("probed %d keys, want 429", probes)
+	}
+}
+
+// TestTreeSpansPartitionKeyspace: property check over several shapes —
+// the leaves partition [0, Keys) exactly, with no overlap or gap.
+func TestTreeSpansPartitionKeyspace(t *testing.T) {
+	for _, tc := range []struct{ keys, fanout int }{
+		{100, 4}, {1000, 8}, {4096, 16}, {5000, 64}, {65536, 64},
+	} {
+		cfg := sim.Small(1)
+		cfg.Seed = 1
+		m := sim.New(cfg)
+		tr := Build(m, Options{
+			Threads:  1,
+			Deadline: 1,
+			Keys:     tc.keys,
+			Fanout:   tc.fanout,
+			NewLock:  func(n string) locks.Lock { return locks.NewTATAS(m, n) },
+		})
+		next := 0
+		var walk func(n *node)
+		walk = func(n *node) {
+			if len(n.children) == 0 {
+				if n.lo != next {
+					t.Fatalf("keys=%d fanout=%d: leaf starts at %d, want %d", tc.keys, tc.fanout, n.lo, next)
+				}
+				next += len(n.vals)
+				return
+			}
+			for _, c := range n.children {
+				walk(c)
+			}
+		}
+		walk(tr.root)
+		if next != tc.keys {
+			t.Fatalf("keys=%d fanout=%d: leaves cover %d keys", tc.keys, tc.fanout, next)
+		}
+		m.Run(10)
+	}
+}

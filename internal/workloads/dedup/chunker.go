@@ -1,0 +1,76 @@
+package dedup
+
+// Real content-defined chunking, as PARSEC's Dedup performs: a rolling
+// hash (Rabin-style, here a multiplicative rolling window) scans a
+// deterministic synthetic data stream and cuts chunks at content-defined
+// boundaries; each chunk is fingerprinted with FNV-64. The simulated
+// pipeline charges virtual ticks proportional to the bytes actually
+// scanned, so the critical-section arrival pattern follows genuine chunk
+// geometry (variable-size chunks, duplicate fingerprints from repeated
+// stream content).
+
+// chunker scans a synthetic data stream.
+type chunker struct {
+	state uint64 // stream generator state
+	win   uint64 // rolling hash
+	pos   int
+	// repetition: every repeatEvery bytes, the generator replays a block,
+	// producing genuine duplicate chunks for the dedup table to hit.
+	repeatEvery int
+	repeatLen   int
+}
+
+const (
+	chunkMask = (1 << 11) - 1 // average chunk ≈ 2 KiB
+	minChunk  = 256
+	maxChunk  = 8192
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+	rollPrime = 0x9E3779B97F4A7C15
+)
+
+// newChunker seeds a stream.
+func newChunker(seed uint64) *chunker {
+	if seed == 0 {
+		seed = 1
+	}
+	return &chunker{state: seed, repeatEvery: 64 << 10, repeatLen: 16 << 10}
+}
+
+// nextByte produces the stream's next byte: pseudo-random data with
+// periodic replayed regions (compressible, duplicate-bearing content).
+func (c *chunker) nextByte() byte {
+	phase := c.pos % c.repeatEvery
+	if phase < c.repeatLen {
+		// Replayed region: content depends only on the offset within the
+		// region, so every period emits identical bytes (and identical
+		// chunks).
+		x := uint64(phase) * rollPrime
+		x ^= x >> 29
+		return byte(x)
+	}
+	c.state ^= c.state << 13
+	c.state ^= c.state >> 7
+	c.state ^= c.state << 17
+	return byte(c.state)
+}
+
+// NextChunk scans until a content-defined boundary and returns the
+// chunk's FNV-64 fingerprint and length in bytes.
+func (c *chunker) NextChunk() (fp uint64, length int) {
+	fp = fnvOffset
+	c.win = 0
+	for {
+		b := c.nextByte()
+		c.pos++
+		length++
+		fp = (fp ^ uint64(b)) * fnvPrime
+		c.win = c.win*rollPrime + uint64(b) + 1
+		if length >= minChunk && (c.win&chunkMask) == chunkMask>>1 {
+			return fp, length
+		}
+		if length >= maxChunk {
+			return fp, length
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package dedup
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/locks"
+	"repro/internal/monitor"
+	"repro/internal/sim"
+)
+
+func TestDedupAccounting(t *testing.T) {
+	cfg := sim.Small(4)
+	cfg.Seed = 1
+	m := sim.New(cfg)
+	w := Build(m, Options{
+		Threads:  6,
+		Stripes:  512,
+		Deadline: 8_000_000,
+		NewLock:  func(n string) locks.Lock { return locks.NewPosix(m, n) },
+	})
+	m.Run(16_000_000)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var ins uint64
+	for _, v := range w.inserted {
+		ins += v
+	}
+	if ins == 0 {
+		t.Fatal("no chunks inserted")
+	}
+}
+
+func TestDedupManyLocksWithQueueLock(t *testing.T) {
+	// The per-thread-per-lock node algorithms must stay correct across
+	// thousands of stripes (the paper's cache-liability scenario).
+	cfg := sim.Small(2)
+	cfg.Seed = 3
+	m := sim.New(cfg)
+	w := Build(m, Options{
+		Threads:  4,
+		Stripes:  4096,
+		Deadline: 6_000_000,
+		NewLock:  func(n string) locks.Lock { return locks.NewMCS(m, n) },
+	})
+	m.Run(12_000_000)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDedupWithFlexGuardGlobalNode(t *testing.T) {
+	cfg := sim.Small(2)
+	cfg.Seed = 5
+	m := sim.New(cfg)
+	mon := monitor.Attach(m)
+	rt := core.NewRuntime(m, mon)
+	w := Build(m, Options{
+		Threads:  6,
+		Stripes:  2048,
+		Deadline: 6_000_000,
+		NewLock:  func(n string) locks.Lock { return rt.NewLock(n) },
+	})
+	m.Run(12_000_000)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

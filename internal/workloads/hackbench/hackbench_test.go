@@ -1,0 +1,59 @@
+package hackbench
+
+import (
+	"testing"
+
+	"repro/internal/monitor"
+	"repro/internal/sim"
+)
+
+func TestAllMessagesDelivered(t *testing.T) {
+	cfg := sim.Small(4)
+	cfg.Seed = 1
+	m := sim.New(cfg)
+	res := Run(m, Options{Groups: 2, Pairs: 3, Messages: 50})
+	if res.Received != uint64(res.Messages) {
+		t.Fatalf("received %d of %d messages", res.Received, res.Messages)
+	}
+	if res.Threads != 12 {
+		t.Fatalf("threads %d, want 12", res.Threads)
+	}
+	if res.Runtime <= 0 {
+		t.Fatal("nonpositive runtime")
+	}
+}
+
+func TestOversubscribedDelivery(t *testing.T) {
+	cfg := sim.Small(2)
+	cfg.Seed = 3
+	m := sim.New(cfg)
+	res := Run(m, Options{Groups: 4, Pairs: 4, Messages: 40})
+	if res.Received != uint64(res.Messages) {
+		t.Fatalf("received %d of %d messages", res.Received, res.Messages)
+	}
+}
+
+func TestMonitorOverheadSmall(t *testing.T) {
+	// §5.4: with a hook cost configured, monitor-on runtime must exceed
+	// monitor-off by only a small fraction.
+	run := func(withMonitor bool) sim.Time {
+		cfg := sim.Small(4)
+		cfg.Seed = 7
+		cfg.Costs.HookCost = 60
+		m := sim.New(cfg)
+		if withMonitor {
+			monitor.Attach(m)
+		}
+		res := Run(m, Options{Groups: 3, Pairs: 4, Messages: 60})
+		if res.Received != uint64(res.Messages) {
+			t.Fatalf("lost messages (monitor=%v)", withMonitor)
+		}
+		return res.Runtime
+	}
+	off := run(false)
+	on := run(true)
+	overhead := float64(on-off) / float64(off)
+	if overhead > 0.05 {
+		t.Fatalf("monitor overhead %.1f%% on hackbench, want small", overhead*100)
+	}
+}

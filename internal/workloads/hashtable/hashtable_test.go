@@ -1,0 +1,65 @@
+package hashtable
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/locks"
+	"repro/internal/monitor"
+	"repro/internal/sim"
+)
+
+func TestHashTableConsistency(t *testing.T) {
+	cfg := sim.Small(4)
+	cfg.Seed = 1
+	m := sim.New(cfg)
+	w := Build(m, Options{
+		Threads:  8,
+		Deadline: 10_000_000,
+		NewLock:  func(n string) locks.Lock { return locks.NewMCS(m, n) },
+	})
+	m.Run(15_000_000)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var ops int64
+	for _, th := range m.Threads() {
+		ops += th.Ops
+	}
+	if ops == 0 {
+		t.Fatal("no hash-table operations completed")
+	}
+}
+
+func TestHashTableWithFlexGuard(t *testing.T) {
+	cfg := sim.Small(2)
+	cfg.Seed = 7
+	m := sim.New(cfg)
+	mon := monitor.Attach(m)
+	rt := core.NewRuntime(m, mon)
+	w := Build(m, Options{
+		Threads:  6,
+		Buckets:  20,
+		Deadline: 10_000_000,
+		NewLock:  func(n string) locks.Lock { return rt.NewLock(n) },
+	})
+	m.Run(15_000_000)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashTableDefaultBuckets(t *testing.T) {
+	cfg := sim.Small(2)
+	cfg.Seed = 2
+	m := sim.New(cfg)
+	w := Build(m, Options{
+		Threads:  2,
+		Deadline: 1_000_000,
+		NewLock:  func(n string) locks.Lock { return locks.NewTATAS(m, n) },
+	})
+	if len(w.buckets) != 100 {
+		t.Fatalf("default bucket count %d, want 100 (one lock each, as in the paper)", len(w.buckets))
+	}
+	m.Run(2_000_000)
+}

@@ -1,0 +1,152 @@
+package kvstore
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/locks"
+	"repro/internal/monitor"
+	"repro/internal/sim"
+)
+
+func TestSkiplistBasics(t *testing.T) {
+	s := newSkiplist(dist.NewRand(1))
+	if _, ok, _ := s.Get(5); ok {
+		t.Fatal("empty skiplist found a key")
+	}
+	s.Insert(5, 50)
+	s.Insert(3, 30)
+	s.Insert(9, 90)
+	s.Insert(5, 55) // overwrite
+	if s.Len() != 3 {
+		t.Fatalf("len %d, want 3", s.Len())
+	}
+	for _, c := range []struct {
+		k, v  uint64
+		found bool
+	}{{3, 30, true}, {5, 55, true}, {9, 90, true}, {4, 0, false}} {
+		v, ok, _ := s.Get(c.k)
+		if ok != c.found || (ok && v != c.v) {
+			t.Fatalf("Get(%d) = %d,%v want %d,%v", c.k, v, ok, c.v, c.found)
+		}
+	}
+}
+
+func TestSkiplistOrderedAndComplete(t *testing.T) {
+	s := newSkiplist(dist.NewRand(7))
+	rng := dist.NewRand(3)
+	keys := map[uint64]uint64{}
+	for i := 0; i < 2000; i++ {
+		k := rng.Uint64() % 10000
+		keys[k] = k * 2
+		s.Insert(k, k*2)
+	}
+	if s.Len() != len(keys) {
+		t.Fatalf("len %d, want %d", s.Len(), len(keys))
+	}
+	for k, v := range keys {
+		got, ok, _ := s.Get(k)
+		if !ok || got != v {
+			t.Fatalf("Get(%d) = %d,%v want %d,true", k, got, ok, v)
+		}
+	}
+	// Level-0 chain must be strictly ascending.
+	prev := uint64(0)
+	first := true
+	for n := s.head.next[0]; n != nil; n = n.next[0] {
+		if !first && n.key <= prev {
+			t.Fatalf("skiplist out of order: %d after %d", n.key, prev)
+		}
+		prev, first = n.key, false
+	}
+}
+
+func TestSkiplistStepsReasonable(t *testing.T) {
+	s := newSkiplist(dist.NewRand(11))
+	for i := uint64(0); i < 4096; i++ {
+		s.Insert(i*7, i)
+	}
+	_, _, steps := s.Get(7 * 2048)
+	if steps > 400 {
+		t.Fatalf("lookup took %d steps for 4096 keys — degenerate tower heights?", steps)
+	}
+}
+
+func newDB(seed uint64, ncpu int) (*sim.Machine, *DB) {
+	cfg := sim.Small(ncpu)
+	cfg.Seed = seed
+	m := sim.New(cfg)
+	db := Open(m, DBOptions{
+		MemtableLimit: 512,
+		NewLock:       func(n string) locks.Lock { return locks.NewPosix(m, n) },
+	})
+	return m, db
+}
+
+func TestFillRandomSequence(t *testing.T) {
+	m, db := newDB(1, 4)
+	Bench(m, db, BenchOptions{
+		Kind:     FillRandom,
+		Threads:  6,
+		Deadline: 8_000_000,
+		Preload:  64,
+	})
+	m.Run(16_000_000)
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ins, memLen, flushed, flushes := db.Stats()
+	if ins == 0 {
+		t.Fatal("no inserts")
+	}
+	if flushes == 0 {
+		t.Fatal("memtable never flushed with a 512-entry limit")
+	}
+	if memLen+flushed == 0 {
+		t.Fatal("all data vanished")
+	}
+}
+
+func TestReadRandomAfterPreload(t *testing.T) {
+	m, db := newDB(3, 4)
+	Bench(m, db, BenchOptions{
+		Kind:     ReadRandom,
+		Threads:  4,
+		Deadline: 8_000_000,
+		Keyspace: 2048,
+		Preload:  1024,
+	})
+	m.Run(16_000_000)
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var ops int64
+	for _, th := range m.Threads() {
+		ops += th.Ops
+	}
+	if ops == 0 {
+		t.Fatal("no reads completed")
+	}
+}
+
+func TestKVStoreWithFlexGuardOversubscribed(t *testing.T) {
+	cfg := sim.Small(2)
+	cfg.Seed = 5
+	m := sim.New(cfg)
+	mon := monitor.Attach(m)
+	rt := core.NewRuntime(m, mon)
+	db := Open(m, DBOptions{
+		MemtableLimit: 512,
+		NewLock:       func(n string) locks.Lock { return rt.NewLock(n) },
+	})
+	Bench(m, db, BenchOptions{
+		Kind:     FillRandom,
+		Threads:  8,
+		Deadline: 8_000_000,
+	})
+	m.Run(16_000_000)
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

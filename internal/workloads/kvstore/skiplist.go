@@ -1,0 +1,99 @@
+package kvstore
+
+import "repro/internal/dist"
+
+// slMaxHeight bounds skiplist towers.
+const slMaxHeight = 12
+
+// slNode is a skiplist node.
+type slNode struct {
+	key  uint64
+	val  uint64
+	next []*slNode
+}
+
+// skiplist is the memtable index: an ordered map from key to value, as in
+// LevelDB's MemTable. It is not internally synchronized: the database
+// mutex serializes writers, and readers tolerate concurrent inserts the
+// way skiplists do (a racing reader at worst misses the node being
+// linked).
+type skiplist struct {
+	head   *slNode
+	height int
+	count  int
+	rng    *dist.Rand
+}
+
+// newSkiplist returns an empty skiplist using rng for tower heights.
+func newSkiplist(rng *dist.Rand) *skiplist {
+	return &skiplist{
+		head:   &slNode{next: make([]*slNode, slMaxHeight)},
+		height: 1,
+		rng:    rng,
+	}
+}
+
+// randomHeight draws a geometric(1/4) tower height, as LevelDB does.
+func (s *skiplist) randomHeight() int {
+	h := 1
+	for h < slMaxHeight && s.rng.Intn(4) == 0 {
+		h++
+	}
+	return h
+}
+
+// findGreaterOrEqual locates the first node with key >= k, filling prev
+// with the rightmost node before it on every level. Returns the node (or
+// nil) and the number of link traversal steps taken (for cost accounting).
+func (s *skiplist) findGreaterOrEqual(k uint64, prev []*slNode) (*slNode, int) {
+	steps := 0
+	x := s.head
+	for lvl := s.height - 1; lvl >= 0; lvl-- {
+		for x.next[lvl] != nil && x.next[lvl].key < k {
+			x = x.next[lvl]
+			steps++
+		}
+		if prev != nil {
+			prev[lvl] = x
+		}
+		steps++
+	}
+	return x.next[0], steps
+}
+
+// Insert puts (k, v), overwriting an existing key. It returns the number
+// of traversal steps (cost accounting hook).
+func (s *skiplist) Insert(k, v uint64) int {
+	prev := make([]*slNode, slMaxHeight)
+	for i := range prev {
+		prev[i] = s.head
+	}
+	n, steps := s.findGreaterOrEqual(k, prev)
+	if n != nil && n.key == k {
+		n.val = v
+		return steps
+	}
+	h := s.randomHeight()
+	if h > s.height {
+		s.height = h
+	}
+	nn := &slNode{key: k, val: v, next: make([]*slNode, h)}
+	for lvl := 0; lvl < h; lvl++ {
+		nn.next[lvl] = prev[lvl].next[lvl]
+		prev[lvl].next[lvl] = nn
+	}
+	s.count++
+	return steps
+}
+
+// Get looks k up, returning (value, found, steps).
+func (s *skiplist) Get(k uint64) (uint64, bool, int) {
+	n, steps := s.findGreaterOrEqual(k, nil)
+	if n != nil && n.key == k {
+		return n.val, true, steps
+	}
+	return 0, false, steps
+}
+
+// Len returns the number of stored keys.
+func (s *skiplist) Len() int { return s.count }

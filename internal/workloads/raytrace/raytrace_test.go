@@ -1,0 +1,48 @@
+package raytrace
+
+import (
+	"testing"
+
+	"repro/internal/locks"
+	"repro/internal/sim"
+)
+
+func TestRaytraceTilesAccounted(t *testing.T) {
+	cfg := sim.Small(4)
+	cfg.Seed = 1
+	m := sim.New(cfg)
+	w := Build(m, Options{
+		Threads:  6,
+		Deadline: 10_000_000,
+		NewLock:  func(n string) locks.Lock { return locks.NewPosix(m, n) },
+	})
+	m.Run(20_000_000)
+	if err := w.Validate(6); err != nil {
+		t.Fatal(err)
+	}
+	if w.doneTiles.V() == 0 {
+		t.Fatal("no tiles rendered")
+	}
+}
+
+func TestRaytraceLockCount(t *testing.T) {
+	cfg := sim.Small(2)
+	cfg.Seed = 2
+	m := sim.New(cfg)
+	created := 0
+	w := Build(m, Options{
+		Threads:  2,
+		Deadline: 1_000_000,
+		NewLock: func(n string) locks.Lock {
+			created++
+			return locks.NewTATAS(m, n)
+		},
+	})
+	if created != 45 {
+		t.Fatalf("created %d locks, want 45 (one contended + 44 cold, as in the paper)", created)
+	}
+	m.Run(2_000_000)
+	if err := w.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+package raytrace
+
+import "math"
+
+// The renderer is real: tiles of rays are cast against a procedurally
+// generated sphere scene and shaded, and the pixel checksum is carried
+// into the simulated critical section. The simulator charges ticks
+// proportional to the intersection tests actually performed, so the
+// virtual cost tracks the genuine computation (SPLASH-2X Raytrace casts
+// rays against a teapot; we cast against spheres).
+
+// vec3 is a 3-component vector.
+type vec3 struct{ x, y, z float64 }
+
+func (a vec3) sub(b vec3) vec3      { return vec3{a.x - b.x, a.y - b.y, a.z - b.z} }
+func (a vec3) dot(b vec3) float64   { return a.x*b.x + a.y*b.y + a.z*b.z }
+func (a vec3) scale(s float64) vec3 { return vec3{a.x * s, a.y * s, a.z * s} }
+func (a vec3) add(b vec3) vec3      { return vec3{a.x + b.x, a.y + b.y, a.z + b.z} }
+
+func (a vec3) norm() vec3 {
+	l := math.Sqrt(a.dot(a))
+	if l == 0 {
+		return a
+	}
+	return a.scale(1 / l)
+}
+
+// sphere is one scene primitive.
+type sphere struct {
+	center vec3
+	radius float64
+	albedo float64
+}
+
+// scene is the procedurally generated world shared by all workers
+// (read-only after construction, hence lock-free).
+type scene struct {
+	spheres []sphere
+	light   vec3
+}
+
+// newScene builds n spheres on a deterministic spiral.
+func newScene(n int) *scene {
+	s := &scene{light: vec3{5, 8, -3}.norm()}
+	for i := 0; i < n; i++ {
+		t := float64(i) * 0.61803398875 // golden-ratio spiral
+		r := 1.0 + float64(i%7)*0.25
+		s.spheres = append(s.spheres, sphere{
+			center: vec3{
+				6 * math.Cos(2*math.Pi*t) * (1 + t/8),
+				-2 + 0.8*float64(i%5),
+				8 + 6*math.Sin(2*math.Pi*t)*(1+t/8),
+			},
+			radius: r,
+			albedo: 0.3 + 0.1*float64(i%7),
+		})
+	}
+	return s
+}
+
+// intersect returns the nearest hit distance and sphere index, or
+// (inf, -1). tests counts intersection tests performed.
+func (s *scene) intersect(origin, dir vec3) (dist float64, idx, tests int) {
+	dist = math.Inf(1)
+	idx = -1
+	for i, sp := range s.spheres {
+		tests++
+		oc := origin.sub(sp.center)
+		b := oc.dot(dir)
+		c := oc.dot(oc) - sp.radius*sp.radius
+		disc := b*b - c
+		if disc <= 0 {
+			continue
+		}
+		t := -b - math.Sqrt(disc)
+		if t > 1e-4 && t < dist {
+			dist = t
+			idx = i
+		}
+	}
+	return dist, idx, tests
+}
+
+// tileSize is the square tile edge in pixels.
+const tileSize = 8
+
+// renderTile casts tileSize² rays for tile id, returning a pixel-sum
+// checksum and the number of intersection tests (the cost driver).
+func (s *scene) renderTile(tile int) (checksum float64, tests int) {
+	const width = 64 // tiles per row
+	tx, ty := tile%width, (tile/width)%width
+	origin := vec3{0, 0, -10}
+	for py := 0; py < tileSize; py++ {
+		for px := 0; px < tileSize; px++ {
+			u := (float64(tx*tileSize+px)/float64(width*tileSize) - 0.5) * 2
+			v := (float64(ty*tileSize+py)/float64(width*tileSize) - 0.5) * 2
+			dir := vec3{u, v, 1}.norm()
+			d, idx, n := s.intersect(origin, dir)
+			tests += n
+			if idx < 0 {
+				checksum += 0.05 // sky
+				continue
+			}
+			// Lambertian shading with a shadow ray.
+			hit := origin.add(dir.scale(d))
+			normal := hit.sub(s.spheres[idx].center).norm()
+			_, shadowIdx, n2 := s.intersect(hit.add(normal.scale(1e-3)), s.light)
+			tests += n2
+			lambert := normal.dot(s.light)
+			if lambert < 0 || shadowIdx >= 0 {
+				lambert = 0
+			}
+			checksum += s.spheres[idx].albedo * lambert
+		}
+	}
+	return checksum, tests
+}

@@ -1,0 +1,80 @@
+package raytrace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSceneIntersection(t *testing.T) {
+	s := &scene{
+		spheres: []sphere{{center: vec3{0, 0, 5}, radius: 1, albedo: 0.5}},
+		light:   vec3{0, 1, 0},
+	}
+	// Ray straight at the sphere hits at distance 4.
+	d, idx, tests := s.intersect(vec3{0, 0, 0}, vec3{0, 0, 1})
+	if idx != 0 || math.Abs(d-4) > 1e-9 {
+		t.Fatalf("hit = (%g, %d), want (4, 0)", d, idx)
+	}
+	if tests != 1 {
+		t.Fatalf("tests = %d, want 1", tests)
+	}
+	// Ray pointing away misses.
+	if _, idx, _ := s.intersect(vec3{0, 0, 0}, vec3{0, 0, -1}); idx != -1 {
+		t.Fatal("backward ray should miss")
+	}
+	// Ray offset beyond the radius misses.
+	if _, idx, _ := s.intersect(vec3{0, 2, 0}, vec3{0, 0, 1}); idx != -1 {
+		t.Fatal("offset ray should miss")
+	}
+}
+
+func TestSceneNearestHit(t *testing.T) {
+	s := &scene{spheres: []sphere{
+		{center: vec3{0, 0, 10}, radius: 1},
+		{center: vec3{0, 0, 5}, radius: 1},
+	}}
+	d, idx, _ := s.intersect(vec3{0, 0, 0}, vec3{0, 0, 1})
+	if idx != 1 || math.Abs(d-4) > 1e-9 {
+		t.Fatalf("nearest hit = (%g, %d), want sphere 1 at 4", d, idx)
+	}
+}
+
+func TestRenderTileDeterministic(t *testing.T) {
+	s := newScene(24)
+	c1, n1 := s.renderTile(100)
+	c2, n2 := s.renderTile(100)
+	if c1 != c2 || n1 != n2 {
+		t.Fatalf("rendering not deterministic: (%g,%d) vs (%g,%d)", c1, n1, c2, n2)
+	}
+	if n1 < tileSize*tileSize*len(s.spheres) {
+		t.Fatalf("too few intersection tests: %d", n1)
+	}
+	// Some tile in the view must actually shade geometry.
+	found := false
+	for tile := 0; tile < 4096; tile += 7 {
+		c, _ := s.renderTile(tile)
+		if c > float64(tileSize*tileSize)*0.05+1e-9 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no tile ever hit a sphere — scene misplaced")
+	}
+}
+
+func TestVecOps(t *testing.T) {
+	a := vec3{1, 2, 3}
+	b := vec3{4, 5, 6}
+	if a.dot(b) != 32 {
+		t.Fatalf("dot = %g", a.dot(b))
+	}
+	n := vec3{3, 0, 4}.norm()
+	if math.Abs(n.dot(n)-1) > 1e-12 {
+		t.Fatalf("norm not unit: %v", n)
+	}
+	z := vec3{}.norm()
+	if z != (vec3{}) {
+		t.Fatal("zero vector norm should stay zero")
+	}
+}

@@ -1,0 +1,76 @@
+package sharedmem
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/locks"
+	"repro/internal/monitor"
+	"repro/internal/sim"
+)
+
+func TestSharedMemWithBlockingLock(t *testing.T) {
+	cfg := sim.Small(4)
+	cfg.Seed = 1
+	m := sim.New(cfg)
+	w := Build(m, Options{
+		Threads:  6,
+		Deadline: 10_000_000,
+		NewLock:  func(n string) locks.Lock { return locks.NewBlocking(m, n) },
+	})
+	m.Run(15_000_000)
+	ok, a, b := w.Validate(m)
+	if !ok {
+		t.Fatalf("cache lines diverged: %d vs %d", a, b)
+	}
+	if a == 0 {
+		t.Fatal("no critical sections executed")
+	}
+	var ops int64
+	for _, th := range m.Threads() {
+		ops += th.Ops
+	}
+	if uint64(ops) > a {
+		t.Fatalf("more ops (%d) than CS increments (%d)", ops, a)
+	}
+}
+
+func TestSharedMemWithFlexGuardOversubscribed(t *testing.T) {
+	cfg := sim.Small(2)
+	cfg.Seed = 3
+	m := sim.New(cfg)
+	mon := monitor.Attach(m)
+	rt := core.NewRuntime(m, mon)
+	w := Build(m, Options{
+		Threads:  10,
+		Deadline: 12_000_000,
+		NewLock:  func(n string) locks.Lock { return rt.NewLock(n) },
+	})
+	m.Run(20_000_000)
+	if ok, a, b := w.Validate(m); !ok {
+		t.Fatalf("lost updates: %d vs %d", a, b)
+	}
+	if mon.InCSPreemptions == 0 {
+		t.Fatal("oversubscribed microbenchmark should see CS preemptions")
+	}
+}
+
+func TestSharedMemLatencyRecorded(t *testing.T) {
+	cfg := sim.Small(2)
+	cfg.Seed = 5
+	m := sim.New(cfg)
+	Build(m, Options{
+		Threads:  2,
+		Deadline: 2_000_000,
+		NewLock:  func(n string) locks.Lock { return locks.NewTATAS(m, n) },
+	})
+	m.Run(3_000_000)
+	for i, th := range m.Threads() {
+		if th.LatCount == 0 {
+			t.Fatalf("thread %d recorded no latencies", i)
+		}
+		if th.LatSum <= 0 {
+			t.Fatalf("thread %d has nonpositive latency sum", i)
+		}
+	}
+}

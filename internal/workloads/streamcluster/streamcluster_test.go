@@ -1,0 +1,46 @@
+package streamcluster
+
+import (
+	"testing"
+
+	"repro/internal/locks"
+	"repro/internal/sim"
+)
+
+func build(t *testing.T, ncpu, threads int, seed uint64) (*sim.Machine, *Workload) {
+	t.Helper()
+	cfg := sim.Small(ncpu)
+	cfg.Seed = seed
+	m := sim.New(cfg)
+	w := Build(m, Options{
+		Threads:  threads,
+		Deadline: 8_000_000,
+		NewLock:  func(n string) locks.Lock { return locks.NewPosix(m, n) },
+		NewBarrier: func(n string, k int) *locks.Barrier {
+			return locks.NewBarrier(m, n, k)
+		},
+	})
+	return m, w
+}
+
+func TestStreamclusterPhases(t *testing.T) {
+	m, w := build(t, 4, 4, 1)
+	m.Run(16_000_000)
+	if w.Phases() == 0 {
+		t.Fatal("no phases completed")
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamclusterOversubscribed(t *testing.T) {
+	m, w := build(t, 2, 8, 3)
+	m.Run(30_000_000)
+	if w.Phases() == 0 {
+		t.Fatal("no phases completed oversubscribed")
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+package flexguard
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// RWMutex is the native reader-writer lock with the FlexGuard policy
+// (the §6 extension, native edition): writers serialize through a
+// flexguard.Mutex, and waiting — a writer draining active readers, or a
+// reader waiting out a writer — busy-waits while the NativeMonitor
+// reports healthy scheduling and sleeps otherwise. Readers are otherwise
+// one atomic on the reader count. Create with NewRWMutex.
+type RWMutex struct {
+	w       *Mutex       // writers hold this across their critical section
+	readers atomic.Int64 // active readers; writer drain subtracts writerBias
+	mon     *NativeMonitor
+}
+
+// writerBias marks writer intent in the reader count.
+const writerBias = int64(1) << 40
+
+// blockedPoll is the sleep used instead of spinning when the monitor
+// reports oversubscription (the blocking mode of the native adapter).
+const blockedPoll = 100 * time.Microsecond
+
+// NewRWMutex returns a FlexGuard reader-writer lock driven by mon (nil
+// selects the process-wide DefaultMonitor).
+func NewRWMutex(mon *NativeMonitor) *RWMutex {
+	if mon == nil {
+		mon = DefaultMonitor()
+	}
+	return &RWMutex{w: NewMutex(mon), mon: mon}
+}
+
+// RLock acquires the lock for reading.
+func (l *RWMutex) RLock() {
+	for {
+		if l.readers.Add(1) > 0 {
+			return // no writer active or draining
+		}
+		// A writer is in: back out and wait per the FlexGuard policy.
+		l.readers.Add(-1)
+		spins := 0
+		for l.readers.Load() < 0 {
+			if l.mon.Oversubscribed() {
+				time.Sleep(blockedPoll)
+				continue
+			}
+			spins++
+			if spins%spinGoschedEvery == 0 {
+				runtime.Gosched()
+			}
+		}
+	}
+}
+
+// RUnlock releases a read acquisition.
+func (l *RWMutex) RUnlock() {
+	if l.readers.Add(-1) < -writerBias {
+		panic("flexguard: RUnlock without RLock")
+	}
+}
+
+// Lock acquires the lock for writing: serialize against other writers,
+// announce intent (blocking new readers), then drain active readers.
+func (l *RWMutex) Lock() {
+	l.w.Lock()
+	l.readers.Add(-writerBias)
+	spins := 0
+	for l.activeReaders() > 0 {
+		if l.mon.Oversubscribed() {
+			time.Sleep(blockedPoll)
+			continue
+		}
+		spins++
+		if spins%spinGoschedEvery == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// activeReaders returns the count of readers still inside during a drain.
+func (l *RWMutex) activeReaders() int64 {
+	return l.readers.Load() + writerBias
+}
+
+// Unlock releases a write acquisition and readmits readers.
+func (l *RWMutex) Unlock() {
+	l.readers.Add(writerBias)
+	l.w.Unlock()
+}
+
+// TryRLock acquires a read lock if no writer is active or draining.
+func (l *RWMutex) TryRLock() bool {
+	if l.readers.Add(1) > 0 {
+		return true
+	}
+	l.readers.Add(-1)
+	return false
+}

@@ -1,0 +1,159 @@
+package flexguard
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRWMutexWriterExclusion: writers never overlap readers or writers.
+func TestRWMutexWriterExclusion(t *testing.T) {
+	mon := StartMonitor(MonitorConfig{Interval: time.Hour})
+	defer mon.Stop()
+	l := NewRWMutex(mon)
+	var data, shadow int64
+	var torn atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				l.Lock()
+				data++
+				shadow++
+				l.Unlock()
+			}
+		}()
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				l.RLock()
+				if data != shadow {
+					torn.Add(1)
+				}
+				l.RUnlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if torn.Load() != 0 {
+		t.Fatalf("readers observed %d torn writes", torn.Load())
+	}
+	if data != 4000 || shadow != 4000 {
+		t.Fatalf("writer updates lost: %d/%d", data, shadow)
+	}
+}
+
+// TestRWMutexBlockingMode: correctness with the monitor forced
+// oversubscribed (sleep-poll paths).
+func TestRWMutexBlockingMode(t *testing.T) {
+	mon := StartMonitor(MonitorConfig{Interval: time.Hour})
+	defer mon.Stop()
+	mon.force(true)
+	l := NewRWMutex(mon)
+	var data int64
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				l.Lock()
+				data++
+				l.Unlock()
+			}
+		}()
+	}
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				l.RLock()
+				_ = data
+				l.RUnlock()
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("rwmutex deadlocked in blocking mode")
+	}
+	if data != 600 {
+		t.Fatalf("writes lost: %d", data)
+	}
+}
+
+// TestRWMutexConcurrentReaders: readers proceed concurrently (no mutual
+// blocking): all readers can be inside at once.
+func TestRWMutexConcurrentReaders(t *testing.T) {
+	l := NewRWMutex(nil)
+	var inside atomic.Int64
+	var maxInside atomic.Int64
+	var wg sync.WaitGroup
+	barrier := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l.RLock()
+			n := inside.Add(1)
+			for {
+				old := maxInside.Load()
+				if n <= old || maxInside.CompareAndSwap(old, n) {
+					break
+				}
+			}
+			<-barrier // hold the read lock until everyone arrived
+			inside.Add(-1)
+			l.RUnlock()
+		}()
+	}
+	for maxInside.Load() < 4 {
+		time.Sleep(time.Millisecond)
+	}
+	close(barrier)
+	wg.Wait()
+	if maxInside.Load() != 4 {
+		t.Fatalf("max concurrent readers %d, want 4", maxInside.Load())
+	}
+}
+
+// TestRWMutexTryRLock: non-blocking read acquisition semantics.
+func TestRWMutexTryRLock(t *testing.T) {
+	mon := StartMonitor(MonitorConfig{Interval: time.Hour})
+	defer mon.Stop()
+	l := NewRWMutex(mon)
+	if !l.TryRLock() {
+		t.Fatal("TryRLock on free lock failed")
+	}
+	l.RUnlock()
+	l.Lock()
+	got := l.TryRLock()
+	l.Unlock()
+	if got {
+		t.Fatal("TryRLock succeeded while a writer held the lock")
+	}
+}
+
+// TestRWMutexRUnlockPanics: misuse detection.
+func TestRWMutexRUnlockPanics(t *testing.T) {
+	l := NewRWMutex(nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RUnlock without RLock should panic")
+		}
+	}()
+	// With a writer drain active and no readers, RUnlock must trip the
+	// misuse check.
+	l.readers.Store(-writerBias)
+	l.RUnlock()
+}
