@@ -32,6 +32,7 @@ func main() {
 		duration = flag.Int64("duration", 20_000_000, "virtual ticks per measured run (~2200 ticks/µs)")
 		seeds    = flag.Int("seeds", 1, "repetitions averaged per data point (paper: 50)")
 		algsFlag = flag.String("algs", "", "comma-separated algorithm subset (default: the paper's ten)")
+		metrics  = flag.Bool("metrics", false, "collect per-lock telemetry and print it after each algorithm row")
 	)
 	flag.Parse()
 
@@ -49,6 +50,7 @@ func main() {
 		Duration: sim.Time(*duration),
 		Seeds:    *seeds,
 		Algs:     algs,
+		Metrics:  *metrics,
 	}
 	switch {
 	case *all:

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	simtrace -alg flexguard -cpus 8 -threads 16 -duration 5000000
+//	simtrace -alg flexguard -perfetto trace.json   # open in ui.perfetto.dev
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"os"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workloads/sharedmem"
 )
@@ -27,6 +29,8 @@ func main() {
 		events   = flag.Int("events", 40, "max trace lines to print")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		rawTrace = flag.Int("rawtrace", 0, "also dump this many raw scheduler trace events")
+		perfetto = flag.String("perfetto", "", "write the run's event trace as Perfetto/Chrome trace_event JSON to this file")
+		capacity = flag.Int("capacity", 1<<20, "ring-buffer capacity for the -perfetto trace (newest events kept)")
 	)
 	flag.Parse()
 
@@ -34,14 +38,21 @@ func main() {
 	cfg.NumCPUs = *cpus
 	cfg.Seed = *seed
 	cfg.RecordRunnable = true
-	env, err := harness.NewEnv(harness.EnvOptions{Config: cfg, Alg: *alg})
+	env, err := harness.NewEnv(harness.EnvOptions{Config: cfg, Alg: *alg, Observe: true})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simtrace:", err)
 		os.Exit(1)
 	}
 	m := env.M
 	var tracer *sim.Tracer
-	if *rawTrace > 0 {
+	switch {
+	case *perfetto != "":
+		max := *capacity
+		if *rawTrace > max {
+			max = *rawTrace
+		}
+		tracer = m.AttachTracer(max)
+	case *rawTrace > 0:
 		tracer = m.AttachTracer(*rawTrace)
 	}
 
@@ -78,6 +89,8 @@ func main() {
 	if env.Mon != nil {
 		fmt.Printf("monitor: %d in-CS preemptions detected, %d reschedules, num_preempted_cs=%d at end\n",
 			env.Mon.InCSPreemptions, env.Mon.Reschedules, env.Mon.NPCS().V())
+		fmt.Printf("policy:  %d spin->block switches, %d block->spin switches\n",
+			env.Mon.SpinToBlockSwitches, env.Mon.BlockToSpinSwitches)
 	}
 	var ops, spins int64
 	for i, th := range m.Threads() {
@@ -89,9 +102,30 @@ func main() {
 	}
 	fmt.Printf("workers: %d ops, %d spin iterations, %d preemptions total\n",
 		ops, spins, m.TotalPreemptions)
-	if tracer != nil {
+	if env.Obs != nil {
+		fmt.Printf("\nlock metrics (times in µs):\n")
+		env.Obs.WriteText(os.Stdout, "", 1/sim.TicksPerMicrosecond)
+	}
+	if tracer != nil && *rawTrace > 0 {
 		fmt.Printf("\nraw scheduler trace (%d events, %d dropped):\n",
 			len(tracer.Events()), tracer.Dropped)
 		tracer.Dump(os.Stdout, *rawTrace)
+	}
+	if *perfetto != "" {
+		f, err := os.Create(*perfetto)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simtrace:", err)
+			os.Exit(1)
+		}
+		if err := obs.WritePerfetto(f, m, tracer.Events()); err != nil {
+			fmt.Fprintln(os.Stderr, "simtrace:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "simtrace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s (%d events, %d evicted from the ring); open in ui.perfetto.dev\n",
+			*perfetto, len(tracer.Events()), tracer.Dropped)
 	}
 }

@@ -22,6 +22,7 @@ type FlexGuard struct {
 	// as an ablation to reproduce that it brings no gains.
 	blockingExit bool
 	name         string
+	lid          int32
 }
 
 // LockOption configures NewLock.
@@ -54,6 +55,7 @@ func (rt *Runtime) NewLock(name string, opts ...LockOption) *FlexGuard {
 		tail: rt.m.NewWord(name+".tail", 0),
 		npcs: rt.mon.NPCS(),
 		name: name,
+		lid:  rt.m.RegisterLockName(name),
 	}
 	if rt.mon.PerLock() {
 		l.npcs = rt.m.NewWord(name+".npcs", 0)
@@ -77,6 +79,7 @@ func (l *FlexGuard) Lock(p *sim.Proc) {
 			p.SetRegion(regAcquired)
 			p.IncCS()
 			p.SetRegion(sim.RegionNone)
+			p.LockEvent(sim.TraceAcquire, l.lid)
 			l.postAcquire(p)
 			return
 		}
@@ -98,12 +101,15 @@ func (l *FlexGuard) Unlock(p *sim.Proc) {
 	if l.ext {
 		p.SetExtendSlice(false)
 	}
+	p.LockEvent(sim.TraceRelease, l.lid)
 	p.SetRegion(regUnlock)
 	p.DecCS()
 	// The release store; the label transition to RegionNone is atomic with
 	// the store's effect (the at_store label sits right after the XCHG).
 	if p.XchgTo(l.val, Unlocked, sim.RegionNone) == LockedWithBlockedWaiters {
-		p.FutexWake(l.val, 1) // wake one of the blocked waiters
+		if p.FutexWake(l.val, 1) > 0 { // wake one of the blocked waiters
+			p.LockEvent(sim.TraceLockWake, l.lid)
+		}
 	}
 }
 
@@ -136,6 +142,7 @@ func (l *FlexGuard) slowPath(p *sim.Proc) {
 					p.FutexWake(l.rt.node(int(pred-1)).next, 1)
 				}
 				p.SetRegion(regP1Spin)
+				p.LockEvent(sim.TraceSpinStart, l.lid)
 				p.SpinWhile(func() bool {
 					return qn.waiting.V() == 1 && l.npcs.V() == 0
 				})
@@ -157,6 +164,7 @@ func (l *FlexGuard) slowPath(p *sim.Proc) {
 				// Busy-waiting mode: spin until the lock looks free or the
 				// mode changes, then retry the CAS.
 				l.p2SpinRegion(p, mcsHolder)
+				p.LockEvent(sim.TraceSpinStart, l.lid)
 				p.SpinWhile(func() bool {
 					return l.val.V() != Unlocked && l.npcs.V() == 0
 				})
@@ -176,6 +184,7 @@ func (l *FlexGuard) slowPath(p *sim.Proc) {
 			}
 			if state != Unlocked {
 				p.SetRegion(sim.RegionNone)
+				p.LockEvent(sim.TraceLockBlock, l.lid)
 				p.FutexWait(l.val, LockedWithBlockedWaiters)
 				p.SetRegion(regP2Swap)
 				state = p.Xchg(l.val, LockedWithBlockedWaiters)
@@ -197,6 +206,7 @@ func (l *FlexGuard) slowPath(p *sim.Proc) {
 		}
 		p.IncCS()
 		p.SetRegion(sim.RegionNone)
+		p.LockEvent(sim.TraceAcquire, l.lid)
 		return
 	}
 }
@@ -247,6 +257,8 @@ func (l *FlexGuard) mcsExit(p *sim.Proc, qn *QNode) {
 			p.SpinWhile(func() bool { return qn.next.V() == 0 })
 		}
 	}
-	next := l.rt.node(int(p.Load(qn.next) - 1))
+	succ := int(p.Load(qn.next) - 1)
+	next := l.rt.node(succ)
+	p.LockEventArg(sim.TraceHandover, l.lid, int32(succ))
 	p.Store(next.waiting, 0)
 }

@@ -8,11 +8,13 @@ package harness
 
 import (
 	"fmt"
+	"io"
 	"sort"
 
 	"repro/internal/core"
 	"repro/internal/locks"
 	"repro/internal/monitor"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -42,6 +44,7 @@ type Env struct {
 	Shared *locks.Shared
 	Mon    *monitor.Monitor // nil unless a flexguard variant is in use
 	RT     *core.Runtime
+	Obs    *obs.LockObserver // nil unless EnvOptions.Observe was set
 	Alg    string
 	info   locks.Info
 	nLocks int
@@ -56,6 +59,10 @@ type EnvOptions struct {
 	PerLock bool // monitor per-lock counter ablation (flexguard only)
 	// BlockingMCSExit enables the reverted mcs_exit optimization ablation.
 	BlockingMCSExit bool
+	// Observe attaches an obs.LockObserver collecting per-lock metrics
+	// (hold times, handover latency, spin/block transitions). Off by
+	// default: the lock-event stream then costs two nil checks per event.
+	Observe bool
 }
 
 // NewEnv builds a machine configured for the chosen algorithm.
@@ -71,6 +78,9 @@ func NewEnv(o EnvOptions) (*Env, error) {
 	}
 	m := sim.New(cfg)
 	e := &Env{M: m, Shared: locks.NewShared(m), Alg: o.Alg}
+	if o.Observe {
+		e.Obs = obs.Observe(m)
+	}
 	if isFG {
 		var opts []monitor.Option
 		if o.PerLock {
@@ -139,6 +149,51 @@ type Result struct {
 	SpinIters int64
 	Preempt   int64 // total involuntary context switches
 	CSPreempt int64 // monitor-detected critical-section preemptions
+
+	// Policy-transition counts from the Preemption Monitor (flexguard
+	// variants; zero otherwise). PolicySwitches is their sum.
+	PolicySpinToBlock int64
+	PolicyBlockToSpin int64
+
+	// Lock-level telemetry, filled only when the env was built with
+	// Observe (all times in µs). SpinToBlock/BlockToSpin count waiters
+	// that changed wait mode mid-acquisition, across all locks.
+	Hold        stats.Summary
+	Handover    stats.Summary
+	Acquires    int64
+	Handovers   int64
+	SpinStarts  int64
+	Blocks      int64
+	Wakes       int64
+	SpinToBlock int64
+	BlockToSpin int64
+	PerLock     []obs.LockSummary
+}
+
+// PolicySwitches returns the total number of monitor policy flips.
+func (r *Result) PolicySwitches() int64 {
+	return r.PolicySpinToBlock + r.PolicyBlockToSpin
+}
+
+// WriteLockMetrics writes the per-lock telemetry table (requires a run
+// with EnvOptions.Observe / RunCfg.Observe).
+func (r *Result) WriteLockMetrics(w io.Writer) {
+	fmt.Fprintf(w, "%-24s %9s %9s %8s %8s %10s %10s %10s %10s\n",
+		"lock", "acquires", "handover", "s->b", "b->s",
+		"hold_mean", "hold_p99", "hndov_mean", "hndov_p99")
+	const maxLines = 20
+	for i, l := range r.PerLock {
+		if i == maxLines {
+			fmt.Fprintf(w, "... %d more locks\n", len(r.PerLock)-maxLines)
+			break
+		}
+		fmt.Fprintf(w, "%-24s %9d %9d %8d %8d %10.2f %10.2f %10.2f %10.2f\n",
+			l.Name, l.Acquires, l.Handovers, l.SpinToBlock, l.BlockToSpin,
+			l.Hold.Mean, l.Hold.P99, l.Handover.Mean, l.Handover.P99)
+	}
+	fmt.Fprintf(w, "total: %d acquires, %d spin-starts, %d blocks, %d wakes; waiter s->b=%d b->s=%d; policy s->b=%d b->s=%d\n",
+		r.Acquires, r.SpinStarts, r.Blocks, r.Wakes,
+		r.SpinToBlock, r.BlockToSpin, r.PolicySpinToBlock, r.PolicyBlockToSpin)
 }
 
 // Collect gathers metrics for the worker threads spawned before the call
@@ -167,6 +222,22 @@ func (e *Env) Collect(workers int, duration sim.Time) Result {
 	r.Preempt = e.M.TotalPreemptions
 	if e.Mon != nil {
 		r.CSPreempt = e.Mon.InCSPreemptions
+		r.PolicySpinToBlock = e.Mon.SpinToBlockSwitches
+		r.PolicyBlockToSpin = e.Mon.BlockToSpinSwitches
+	}
+	if e.Obs != nil {
+		scale := 1 / sim.TicksPerMicrosecond
+		t := e.Obs.Totals()
+		r.Hold = t.Hold.Summary(scale)
+		r.Handover = t.Handover.Summary(scale)
+		r.Acquires = t.Acquires
+		r.Handovers = t.Handovers
+		r.SpinStarts = t.SpinStarts
+		r.Blocks = t.Blocks
+		r.Wakes = t.Wakes
+		r.SpinToBlock = t.SpinToBlock
+		r.BlockToSpin = t.BlockToSpin
+		r.PerLock = e.Obs.Summaries(scale)
 	}
 	if duration > 0 {
 		r.OpsPerSec = float64(r.Ops) / (float64(duration) / (sim.TicksPerMicrosecond * 1e6))

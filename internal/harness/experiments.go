@@ -26,6 +26,10 @@ type ExpOptions struct {
 	Seeds int
 	// Algs overrides the algorithm list.
 	Algs []string
+	// Metrics attaches the lock-event observer to every run and prints a
+	// per-lock telemetry block after each algorithm row (flexbench
+	// -metrics).
+	Metrics bool
 }
 
 func (o ExpOptions) withDefaults() ExpOptions {
@@ -196,12 +200,13 @@ func fig2(machine string, normalize bool, o ExpOptions, w io.Writer) error {
 	header(w, fmt.Sprintf("shared-memory-access microbenchmark, %s (%d contexts)", machine, cfg.NumCPUs), threads, unit)
 	baseline := make(map[int]float64)
 	for _, alg := range o.Algs {
+		var last Result
 		fmt.Fprintf(w, "%-14s", alg)
 		for _, t := range threads {
 			r, err := averageRuns(o, func(seed uint64) (Result, error) {
 				return RunSharedMem(RunCfg{
 					Config: cfg, Alg: alg, Threads: t,
-					Duration: o.Duration, Seed: seed,
+					Duration: o.Duration, Seed: seed, Observe: o.Metrics,
 				}, 100)
 			})
 			if err != nil {
@@ -215,8 +220,10 @@ func fig2(machine string, normalize bool, o ExpOptions, w io.Writer) error {
 				v = r.MeanLatUS / baseline[t]
 			}
 			cell(w, v, r.Crashed)
+			last = r
 		}
 		fmt.Fprintln(w)
+		maybeMetrics(o, w, alg, last)
 	}
 	if normalize {
 		fmt.Fprintln(w, "# note: run the 'blocking' row first (it is the denominator);")
@@ -249,9 +256,10 @@ func runApp(machine string, concurrent bool, runner func(RunCfg) (Result, error)
 				sweep, "throughput (Mops/s)")
 		}
 		for _, alg := range o.Algs {
+			var last Result
 			fmt.Fprintf(w, "%-14s", alg)
 			for _, x := range sweep {
-				c := RunCfg{Config: cfg, Alg: alg, Duration: o.Duration}
+				c := RunCfg{Config: cfg, Alg: alg, Duration: o.Duration, Observe: o.Metrics}
 				if concurrent {
 					c.Threads, c.Spinners = workers, x
 				} else {
@@ -265,8 +273,10 @@ func runApp(machine string, concurrent bool, runner func(RunCfg) (Result, error)
 					return fmt.Errorf("%s @%d: %w", alg, x, err)
 				}
 				cell(w, r.OpsPerSec/1e6, r.Crashed)
+				last = r
 			}
 			fmt.Fprintln(w)
+			maybeMetrics(o, w, alg, last)
 		}
 		return nil
 	}
@@ -357,20 +367,23 @@ func runFig5c(o ExpOptions, w io.Writer) error {
 	header(w, fmt.Sprintf("spin-loop iterations, sharedmem, intel (%d contexts)", cfg.NumCPUs),
 		threads, "spin iterations (millions)")
 	for _, alg := range o.Algs {
+		var last Result
 		fmt.Fprintf(w, "%-14s", alg)
 		for _, t := range threads {
 			r, err := averageRuns(o, func(seed uint64) (Result, error) {
 				return RunSharedMem(RunCfg{
 					Config: cfg, Alg: alg, Threads: t,
-					Duration: o.Duration, Seed: seed,
+					Duration: o.Duration, Seed: seed, Observe: o.Metrics,
 				}, 100)
 			})
 			if err != nil {
 				return err
 			}
 			cell(w, float64(r.SpinIters)/1e6, r.Crashed)
+			last = r
 		}
 		fmt.Fprintln(w)
+		maybeMetrics(o, w, alg, last)
 	}
 	return nil
 }
@@ -454,6 +467,16 @@ func runAblationMCSExit(o ExpOptions, w io.Writer) error {
 		fmt.Fprintf(w, "%s: mean CS time %8.2f µs\n", name, r.MeanLatUS)
 	}
 	return nil
+}
+
+// maybeMetrics prints the lock telemetry of an algorithm row's last cell
+// (the highest contention point of the sweep) when -metrics is on.
+func maybeMetrics(o ExpOptions, w io.Writer, alg string, r Result) {
+	if !o.Metrics || r.Crashed || len(r.PerLock) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# lock metrics for %s (last cell of the row):\n", alg)
+	r.WriteLockMetrics(w)
 }
 
 // Describe prints the experiment catalog.

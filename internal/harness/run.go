@@ -26,6 +26,9 @@ type RunCfg struct {
 	BlockingMCSExit bool
 	// RecordRunnable enables the Figure 5a timeline.
 	RecordRunnable bool
+	// Observe attaches the lock-event observer (per-lock telemetry in
+	// Result; see EnvOptions.Observe).
+	Observe bool
 }
 
 // prepare builds the env; the workload's worker threads must be spawned
@@ -45,6 +48,7 @@ func prepare(c RunCfg) (*Env, sim.Time, error) {
 		Alg:             c.Alg,
 		PerLock:         c.PerLock,
 		BlockingMCSExit: c.BlockingMCSExit,
+		Observe:         c.Observe,
 	})
 	if err != nil {
 		return nil, 0, err

@@ -14,9 +14,16 @@ import (
 	"repro/internal/workloads/kvstore"
 )
 
-// intelQuarter returns the Intel profile scaled to 26 contexts.
+// intelQuarter returns the Intel profile scaled to 26 contexts. Every
+// shape test starts here, so this is also where -short prunes them:
+// the shape suite replays multi-second simulator sweeps, which pushes
+// the package run to minutes. `go test -short ./...` keeps the unit
+// and fuzz tests and skips the sweeps (see README).
 func intelQuarter(t *testing.T) sim.Config {
 	t.Helper()
+	if testing.Short() {
+		t.Skip("simulator shape sweep; run without -short")
+	}
 	cfg, err := MachineConfig("intel")
 	if err != nil {
 		t.Fatal(err)

@@ -9,25 +9,31 @@ import "repro/internal/sim"
 // futex_wake()s", i.e. the unconditional-wake variant, unlike glibc's
 // 0/1/2 mutex which skips wakes when no waiter is marked (see Posix).
 type Blocking struct {
-	v *sim.Word // 0 unlocked, 1 locked
+	v   *sim.Word // 0 unlocked, 1 locked
+	lid int32
 }
 
 // NewBlocking returns a pure blocking lock.
 func NewBlocking(m *sim.Machine, name string) *Blocking {
-	return &Blocking{v: m.NewWord(name+".blk", 0)}
+	return &Blocking{v: m.NewWord(name+".blk", 0), lid: m.RegisterLockName(name)}
 }
 
 // Lock implements Lock.
 func (l *Blocking) Lock(p *sim.Proc) {
 	for p.Xchg(l.v, 1) != 0 {
+		p.LockEvent(sim.TraceLockBlock, l.lid)
 		p.FutexWait(l.v, 1)
 	}
+	p.LockEvent(sim.TraceAcquire, l.lid)
 }
 
 // Unlock implements Lock.
 func (l *Blocking) Unlock(p *sim.Proc) {
+	p.LockEvent(sim.TraceRelease, l.lid)
 	p.Store(l.v, 0)
-	p.FutexWake(l.v, 1)
+	if p.FutexWake(l.v, 1) > 0 {
+		p.LockEvent(sim.TraceLockWake, l.lid)
+	}
 }
 
 // Posix models the default POSIX mutex (§2.2): glibc's three-state futex
@@ -37,7 +43,8 @@ func (l *Blocking) Unlock(p *sim.Proc) {
 // handover than the pure blocking lock — but the heuristic spin budget
 // buys little once the lock is contended (the paper's point in §2.2).
 type Posix struct {
-	v *sim.Word
+	v   *sim.Word
+	lid int32
 }
 
 // posixSpin is the fixed spin-then-park budget in spin iterations
@@ -46,32 +53,40 @@ const posixSpin = 100
 
 // NewPosix returns a POSIX-style mutex.
 func NewPosix(m *sim.Machine, name string) *Posix {
-	return &Posix{v: m.NewWord(name+".posix", 0)}
+	return &Posix{v: m.NewWord(name+".posix", 0), lid: m.RegisterLockName(name)}
 }
 
 // Lock implements Lock.
 func (l *Posix) Lock(p *sim.Proc) {
 	if p.CAS(l.v, 0, 1) == 0 {
+		p.LockEvent(sim.TraceAcquire, l.lid)
 		return
 	}
 	// Spin-then-park: a short busy-wait whose budget is the heuristic the
 	// paper argues cannot be tuned reliably.
 	pause := p.Machine().Config().Costs.Pause
+	p.LockEvent(sim.TraceSpinStart, l.lid)
 	if p.SpinWhileMax(func() bool { return l.v.V() != 0 }, posixSpin*pause) {
 		if p.CAS(l.v, 0, 1) == 0 {
+			p.LockEvent(sim.TraceAcquire, l.lid)
 			return
 		}
 	}
 	// Futex path.
 	for p.Xchg(l.v, 2) != 0 {
+		p.LockEvent(sim.TraceLockBlock, l.lid)
 		p.FutexWait(l.v, 2)
 	}
+	p.LockEvent(sim.TraceAcquire, l.lid)
 }
 
 // Unlock implements Lock.
 func (l *Posix) Unlock(p *sim.Proc) {
+	p.LockEvent(sim.TraceRelease, l.lid)
 	if p.Xchg(l.v, 0) == 2 {
-		p.FutexWake(l.v, 1)
+		if p.FutexWake(l.v, 1) > 0 {
+			p.LockEvent(sim.TraceLockWake, l.lid)
+		}
 	}
 }
 
@@ -79,12 +94,13 @@ func (l *Posix) Unlock(p *sim.Proc) {
 // busy-waiting; on failure the thread sleeps for an exponentially growing,
 // jittered timeout and retries.
 type Backoff struct {
-	v *sim.Word
+	v   *sim.Word
+	lid int32
 }
 
 // NewBackoff returns a blocking-backoff lock.
 func NewBackoff(m *sim.Machine, name string) *Backoff {
-	return &Backoff{v: m.NewWord(name+".bo", 0)}
+	return &Backoff{v: m.NewWord(name+".bo", 0), lid: m.RegisterLockName(name)}
 }
 
 // Lock implements Lock.
@@ -93,14 +109,17 @@ func (l *Backoff) Lock(p *sim.Proc) {
 	const maxDelay = sim.Time(200_000)
 	for p.CAS(l.v, 0, 1) != 0 {
 		jitter := sim.Time(p.Rand().Int63n(int64(delay)))
+		p.LockEvent(sim.TraceLockBlock, l.lid)
 		p.Sleep(delay + jitter)
 		if delay < maxDelay {
 			delay *= 2
 		}
 	}
+	p.LockEvent(sim.TraceAcquire, l.lid)
 }
 
 // Unlock implements Lock.
 func (l *Backoff) Unlock(p *sim.Proc) {
+	p.LockEvent(sim.TraceRelease, l.lid)
 	p.Store(l.v, 0)
 }

@@ -38,6 +38,7 @@ type Malthusian struct {
 	name  string
 	tail  *sim.Word
 	nodes map[int]*mNode
+	lid   int32
 	// passive is the culled-thread LIFO. It is only touched by the current
 	// lock holder during unlock, so the lock itself serializes access.
 	passive []int
@@ -59,6 +60,7 @@ func NewMalthusian(m *sim.Machine, name string) *Malthusian {
 		name:  name,
 		tail:  m.NewWord(name+".tail", 0),
 		nodes: make(map[int]*mNode),
+		lid:   m.RegisterLockName(name),
 	}
 }
 
@@ -81,19 +83,24 @@ func (l *Malthusian) Lock(p *sim.Proc) {
 	p.Store(qn.locked, mActive)
 	pred := p.Xchg(l.tail, enc(p.ID()))
 	if pred == 0 {
+		p.LockEvent(sim.TraceAcquire, l.lid)
 		return
 	}
 	p.Store(l.node(dec(pred)).next, enc(p.ID()))
 	for {
+		p.LockEvent(sim.TraceSpinStart, l.lid)
 		p.SpinWhile(func() bool { return qn.locked.V() == mActive })
 		switch p.Load(qn.locked) {
 		case mGranted:
+			p.LockEvent(sim.TraceAcquire, l.lid)
 			return
 		case mCulled:
 			// Culled to the passive list: spin briefly, then block on the
 			// node until the holder re-inserts/grants us.
+			p.LockEvent(sim.TraceSpinStart, l.lid)
 			if !p.SpinWhileMax(func() bool { return qn.locked.V() == mCulled }, malthusianPark) {
 				if p.CAS(qn.locked, mCulled, mParked) == mCulled {
+					p.LockEvent(sim.TraceLockBlock, l.lid)
 					p.FutexWait(qn.locked, mParked)
 				}
 			}
@@ -104,14 +111,17 @@ func (l *Malthusian) Lock(p *sim.Proc) {
 // grant hands the lock to thread id, waking it if it parked.
 func (l *Malthusian) grant(p *sim.Proc, id int) {
 	n := l.node(id)
+	p.LockEventArg(sim.TraceHandover, l.lid, int32(id))
 	if p.Xchg(n.locked, mGranted) == mParked {
 		p.FutexWake(n.locked, 1)
+		p.LockEvent(sim.TraceLockWake, l.lid)
 	}
 }
 
 // Unlock implements Lock.
 func (l *Malthusian) Unlock(p *sim.Proc) {
 	qn := l.node(p.ID())
+	p.LockEvent(sim.TraceRelease, l.lid)
 	l.unlocks++
 	succ := p.Load(qn.next)
 	if succ != 0 && l.unlocks%malthusianPromote == 0 && len(l.passive) > 0 {

@@ -21,6 +21,7 @@ type MCS struct {
 	name  string
 	tail  *sim.Word
 	nodes map[int]*mcsNode
+	lid   int32
 }
 
 // NewMCS returns an MCS lock.
@@ -30,6 +31,7 @@ func NewMCS(m *sim.Machine, name string) *MCS {
 		name:  name,
 		tail:  m.NewWord(name+".tail", 0),
 		nodes: make(map[int]*mcsNode),
+		lid:   m.RegisterLockName(name),
 	}
 }
 
@@ -52,22 +54,28 @@ func (l *MCS) Lock(p *sim.Proc) {
 	p.Store(qn.locked, 1)
 	pred := p.Xchg(l.tail, enc(p.ID()))
 	if pred == 0 {
+		p.LockEvent(sim.TraceAcquire, l.lid)
 		return
 	}
 	p.Store(l.node(dec(pred)).next, enc(p.ID()))
+	p.LockEvent(sim.TraceSpinStart, l.lid)
 	p.SpinWhile(func() bool { return qn.locked.V() == 1 })
+	p.LockEvent(sim.TraceAcquire, l.lid)
 }
 
 // Unlock implements Lock.
 func (l *MCS) Unlock(p *sim.Proc) {
 	qn := l.node(p.ID())
+	p.LockEvent(sim.TraceRelease, l.lid)
 	if p.Load(qn.next) == 0 {
 		if p.CAS(l.tail, enc(p.ID()), 0) == enc(p.ID()) {
 			return
 		}
 		p.SpinWhile(func() bool { return qn.next.V() == 0 })
 	}
-	p.Store(l.node(dec(p.Load(qn.next))).locked, 0)
+	succ := dec(p.Load(qn.next))
+	p.LockEventArg(sim.TraceHandover, l.lid, int32(succ))
+	p.Store(l.node(succ).locked, 0)
 }
 
 // clhNode is a CLH queue node; nodes migrate between threads at release.
@@ -80,6 +88,7 @@ type clhNode struct {
 type CLH struct {
 	m    *sim.Machine
 	name string
+	lid  int32
 	tail *sim.Word // encoded node index + 1
 	// nodes is the node pool; mine maps a thread to the node it will
 	// enqueue next (nodes rotate thread→thread at release, as in CLH);
@@ -101,6 +110,7 @@ func NewCLH(m *sim.Machine, name string) *CLH {
 	// Node 0 is the initial dummy (released).
 	l.nodes = []*clhNode{{succMustWait: m.NewWord(name+".clh0", 0)}}
 	l.tail = m.NewWord(name+".tail", 1) // points at the dummy
+	l.lid = m.RegisterLockName(name)
 	return l
 }
 
@@ -125,8 +135,10 @@ func (l *CLH) Lock(p *sim.Proc) {
 	pred := int(predEnc - 1)
 	predWord := l.nodes[pred].succMustWait
 	if p.Load(predWord) == 1 {
+		p.LockEvent(sim.TraceSpinStart, l.lid)
 		p.SpinWhile(func() bool { return predWord.V() == 1 })
 	}
+	p.LockEvent(sim.TraceAcquire, l.lid)
 	// Adopt the predecessor's node for the next acquisition.
 	l.adopt[id] = pred
 }
@@ -135,6 +147,7 @@ func (l *CLH) Lock(p *sim.Proc) {
 func (l *CLH) Unlock(p *sim.Proc) {
 	id := p.ID()
 	my := l.mine[id]
+	p.LockEvent(sim.TraceRelease, l.lid)
 	p.Store(l.nodes[my].succMustWait, 0)
 	l.mine[id] = l.adopt[id]
 }

@@ -40,6 +40,7 @@ type MCSTP struct {
 	tail       *sim.Word
 	holderTime *sim.Word // holder-published acquisition timestamp (0 = free)
 	nodes      map[int]*tpNode
+	lid        int32
 }
 
 // NewMCSTP returns an MCS-TP lock.
@@ -50,6 +51,7 @@ func NewMCSTP(m *sim.Machine, name string) *MCSTP {
 		tail:       m.NewWord(name+".tail", 0),
 		holderTime: m.NewWord(name+".htime", 0),
 		nodes:      make(map[int]*tpNode),
+		lid:        m.RegisterLockName(name),
 	}
 }
 
@@ -76,11 +78,13 @@ func (l *MCSTP) Lock(p *sim.Proc) {
 		pred := p.Xchg(l.tail, enc(p.ID()))
 		if pred == 0 {
 			p.Store(l.holderTime, uint64(p.Now()))
+			p.LockEvent(sim.TraceAcquire, l.lid)
 			return
 		}
 		p.Store(l.node(dec(pred)).next, enc(p.ID()))
 		if l.waitGranted(p, qn) {
 			p.Store(l.holderTime, uint64(p.Now()))
+			p.LockEvent(sim.TraceAcquire, l.lid)
 			return
 		}
 		// Removed by a releasing holder that judged us preempted: re-enter
@@ -92,6 +96,7 @@ func (l *MCSTP) Lock(p *sim.Proc) {
 // (true) or removed (false).
 func (l *MCSTP) waitGranted(p *sim.Proc, qn *tpNode) bool {
 	for {
+		p.LockEvent(sim.TraceSpinStart, l.lid)
 		p.SpinWhileMax(func() bool { return qn.status.V() == tpWaiting }, tpPubPeriod)
 		switch p.Load(qn.status) {
 		case tpGranted:
@@ -113,6 +118,7 @@ func (l *MCSTP) waitGranted(p *sim.Proc, qn *tpNode) bool {
 // Unlock implements Lock.
 func (l *MCSTP) Unlock(p *sim.Proc) {
 	qn := l.node(p.ID())
+	p.LockEvent(sim.TraceRelease, l.lid)
 	p.Store(l.holderTime, 0)
 	cur := p.Load(qn.next)
 	if cur == 0 {
@@ -125,6 +131,7 @@ func (l *MCSTP) Unlock(p *sim.Proc) {
 	for {
 		n := l.node(dec(cur))
 		if p.Now()-sim.Time(p.Load(n.time)) <= tpStaleWaiter {
+			p.LockEventArg(sim.TraceHandover, l.lid, int32(dec(cur)))
 			p.Store(n.status, tpGranted)
 			return
 		}

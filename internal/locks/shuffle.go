@@ -56,6 +56,7 @@ type Shuffle struct {
 	s    *Shared
 	top  *sim.Word
 	tail *sim.Word
+	lid  int32
 }
 
 // NewShuffle returns a Shuffle lock.
@@ -64,6 +65,7 @@ func NewShuffle(s *Shared, name string) *Shuffle {
 		s:    s,
 		top:  s.m.NewWord(name+".top", topFree),
 		tail: s.m.NewWord(name+".tail", 0),
+		lid:  s.m.RegisterLockName(name),
 	}
 }
 
@@ -71,6 +73,7 @@ func NewShuffle(s *Shared, name string) *Shuffle {
 func (l *Shuffle) Lock(p *sim.Proc) {
 	// Fast path: steal the top lock without touching the queue.
 	if p.Load(l.top) == topFree && p.CAS(l.top, topFree, topHeld) == topFree {
+		p.LockEvent(sim.TraceAcquire, l.lid)
 		return
 	}
 	qn := l.s.shuffleNode(p.ID())
@@ -84,6 +87,7 @@ func (l *Shuffle) Lock(p *sim.Proc) {
 	// Head of the queue: acquire the top lock (spin-then-park), then
 	// release the MCS lock so the next waiter becomes the head.
 	l.acquireTop(p)
+	p.LockEvent(sim.TraceAcquire, l.lid)
 	l.mcsPass(p, qn)
 }
 
@@ -91,6 +95,7 @@ func (l *Shuffle) Lock(p *sim.Proc) {
 // over.
 func (l *Shuffle) waitAtNode(p *sim.Proc, qn *shuffleNode) {
 	for {
+		p.LockEvent(sim.TraceSpinStart, l.lid)
 		if p.SpinWhileMax(func() bool { return qn.waiting.V() == shSpinning }, shuffleSpin) {
 			if p.Load(qn.waiting) == shReleased {
 				return
@@ -98,6 +103,7 @@ func (l *Shuffle) waitAtNode(p *sim.Proc, qn *shuffleNode) {
 			continue
 		}
 		if p.CAS(qn.waiting, shSpinning, shParked) == shSpinning {
+			p.LockEvent(sim.TraceLockBlock, l.lid)
 			p.FutexWait(qn.waiting, shParked)
 		}
 		if p.Load(qn.waiting) == shReleased {
@@ -120,6 +126,7 @@ func (l *Shuffle) acquireTop(p *sim.Proc) {
 		if p.CAS(l.top, topFree, topHeld) == topFree {
 			return
 		}
+		p.LockEvent(sim.TraceSpinStart, l.lid)
 		p.SpinWhile(func() bool { return l.top.V() != topFree })
 	}
 }
@@ -133,13 +140,17 @@ func (l *Shuffle) mcsPass(p *sim.Proc, qn *shuffleNode) {
 		}
 		p.SpinWhile(func() bool { return qn.next.V() == 0 })
 	}
-	next := l.s.shuffleNode(dec(p.Load(qn.next)))
+	succ := dec(p.Load(qn.next))
+	next := l.s.shuffleNode(succ)
+	p.LockEventArg(sim.TraceHandover, l.lid, int32(succ))
 	if p.Xchg(next.waiting, shReleased) == shParked {
 		p.FutexWake(next.waiting, 1)
+		p.LockEvent(sim.TraceLockWake, l.lid)
 	}
 }
 
 // Unlock implements Lock.
 func (l *Shuffle) Unlock(p *sim.Proc) {
+	p.LockEvent(sim.TraceRelease, l.lid)
 	p.Store(l.top, topFree)
 }

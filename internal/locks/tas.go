@@ -6,23 +6,31 @@ import "repro/internal/sim"
 // reads unlocked. Inefficient under contention due to constant atomic
 // traffic on one line (§2.1.2).
 type TAS struct {
-	v *sim.Word
+	v   *sim.Word
+	lid int32
 }
 
 // NewTAS returns a TAS lock.
 func NewTAS(m *sim.Machine, name string) *TAS {
-	return &TAS{v: m.NewWord(name+".tas", 0)}
+	return &TAS{v: m.NewWord(name+".tas", 0), lid: m.RegisterLockName(name)}
 }
 
 // Lock implements Lock.
 func (l *TAS) Lock(p *sim.Proc) {
+	spun := false
 	for p.Xchg(l.v, 1) != 0 {
+		if !spun {
+			spun = true
+			p.LockEvent(sim.TraceSpinStart, l.lid)
+		}
 		p.Pause()
 	}
+	p.LockEvent(sim.TraceAcquire, l.lid)
 }
 
 // Unlock implements Lock.
 func (l *TAS) Unlock(p *sim.Proc) {
+	p.LockEvent(sim.TraceRelease, l.lid)
 	p.Store(l.v, 0)
 }
 
@@ -30,26 +38,30 @@ func (l *TAS) Unlock(p *sim.Proc) {
 // and only attempt the atomic when the lock looks free, sparing the
 // coherence fabric (§2.1.2).
 type TATAS struct {
-	v *sim.Word
+	v   *sim.Word
+	lid int32
 }
 
 // NewTATAS returns a TATAS lock.
 func NewTATAS(m *sim.Machine, name string) *TATAS {
-	return &TATAS{v: m.NewWord(name+".tatas", 0)}
+	return &TATAS{v: m.NewWord(name+".tatas", 0), lid: m.RegisterLockName(name)}
 }
 
 // Lock implements Lock.
 func (l *TATAS) Lock(p *sim.Proc) {
 	for {
 		if p.Load(l.v) == 0 && p.Xchg(l.v, 1) == 0 {
+			p.LockEvent(sim.TraceAcquire, l.lid)
 			return
 		}
+		p.LockEvent(sim.TraceSpinStart, l.lid)
 		p.SpinWhile(func() bool { return l.v.V() != 0 })
 	}
 }
 
 // Unlock implements Lock.
 func (l *TATAS) Unlock(p *sim.Proc) {
+	p.LockEvent(sim.TraceRelease, l.lid)
 	p.Store(l.v, 0)
 }
 
@@ -58,6 +70,7 @@ func (l *TATAS) Unlock(p *sim.Proc) {
 type Ticket struct {
 	next  *sim.Word
 	owner *sim.Word
+	lid   int32
 }
 
 // NewTicket returns a Ticket lock.
@@ -65,6 +78,7 @@ func NewTicket(m *sim.Machine, name string) *Ticket {
 	return &Ticket{
 		next:  m.NewWord(name+".next", 0),
 		owner: m.NewWord(name+".owner", 0),
+		lid:   m.RegisterLockName(name),
 	}
 }
 
@@ -72,13 +86,17 @@ func NewTicket(m *sim.Machine, name string) *Ticket {
 func (l *Ticket) Lock(p *sim.Proc) {
 	my := p.Add(l.next, 1) - 1
 	if p.Load(l.owner) == my {
+		p.LockEvent(sim.TraceAcquire, l.lid)
 		return
 	}
+	p.LockEvent(sim.TraceSpinStart, l.lid)
 	p.SpinWhile(func() bool { return l.owner.V() != my })
+	p.LockEvent(sim.TraceAcquire, l.lid)
 }
 
 // Unlock implements Lock.
 func (l *Ticket) Unlock(p *sim.Proc) {
+	p.LockEvent(sim.TraceRelease, l.lid)
 	p.Add(l.owner, 1)
 }
 
@@ -91,7 +109,7 @@ type SpinExt struct {
 
 // NewSpinExt returns a timeslice-extension TATAS lock.
 func NewSpinExt(m *sim.Machine, name string) *SpinExt {
-	return &SpinExt{inner: TATAS{v: m.NewWord(name+".spinext", 0)}}
+	return &SpinExt{inner: TATAS{v: m.NewWord(name+".spinext", 0), lid: m.RegisterLockName(name)}}
 }
 
 // Lock implements Lock.

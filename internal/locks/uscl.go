@@ -30,6 +30,7 @@ const usclAccounting = sim.Time(150)
 // the paper reports on the high-lock-count benchmarks (§5.3).
 type USCL struct {
 	m          *sim.Machine
+	lid        int32
 	sliceNext  *sim.Word // ticket dispenser
 	sliceOwner *sim.Word // ticket currently allowed to use the lock
 	sliceStart *sim.Word // grant timestamp of the current slice (0 = unclaimed)
@@ -50,6 +51,7 @@ type usclWait struct {
 func NewUSCL(m *sim.Machine, name string) *USCL {
 	return &USCL{
 		m:          m,
+		lid:        m.RegisterLockName(name),
 		sliceNext:  m.NewWord(name+".snext", 0),
 		sliceOwner: m.NewWord(name+".sowner", 0),
 		sliceStart: m.NewWord(name+".sstart", 0),
@@ -73,6 +75,7 @@ func (l *USCL) Lock(p *sim.Proc) {
 		w = &usclWait{}
 		l.waitSeen[id] = w
 	}
+	blocked := false
 	for {
 		cur := p.Load(l.sliceOwner)
 		if cur == my {
@@ -102,6 +105,10 @@ func (l *USCL) Lock(p *sim.Proc) {
 			p.CAS(l.sliceOwner, cur, cur+1)
 			continue
 		}
+		if !blocked {
+			blocked = true
+			p.LockEvent(sim.TraceLockBlock, l.lid)
+		}
 		p.Sleep(usclPoll)
 	}
 	if w.claimed != my+1 {
@@ -112,8 +119,13 @@ func (l *USCL) Lock(p *sim.Proc) {
 	// Within our slice the inner lock is normally uncontended; a stolen
 	// slice can briefly overlap the previous owner, so wait politely.
 	for p.CAS(l.inner, 0, enc(id)) != 0 {
+		if !blocked {
+			blocked = true
+			p.LockEvent(sim.TraceLockBlock, l.lid)
+		}
 		p.Sleep(usclPoll)
 	}
+	p.LockEvent(sim.TraceAcquire, l.lid)
 	// Per-acquisition accounting: u-SCL reads the clock and updates its
 	// usage bookkeeping on every lock and unlock (the critical-section
 	// time tracking that drives slice allocation).
@@ -124,6 +136,7 @@ func (l *USCL) Lock(p *sim.Proc) {
 func (l *USCL) Unlock(p *sim.Proc) {
 	id := p.ID()
 	my := l.ticket[id]
+	p.LockEvent(sim.TraceRelease, l.lid)
 	p.Compute(usclAccounting)
 	p.Store(l.inner, 0)
 	// Our slice may have been reclaimed while we were preempted.

@@ -39,6 +39,12 @@ type Monitor struct {
 	InCSPreemptions int64
 	// Reschedules counts preempted-in-CS threads switched back in.
 	Reschedules int64
+	// SpinToBlockSwitches counts policy flips into blocking mode (a
+	// num_preempted_cs counter crossing 0 -> 1); BlockToSpinSwitches the
+	// flips back (1 -> 0). In per-lock ablation mode each lock's counter
+	// crossing counts separately.
+	SpinToBlockSwitches int64
+	BlockToSpinSwitches int64
 }
 
 // Option configures Attach.
@@ -105,7 +111,12 @@ func (mo *Monitor) schedSwitch(prev, next *sim.Thread) {
 	// back on CPU: clear the mark and decrement the counter.
 	if next != nil && next.MonitorMark {
 		next.MonitorMark = false
-		mo.m.KernelAdd(mo.counterFor(next), -1)
+		nv := mo.m.KernelAdd(mo.counterFor(next), -1)
+		mo.m.KernelLockEvent(sim.TraceNPCSDown, -1, int32(next.ID()), int32(nv))
+		if nv == 0 {
+			mo.BlockToSpinSwitches++
+			mo.m.KernelLockEvent(sim.TracePolicySwitch, -1, int32(next.ID()), 0)
+		}
 		mo.Reschedules++
 	}
 	if next != nil {
@@ -149,7 +160,12 @@ func (mo *Monitor) mark(t *sim.Thread, counter *sim.Word) {
 	t.MonitorMark = true
 	w := mo.resolve(counter)
 	mo.chargedTo[t] = w
-	mo.m.KernelAdd(w, +1)
+	nv := mo.m.KernelAdd(w, +1)
+	mo.m.KernelLockEvent(sim.TraceNPCSUp, -1, int32(t.ID()), int32(nv))
+	if nv == 1 {
+		mo.SpinToBlockSwitches++
+		mo.m.KernelLockEvent(sim.TracePolicySwitch, -1, int32(t.ID()), 1)
+	}
 	mo.InCSPreemptions++
 }
 

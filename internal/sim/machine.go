@@ -15,6 +15,17 @@ import (
 // fields and use KernelStore/KernelAdd, but must not call Proc methods.
 type SchedSwitchHook func(prev, next *Thread)
 
+// LockObserver consumes the machine's lock-event stream (the expanded
+// trace model): acquisitions, releases, spin legs, blocking decisions,
+// handovers and the Preemption Monitor's policy switches. Observers are
+// called synchronously from the emitting context and must not call Proc
+// methods. Attach with Machine.SetLockObserver; when none is attached
+// (and no Tracer is), emitting an event is a pair of nil checks — the
+// same default-off pattern as Tracer.record.
+type LockObserver interface {
+	LockEvent(at Time, kind TraceKind, lock, tid, arg int32)
+}
+
 // cpuCtx is one hardware context.
 type cpuCtx struct {
 	id        int
@@ -37,8 +48,10 @@ type Machine struct {
 
 	futexQ map[*Word][]*Thread
 
-	hooks  []SchedSwitchHook
-	tracer *Tracer
+	hooks     []SchedSwitchHook
+	tracer    *Tracer
+	lockObs   LockObserver
+	lockNames []string
 
 	spinners []*Thread
 
@@ -95,6 +108,51 @@ func (m *Machine) RunnableTimeline() *stats.Timeline { return &m.timeline }
 // RegisterSwitchHook attaches a sched_switch hook. Attach before Run.
 func (m *Machine) RegisterSwitchHook(h SchedSwitchHook) {
 	m.hooks = append(m.hooks, h)
+}
+
+// SetLockObserver attaches the lock-event consumer (nil detaches).
+func (m *Machine) SetLockObserver(o LockObserver) { m.lockObs = o }
+
+// RegisterLockName assigns the next dense lock id to name. Lock
+// implementations call it once at construction; the id tags every lock
+// event the instance emits.
+func (m *Machine) RegisterLockName(name string) int32 {
+	m.lockNames = append(m.lockNames, name)
+	return int32(len(m.lockNames) - 1)
+}
+
+// LockName resolves a lock id from RegisterLockName ("" if out of range,
+// e.g. the -1 id of system-wide events).
+func (m *Machine) LockName(id int32) string {
+	if id < 0 || int(id) >= len(m.lockNames) {
+		return ""
+	}
+	return m.lockNames[id]
+}
+
+// NumLocks returns how many lock ids have been registered.
+func (m *Machine) NumLocks() int { return len(m.lockNames) }
+
+// lockEvent fans one lock event out to the tracer and the observer. The
+// leading nil checks keep the disabled cost to a couple of predictable
+// branches, matching the Tracer.record pattern, so instrumentation in
+// lock hot paths is free when nothing is attached.
+func (m *Machine) lockEvent(kind TraceKind, lock, tid, arg int32) {
+	if m.tracer == nil && m.lockObs == nil {
+		return
+	}
+	m.tracer.record(m.clock, kind, tid, arg, lock)
+	if m.lockObs != nil {
+		m.lockObs.LockEvent(m.clock, kind, lock, tid, arg)
+	}
+}
+
+// KernelLockEvent emits a lock event from kernel-side code (sched_switch
+// hooks such as the Preemption Monitor). lock may be -1 for system-wide
+// events; arg carries event-specific data (policy direction, counter
+// value).
+func (m *Machine) KernelLockEvent(kind TraceKind, lock, tid, arg int32) {
+	m.lockEvent(kind, lock, tid, arg)
 }
 
 // Spawn creates a simulated thread executing body and makes it runnable at
@@ -312,7 +370,7 @@ func (m *Machine) contextSwitch(c *cpuCtx, prev, next *Thread) {
 	if prev != nil {
 		prev.Switches++
 	}
-	m.tracer.record(m.clock, TraceSwitch, tid(prev), tid(next))
+	m.tracer.record(m.clock, TraceSwitch, tid(prev), tid(next), -1)
 	for _, h := range m.hooks {
 		h(prev, next)
 	}
@@ -462,7 +520,7 @@ func (m *Machine) step(t *Thread) {
 
 // onExit handles a thread whose body returned.
 func (m *Machine) onExit(t *Thread) {
-	m.tracer.record(m.clock, TraceExit, tid(t), -1)
+	m.tracer.record(m.clock, TraceExit, tid(t), -1, -1)
 	c := m.cpus[t.cpu]
 	m.detach(t)
 	t.state = StateDone

@@ -292,7 +292,7 @@ func (m *Machine) futexWaitDone(t *Thread) {
 	m.detach(t)
 	t.state = StateBlocked
 	m.setRunnable(-1)
-	m.tracer.record(m.clock, TraceBlock, tid(t), -1)
+	m.tracer.record(m.clock, TraceBlock, tid(t), -1, -1)
 	t.pending = pendStep // result delivered when rescheduled after wake
 	m.futexQ[req.w] = append(m.futexQ[req.w], t)
 	m.contextSwitch(c, t, m.runqPop())
@@ -307,7 +307,7 @@ func (m *Machine) futexWake(w *Word, n int) int {
 		wt := q[0]
 		q = q[1:]
 		wt.res = opRes{ok: true}
-		m.tracer.record(m.clock, TraceWake, tid(wt), -1)
+		m.tracer.record(m.clock, TraceWake, tid(wt), -1, -1)
 		lat := m.cfg.Costs.WakeLatency
 		if lat > 0 {
 			m.eq.Schedule(m.clock+lat, func() {
@@ -355,7 +355,7 @@ func (m *Machine) sleepDone(t *Thread) {
 	m.detach(t)
 	t.state = StateSleeping
 	m.setRunnable(-1)
-	m.tracer.record(m.clock, TraceSleep, tid(t), -1)
+	m.tracer.record(m.clock, TraceSleep, tid(t), -1, -1)
 	t.pending = pendStep
 	t.res = opRes{}
 	m.eq.Schedule(m.clock+d, func() {

@@ -200,6 +200,20 @@ func (p *Proc) DecCS() {
 // SetRegion sets the thread's label region (free; labels cost nothing).
 func (p *Proc) SetRegion(r Region) { p.t.Region = r }
 
+// LockEvent emits a lock event from this thread (free: like SetRegion it
+// models information — a USDT probe point — that costs nothing at run
+// time; recording only happens when a Tracer or LockObserver is
+// attached).
+func (p *Proc) LockEvent(kind TraceKind, lock int32) {
+	p.m.lockEvent(kind, lock, int32(p.t.id), -1)
+}
+
+// LockEventArg is LockEvent with an argument (e.g. the successor thread
+// of a TraceHandover).
+func (p *Proc) LockEventArg(kind TraceKind, lock, arg int32) {
+	p.m.lockEvent(kind, lock, int32(p.t.id), arg)
+}
+
 // SetExtendSlice sets or clears the user-space timeslice-extension request
 // flag (the rseq-area bit of the kernel patch in §2.4). Free.
 func (p *Proc) SetExtendSlice(on bool) { p.t.extendSlice = on }

@@ -8,13 +8,28 @@ import (
 // TraceKind classifies trace events.
 type TraceKind int8
 
-// Trace event kinds.
+// Trace event kinds. The first group are scheduler events; the second
+// group is the expanded lock-event trace model: lock algorithms emit
+// them through Proc.LockEvent and the Preemption Monitor through
+// Machine.KernelLockEvent.
 const (
 	TraceSwitch TraceKind = iota // context switch on a CPU (Prev -> Next)
 	TraceBlock                   // thread blocked on a futex
 	TraceWake                    // thread woken from a futex
 	TraceSleep                   // thread entered a timed sleep
 	TraceExit                    // thread finished
+
+	// Lock events. Prev is the emitting thread; Lock identifies the lock
+	// instance (see Machine.RegisterLockName), -1 for system-wide events.
+	TraceAcquire      // lock acquired
+	TraceRelease      // lock released
+	TraceSpinStart    // waiter began a busy-wait leg on the lock
+	TraceLockBlock    // waiter chose to block (futex) on the lock
+	TraceLockWake     // releaser woke blocked waiter(s) on the lock
+	TraceHandover     // queue lock handed over; Next is the successor
+	TracePolicySwitch // flexguard policy flip; Next: 1 = spin→block, 0 = block→spin
+	TraceNPCSUp       // num_preempted_cs incremented; Next is the new value
+	TraceNPCSDown     // num_preempted_cs decremented; Next is the new value
 )
 
 func (k TraceKind) String() string {
@@ -29,31 +44,60 @@ func (k TraceKind) String() string {
 		return "sleep"
 	case TraceExit:
 		return "exit"
+	case TraceAcquire:
+		return "acquire"
+	case TraceRelease:
+		return "release"
+	case TraceSpinStart:
+		return "spin-start"
+	case TraceLockBlock:
+		return "lock-block"
+	case TraceLockWake:
+		return "lock-wake"
+	case TraceHandover:
+		return "handover"
+	case TracePolicySwitch:
+		return "policy-switch"
+	case TraceNPCSUp:
+		return "npcs-up"
+	case TraceNPCSDown:
+		return "npcs-down"
 	default:
 		return "invalid"
 	}
 }
 
-// TraceEvent is one recorded scheduler event. Prev/Next are thread ids
-// (-1 = the idle task / not applicable).
+// IsLockEvent reports whether k belongs to the lock-event group.
+func (k TraceKind) IsLockEvent() bool { return k >= TraceAcquire }
+
+// TraceEvent is one recorded event. Prev/Next are thread ids (-1 = the
+// idle task / not applicable), except for TracePolicySwitch and
+// TraceNPCSUp/Down where Next carries the event's argument. Lock is the
+// lock instance id for lock events (-1 otherwise; see
+// Machine.LockName).
 type TraceEvent struct {
 	At   Time
 	Kind TraceKind
 	Prev int32
 	Next int32
+	Lock int32
 }
 
-// Tracer records scheduler events up to a capacity (older events are
-// kept; recording stops at capacity — runs that need the tail should size
-// accordingly). Attach with Machine.AttachTracer before Run.
+// Tracer records events into a fixed-capacity ring buffer: once full,
+// each new event overwrites the oldest one, so the *newest* events are
+// kept and Dropped counts the evicted older ones. Runs that need the
+// head of the trace should size accordingly. Attach with
+// Machine.AttachTracer before Run.
 type Tracer struct {
 	events []TraceEvent
 	max    int
-	// Dropped counts events beyond capacity.
+	head   int // next overwrite position once the ring is full
+	full   bool
+	// Dropped counts older events evicted after the ring filled.
 	Dropped int64
 }
 
-// AttachTracer installs a scheduler tracer recording up to max events.
+// AttachTracer installs a tracer keeping the newest max events.
 func (m *Machine) AttachTracer(max int) *Tracer {
 	if max <= 0 {
 		max = 1 << 16
@@ -63,22 +107,40 @@ func (m *Machine) AttachTracer(max int) *Tracer {
 	return tr
 }
 
-// record appends an event if capacity remains.
-func (tr *Tracer) record(at Time, kind TraceKind, prev, next int32) {
+// record appends an event, evicting the oldest at capacity.
+func (tr *Tracer) record(at Time, kind TraceKind, prev, next, lock int32) {
 	if tr == nil {
 		return
 	}
-	if len(tr.events) >= tr.max {
-		tr.Dropped++
+	ev := TraceEvent{At: at, Kind: kind, Prev: prev, Next: next, Lock: lock}
+	if len(tr.events) < tr.max {
+		tr.events = append(tr.events, ev)
 		return
 	}
-	tr.events = append(tr.events, TraceEvent{At: at, Kind: kind, Prev: prev, Next: next})
+	tr.events[tr.head] = ev
+	tr.head++
+	if tr.head == tr.max {
+		tr.head = 0
+	}
+	tr.full = true
+	tr.Dropped++
 }
 
-// Events returns the recorded events in time order.
-func (tr *Tracer) Events() []TraceEvent { return tr.events }
+// Events returns the recorded events in time order (oldest kept first).
+// After wrap-around this allocates a reordered copy.
+func (tr *Tracer) Events() []TraceEvent {
+	if !tr.full || tr.head == 0 {
+		return tr.events
+	}
+	out := make([]TraceEvent, 0, len(tr.events))
+	out = append(out, tr.events[tr.head:]...)
+	out = append(out, tr.events[:tr.head]...)
+	return out
+}
 
-// Count returns the number of recorded events of the given kind.
+// Count returns the number of recorded (still-buffered) events of the
+// given kind. Ring position is irrelevant to counting, so this is exact
+// across wrap-around for the retained window.
 func (tr *Tracer) Count(kind TraceKind) int {
 	n := 0
 	for _, e := range tr.events {
@@ -90,7 +152,7 @@ func (tr *Tracer) Count(kind TraceKind) int {
 }
 
 // SwitchesPerThread tallies, per thread id, how many times it was
-// switched out.
+// switched out, over the retained window (exact across wrap-around).
 func (tr *Tracer) SwitchesPerThread() map[int]int {
 	out := make(map[int]int)
 	for _, e := range tr.events {
@@ -101,21 +163,25 @@ func (tr *Tracer) SwitchesPerThread() map[int]int {
 	return out
 }
 
-// Dump writes a human-readable listing of up to limit events.
+// Dump writes a human-readable listing of up to limit events, oldest
+// retained first.
 func (tr *Tracer) Dump(w io.Writer, limit int) {
-	if limit <= 0 || limit > len(tr.events) {
-		limit = len(tr.events)
+	evs := tr.Events()
+	if limit <= 0 || limit > len(evs) {
+		limit = len(evs)
 	}
-	for _, e := range tr.events[:limit] {
-		switch e.Kind {
-		case TraceSwitch:
+	for _, e := range evs[:limit] {
+		switch {
+		case e.Kind == TraceSwitch:
 			fmt.Fprintf(w, "%12d switch  %4d -> %4d\n", e.At, e.Prev, e.Next)
+		case e.Kind.IsLockEvent():
+			fmt.Fprintf(w, "%12d %-13s thr=%-4d lock=%-4d arg=%d\n", e.At, e.Kind, e.Prev, e.Lock, e.Next)
 		default:
 			fmt.Fprintf(w, "%12d %-7s %4d\n", e.At, e.Kind, e.Prev)
 		}
 	}
 	if tr.Dropped > 0 {
-		fmt.Fprintf(w, "... %d events dropped at capacity\n", tr.Dropped)
+		fmt.Fprintf(w, "... %d older events evicted from the ring\n", tr.Dropped)
 	}
 }
 

@@ -59,6 +59,89 @@ func TestTracerCapacity(t *testing.T) {
 	}
 }
 
+// Drive the ring directly so wrap-around behaviour is deterministic:
+// the ring keeps the NEWEST max events, Dropped counts the evicted
+// older ones, and Events() restores time order after the wrap point.
+func TestTracerWrapAroundKeepsNewest(t *testing.T) {
+	tr := &Tracer{max: 4}
+	for i := 0; i < 10; i++ {
+		tr.record(Time(i), TraceSwitch, int32(i%3), -1, -1)
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	// Newest four are At 6..9, in time order despite head != 0.
+	for i, e := range evs {
+		if e.At != Time(6+i) {
+			t.Fatalf("event %d: At=%d want %d (events: %+v)", i, e.At, 6+i, evs)
+		}
+	}
+	if tr.Dropped != 6 {
+		t.Fatalf("Dropped=%d want 6", tr.Dropped)
+	}
+}
+
+// Count and SwitchesPerThread are exact over the retained window even
+// after the ring wraps: they see exactly the events Events() returns.
+func TestTracerWrapAroundCounts(t *testing.T) {
+	tr := &Tracer{max: 5}
+	// 12 events: alternate switch (thread i%2) and lock acquire.
+	for i := 0; i < 12; i++ {
+		if i%2 == 0 {
+			tr.record(Time(i), TraceSwitch, int32(i/2%2), -1, -1)
+		} else {
+			tr.record(Time(i), TraceAcquire, int32(i/2%2), -1, 0)
+		}
+	}
+	evs := tr.Events()
+	wantSwitch, wantAcq := 0, 0
+	wantPer := map[int]int{}
+	for _, e := range evs {
+		switch e.Kind {
+		case TraceSwitch:
+			wantSwitch++
+			wantPer[int(e.Prev)]++
+		case TraceAcquire:
+			wantAcq++
+		}
+	}
+	if got := tr.Count(TraceSwitch); got != wantSwitch {
+		t.Fatalf("Count(switch)=%d want %d", got, wantSwitch)
+	}
+	if got := tr.Count(TraceAcquire); got != wantAcq {
+		t.Fatalf("Count(acquire)=%d want %d", got, wantAcq)
+	}
+	per := tr.SwitchesPerThread()
+	if len(per) != len(wantPer) {
+		t.Fatalf("SwitchesPerThread=%v want %v", per, wantPer)
+	}
+	for id, n := range wantPer {
+		if per[id] != n {
+			t.Fatalf("SwitchesPerThread[%d]=%d want %d", id, per[id], n)
+		}
+	}
+	if tr.Dropped != 12-5 {
+		t.Fatalf("Dropped=%d want 7", tr.Dropped)
+	}
+}
+
+func TestTracerDumpLockEventsAndEvictionFooter(t *testing.T) {
+	tr := &Tracer{max: 2}
+	tr.record(0, TraceSwitch, 0, 1, -1)
+	tr.record(5, TraceAcquire, 1, -1, 0)
+	tr.record(9, TracePolicySwitch, -1, 1, -1)
+	var sb strings.Builder
+	tr.Dump(&sb, 0)
+	out := sb.String()
+	if !strings.Contains(out, "acquire") || !strings.Contains(out, "policy-switch") {
+		t.Fatalf("dump missing lock events:\n%s", out)
+	}
+	if !strings.Contains(out, "1 older events evicted") {
+		t.Fatalf("dump missing eviction footer:\n%s", out)
+	}
+}
+
 func TestTracerSwitchesPerThread(t *testing.T) {
 	m := small(1)
 	tr := m.AttachTracer(0) // default capacity

@@ -26,14 +26,17 @@ func Summarize(samples []float64) Summary {
 	}
 	s := append([]float64(nil), samples...)
 	sort.Float64s(s)
-	var sum, sq float64
-	for _, v := range s {
+	// Welford's one-pass update: the naive E[x²]−E[x]² form cancels
+	// catastrophically when the mean dwarfs the spread (e.g. large
+	// tick-timestamp samples), yielding zero or negative variance.
+	var mean, m2, sum float64
+	for i, v := range s {
 		sum += v
-		sq += v * v
+		d := v - mean
+		mean += d / float64(i+1)
+		m2 += d * (v - mean)
 	}
-	n := float64(len(s))
-	mean := sum / n
-	variance := sq/n - mean*mean
+	variance := m2 / float64(len(s))
 	if variance < 0 {
 		variance = 0
 	}

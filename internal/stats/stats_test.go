@@ -46,6 +46,38 @@ func TestSummarizeSingle(t *testing.T) {
 	}
 }
 
+// Regression: the naive E[x²]−E[x]² variance cancels catastrophically
+// when the mean dwarfs the spread (float64 keeps ~15-16 significant
+// digits, so at offset 1e12 the squares lose the ±1 spread entirely).
+// Welford's update must recover the exact deviation regardless of
+// offset.
+func TestSummarizeVarianceLargeOffset(t *testing.T) {
+	const offset = 1e12
+	// Samples offset±1: true stddev is 1 whatever the offset.
+	samples := make([]float64, 1000)
+	for i := range samples {
+		if i%2 == 0 {
+			samples[i] = offset + 1
+		} else {
+			samples[i] = offset - 1
+		}
+	}
+	// Welford keeps a small rounding residue at this offset (~1e-4);
+	// the naive formula loses the spread entirely and returns 0.
+	s := Summarize(samples)
+	if !almostEqual(s.StdDev, 1, 1e-3) {
+		t.Fatalf("stddev at offset %g: got %g want 1", offset, s.StdDev)
+	}
+	// Shifting samples must not change the spread.
+	small := make([]float64, len(samples))
+	for i, v := range samples {
+		small[i] = v - offset
+	}
+	if d := Summarize(small).StdDev; !almostEqual(s.StdDev, d, 1e-3) {
+		t.Fatalf("stddev not shift-invariant: %g (offset) vs %g (centered)", s.StdDev, d)
+	}
+}
+
 // Property: percentiles are monotone and bounded by min/max.
 func TestSummarizePercentileBounds(t *testing.T) {
 	check := func(raw []uint16) bool {

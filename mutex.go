@@ -35,6 +35,12 @@ type Mutex struct {
 	// SpinBudget is the number of acquisition attempts per busy-wait leg
 	// before rechecking the monitor (tunable; set by NewMutex).
 	SpinBudget int
+	// Slow-path telemetry (see Snapshot). The fast path stays uncounted.
+	slowAcquires  atomic.Int64
+	spinAcquires  atomic.Int64
+	blockAcquires atomic.Int64
+	spinToBlock   atomic.Int64
+	blockToSpin   atomic.Int64
 }
 
 // NewMutex returns a FlexGuard mutex driven by mon (nil selects the
@@ -62,23 +68,41 @@ func (m *Mutex) Lock() {
 	if m.TryLock() {
 		return
 	}
+	m.slowAcquires.Add(1)
+	const (
+		modeNone = iota
+		modeSpin
+		modeBlock
+	)
+	mode := modeNone
 	for {
 		if !m.mon.Oversubscribed() {
 			// Busy-waiting mode.
+			if mode == modeBlock {
+				m.blockToSpin.Add(1)
+			}
+			mode = modeSpin
 			if m.spin() {
+				m.spinAcquires.Add(1)
 				return
 			}
 			continue
 		}
 		// Blocking mode: mark the lock and park on the wake channel
 		// (Listing 2 lines 52–63, with the channel as the futex).
+		if mode == modeSpin {
+			m.spinToBlock.Add(1)
+		}
+		mode = modeBlock
 		old := m.state.Swap(mutexLockedWithWaiters)
 		if old == mutexUnlocked {
+			m.blockAcquires.Add(1)
 			return // the swap acquired the lock
 		}
 		<-m.wake
 		old = m.state.Swap(mutexLockedWithWaiters)
 		if old == mutexUnlocked {
+			m.blockAcquires.Add(1)
 			return
 		}
 		// Woken but lost the race; if the system went back to healthy,

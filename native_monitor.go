@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // NativeMonitor approximates the FlexGuard Preemption Monitor for real Go
@@ -26,8 +28,14 @@ type NativeMonitor struct {
 	over      atomic.Bool
 	stop      chan struct{}
 	stopOnce  sync.Once
-	// trips counts healthy→oversubscribed transitions (introspection).
-	trips atomic.Int64
+	// trips counts healthy→oversubscribed transitions; untrips the
+	// transitions back (introspection; see Snapshot).
+	trips   atomic.Int64
+	untrips atomic.Int64
+	// probes counts sampling iterations; overshoot records how late each
+	// probe woke (ns) — the raw signal behind the verdict.
+	probes    atomic.Int64
+	overshoot *obs.Histogram
 }
 
 // MonitorConfig tunes StartMonitor.
@@ -50,6 +58,7 @@ func StartMonitor(c MonitorConfig) *NativeMonitor {
 		interval:  c.Interval,
 		threshold: c.Threshold,
 		stop:      make(chan struct{}),
+		overshoot: obs.NewHistogram(),
 	}
 	go m.loop()
 	return m
@@ -66,6 +75,12 @@ func (m *NativeMonitor) loop() {
 		start := time.Now()
 		time.Sleep(m.interval)
 		overshoot := time.Since(start) - m.interval
+		m.probes.Add(1)
+		if ns := overshoot.Nanoseconds(); ns > 0 {
+			m.overshoot.Record(ns)
+		} else {
+			m.overshoot.Record(0)
+		}
 		if overshoot > m.threshold {
 			consecutive++
 			if consecutive >= 2 && !m.over.Load() {
@@ -74,7 +89,10 @@ func (m *NativeMonitor) loop() {
 			}
 		} else {
 			consecutive = 0
-			m.over.Store(false)
+			if m.over.Load() {
+				m.over.Store(false)
+				m.untrips.Add(1)
+			}
 		}
 	}
 }
