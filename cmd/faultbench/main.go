@@ -1,0 +1,183 @@
+// Command faultbench sweeps lock algorithms across fault-injection
+// plans under the invariant checker — the CLI face of the robustness
+// campaign. A failing (alg, plan, seed) triple is shrunk to a minimal
+// one-line replay spec that reproduces the violation deterministically:
+//
+//	faultbench                                   # default sweep
+//	faultbench -algs flexguard,mcs -plans chaos  # narrow it
+//	faultbench -mutants                          # checker self-test
+//	faultbench -replay "seed=1 mutant=tas-noatomic cpus=3 threads=2 horizon=375308 plan=none"
+//
+// Exit status: 0 when every stock algorithm held every invariant (and,
+// with -mutants, every mutant was caught); 1 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/fault"
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		algsFlag  = flag.String("algs", "", "comma-separated algorithms (default: the §5.1 set)")
+		plansFlag = flag.String("plans", "", "comma-separated fault-plan presets or specs (default: all presets)")
+		seeds     = flag.Int("seeds", 3, "seeds per (alg, plan) cell")
+		quick     = flag.Bool("quick", false, "1 seed, core algorithms only (CI smoke)")
+		mutants   = flag.Bool("mutants", false, "run the mutation self-test instead of the sweep")
+		replay    = flag.String("replay", "", "replay one spec (as printed for a shrunk failure) and exit")
+	)
+	flag.Parse()
+
+	switch {
+	case *replay != "":
+		os.Exit(runReplay(*replay))
+	case *mutants:
+		os.Exit(runMutants())
+	}
+
+	algs := harness.Algorithms
+	if *quick {
+		algs = []string{"blocking", "mcs", "flexguard"}
+		*seeds = 1
+	}
+	if *algsFlag != "" {
+		var err error
+		if algs, err = harness.ParseAlgs(*algsFlag); err != nil {
+			fatal(err)
+		}
+	}
+	plans := fault.Plans()
+	if *plansFlag != "" {
+		plans = nil
+		for _, s := range strings.Split(*plansFlag, ",") {
+			p, err := fault.ParsePlan(s)
+			if err != nil {
+				fatal(err)
+			}
+			plans = append(plans, fault.NamedPlan{Name: s, Plan: p})
+		}
+	}
+	os.Exit(runSweep(algs, plans, *seeds))
+}
+
+// runSweep is the campaign: every algorithm must hold every invariant
+// under every plan. Failures are shrunk and printed as replay specs.
+func runSweep(algs []string, plans []fault.NamedPlan, seeds int) int {
+	fmt.Printf("%-16s", "alg\\plan")
+	for _, np := range plans {
+		fmt.Printf(" %14s", np.Name)
+	}
+	fmt.Println()
+	failures := 0
+	var specs []string
+	for _, alg := range algs {
+		fmt.Printf("%-16s", alg)
+		for _, np := range plans {
+			cell := "ok"
+			for s := 0; s < seeds; s++ {
+				c := harness.FuzzCfg{Alg: alg, Seed: uint64(1000*s + 17), Plan: np.Plan}
+				r, err := harness.Fuzz(c)
+				if err != nil {
+					fatal(err)
+				}
+				if r.Failed() || r.Deadlocked || r.HitGrace {
+					failures++
+					cell = "FAIL"
+					min, res, err := harness.ShrinkFailure(c)
+					if err != nil {
+						fatal(err)
+					}
+					spec := min.Replay()
+					if !res.Failed() {
+						spec = c.Replay() + "  (shrink lost it; original spec)"
+					}
+					specs = append(specs, fmt.Sprintf("%s × %s: %s", alg, np.Name, spec))
+					break
+				}
+			}
+			fmt.Printf(" %14s", cell)
+		}
+		fmt.Println()
+	}
+	if failures > 0 {
+		fmt.Printf("\n%d failing cell(s); shrunk reproducers:\n", failures)
+		for _, s := range specs {
+			fmt.Println("  " + s)
+		}
+		return 1
+	}
+	fmt.Printf("\nall %d cells clean (%d seeds each)\n", len(algs)*len(plans), seeds)
+	return 0
+}
+
+// runMutants proves the checker can fail: every registered mutant must
+// be caught, shrunk, and reproduced from its spec in one run.
+func runMutants() int {
+	bad := 0
+	for _, mu := range fault.Mutants() {
+		caught := false
+		for s := uint64(1); s <= 20 && !caught; s++ {
+			c := harness.FuzzCfg{Mutant: mu.Name, Seed: s}
+			r, err := harness.Fuzz(c)
+			if err != nil {
+				fatal(err)
+			}
+			if !r.Failed() {
+				continue
+			}
+			caught = true
+			min, res, err := harness.ShrinkFailure(c)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-18s caught (%s)\n", mu.Name, res.Violations[0].Invariant)
+			fmt.Printf("%-18s reproducer: %s\n", "", min.Replay())
+		}
+		if !caught {
+			fmt.Printf("%-18s NOT CAUGHT — checker is blind to %q\n", mu.Name, mu.Breaks)
+			bad++
+		}
+	}
+	if bad > 0 {
+		return 1
+	}
+	fmt.Println("all mutants caught")
+	return 0
+}
+
+// runReplay executes one spec and reports its verdicts. Exit 1 when the
+// spec reproduces a failure (the expected outcome for a reproducer).
+func runReplay(spec string) int {
+	c, err := harness.ParseReplay(spec)
+	if err != nil {
+		fatal(err)
+	}
+	r, err := harness.Fuzz(c)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("replay: %s\n", c.Replay())
+	fmt.Printf("shape: %d cpus, %d threads, horizon %d; quiesced at %d; %d ops\n",
+		r.CPUs, r.Threads, r.Horizon, r.Quiesced, r.Ops)
+	for _, v := range r.Violations {
+		fmt.Println("  " + v.String())
+	}
+	if r.Deadlocked {
+		fmt.Print(r.DeadlockDump)
+	}
+	if r.Failed() || r.Deadlocked {
+		return 1
+	}
+	fmt.Println("no violations")
+	return 0
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "faultbench:", err)
+	os.Exit(1)
+}

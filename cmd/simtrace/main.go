@@ -82,7 +82,7 @@ func main() {
 		Deadline: sim.Time(*duration),
 		NewLock:  env.NewLock,
 	})
-	m.Run(sim.Time(*duration) * 5 / 4)
+	quiesced := m.Run(sim.Time(*duration) * 5 / 4)
 
 	fmt.Printf("\nsummary: %d context switches, %d involved a thread in a critical section\n",
 		switches, preemptInCS)
@@ -127,5 +127,12 @@ func main() {
 		}
 		fmt.Printf("\nwrote %s (%d events, %d evicted from the ring); open in ui.perfetto.dev\n",
 			*perfetto, len(tracer.Events()), tracer.Dropped)
+	}
+	// A drain before the deadline with threads still parked is a hang;
+	// waiters stranded at shutdown are a benign end-of-run artifact.
+	// Reported after the trace is written so the evidence survives.
+	if quiesced < sim.Time(*duration) && m.Deadlocked() {
+		fmt.Fprintf(os.Stderr, "simtrace: DEADLOCK\n%s", m.DeadlockReport())
+		os.Exit(1)
 	}
 }

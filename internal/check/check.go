@@ -1,0 +1,390 @@
+// Package check is an online invariant checker for lock algorithms: it
+// consumes the machine's lock-event stream (the PR-1 trace model) and
+// verifies run-wide correctness properties — mutual exclusion, no lost
+// wakeup, bounded starvation, no stalled waiters, deadlock freedom and
+// acquisition-count conservation. It exists because throughput numbers
+// cannot distinguish "slow" from "wrong": a lock that loses a wakeup or
+// admits two holders under an adversarial schedule still posts
+// plausible-looking counters. The checker turns such runs into
+// structured, replayable failures.
+//
+// Attach before Run with Attach, then call Finish with the quiesced
+// time Run returned. Violations are also surfaced through internal/obs
+// (a counter per invariant) and as TraceViolation instants in the
+// trace, so a failing schedule can be opened in the Perfetto viewer at
+// the exact violation timestamp.
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Invariant names a checked property.
+type Invariant string
+
+// The checked invariants.
+const (
+	// MutualExclusion: at most one thread holds a lock at any time
+	// (a second Acquire before the holder's Release).
+	MutualExclusion Invariant = "mutual-exclusion"
+	// LostWakeup: a thread parked on a lock's futex with no holder left
+	// to wake it — every Block must have a matching Wake or run-end.
+	LostWakeup Invariant = "lost-wakeup"
+	// Starvation: a continuously-waiting thread was passed more than K
+	// times by later arrivals.
+	Starvation Invariant = "starvation"
+	// StalledWaiter: a waiter made no progress on a free, inactive lock
+	// for longer than the stall bound (e.g. a spinner whose handover
+	// never came).
+	StalledWaiter Invariant = "stalled-waiter"
+	// Deadlock: the event queue drained before the horizon with threads
+	// still blocked — the silent-hang failure mode, as a structured
+	// verdict with an owner/waiter dump.
+	Deadlock Invariant = "deadlock"
+	// Conservation: per lock, acquisitions == releases + live holders.
+	Conservation Invariant = "conservation"
+)
+
+// Code returns the sim.Violation* code carried on TraceViolation events.
+func (i Invariant) Code() int32 {
+	switch i {
+	case MutualExclusion:
+		return sim.ViolationMutualExclusion
+	case LostWakeup:
+		return sim.ViolationLostWakeup
+	case Starvation:
+		return sim.ViolationStarvation
+	case StalledWaiter:
+		return sim.ViolationStalledWaiter
+	case Deadlock:
+		return sim.ViolationDeadlock
+	case Conservation:
+		return sim.ViolationConservation
+	default:
+		return 0
+	}
+}
+
+// Violation is one detected invariant breach.
+type Violation struct {
+	Invariant Invariant
+	At        sim.Time
+	Lock      int32 // lock id, -1 for machine-wide (deadlock)
+	LockName  string
+	Thread    int32 // offending / affected thread, -1 if not applicable
+	Detail    string
+}
+
+func (v Violation) String() string {
+	where := v.LockName
+	if where == "" {
+		where = fmt.Sprintf("lock %d", v.Lock)
+	}
+	if v.Lock < 0 {
+		where = "machine"
+	}
+	return fmt.Sprintf("[%s] t=%d %s thread=%d: %s", v.Invariant, v.At, where, v.Thread, v.Detail)
+}
+
+// Options tunes the checker. The zero value selects the defaults.
+type Options struct {
+	// StarvationK is the pass bound: a continuously-waiting thread
+	// overtaken by more than K acquisitions is starved. The default is
+	// deliberately huge (100000) because unfair-by-design locks (TAS,
+	// backoff) legitimately pass waiters; tighten it per run to study
+	// fairness.
+	StarvationK int64
+	// StallBound is how long (virtual ticks) a waiter may sit on a
+	// free, inactive lock before being declared stalled. Default 1e6.
+	StallBound sim.Time
+	// MaxViolations caps stored violations (counters keep counting).
+	// Default 32.
+	MaxViolations int
+	// Registry, when set, receives a counter per violated invariant
+	// ("check.violation.<name>").
+	Registry *obs.Registry
+	// EmitEvents, when set, emits a TraceViolation event at each
+	// violation so traces carry the verdicts (off by default; the fuzz
+	// harness turns it on).
+	EmitEvents bool
+}
+
+func (o *Options) fill() {
+	if o.StarvationK <= 0 {
+		o.StarvationK = 100_000
+	}
+	if o.StallBound <= 0 {
+		o.StallBound = 1_000_000
+	}
+	if o.MaxViolations <= 0 {
+		o.MaxViolations = 32
+	}
+}
+
+// waiterState tracks one thread waiting on one lock.
+type waiterState struct {
+	since   sim.Time
+	passes  int64
+	flagged bool // starvation already reported
+}
+
+// lockState is the checker's per-lock view, rebuilt purely from events.
+type lockState struct {
+	id           int32
+	holders      map[int32]sim.Time // tid -> acquire time
+	waiting      map[int32]*waiterState
+	acquires     int64
+	releases     int64
+	lastActivity sim.Time
+}
+
+// Checker consumes lock events and verifies invariants online. It is a
+// sim.LockObserver; attach with Attach (which uses AddLockObserver so
+// it coexists with the obs stats observer).
+type Checker struct {
+	m     *sim.Machine
+	o     Options
+	locks map[int32]*lockState
+	// blockIntent records, per thread, the lock named in its most
+	// recent TraceLockBlock — the lock it is about to park on.
+	blockIntent map[int32]int32
+	// parked maps threads currently parked on a futex (scheduler
+	// TraceBlock seen, no TraceWake yet) to the lock they blocked on
+	// (-2 when the park was not lock-related).
+	parked     map[int32]int32
+	parkedAt   map[int32]sim.Time
+	violations []Violation
+	// Total counts all violations, including ones beyond MaxViolations.
+	Total    int64
+	finished bool
+}
+
+// Attach installs a checker on m. Call before Run.
+func Attach(m *sim.Machine, o Options) *Checker {
+	o.fill()
+	c := &Checker{
+		m:           m,
+		o:           o,
+		locks:       make(map[int32]*lockState),
+		blockIntent: make(map[int32]int32),
+		parked:      make(map[int32]int32),
+		parkedAt:    make(map[int32]sim.Time),
+	}
+	m.AddLockObserver(c)
+	return c
+}
+
+// Violations returns the stored violations (post-Finish for the full
+// set; online ones are available at any time).
+func (c *Checker) Violations() []Violation { return c.violations }
+
+func (c *Checker) lock(id int32) *lockState {
+	ls, ok := c.locks[id]
+	if !ok {
+		ls = &lockState{
+			id:      id,
+			holders: make(map[int32]sim.Time),
+			waiting: make(map[int32]*waiterState),
+		}
+		c.locks[id] = ls
+	}
+	return ls
+}
+
+func (c *Checker) violate(v Violation) {
+	c.Total++
+	if c.o.Registry != nil {
+		c.o.Registry.Counter("check.violation." + string(v.Invariant)).Inc()
+	}
+	if len(c.violations) < c.o.MaxViolations {
+		c.violations = append(c.violations, v)
+	}
+	if c.o.EmitEvents {
+		c.m.KernelLockEvent(sim.TraceViolation, v.Lock, v.Thread, v.Invariant.Code())
+	}
+}
+
+// LockEvent implements sim.LockObserver.
+func (c *Checker) LockEvent(at sim.Time, kind sim.TraceKind, lock, tid, arg int32) {
+	switch kind {
+	case sim.TraceViolation, sim.TraceMonitorStale,
+		sim.TracePolicySwitch, sim.TraceNPCSUp, sim.TraceNPCSDown:
+		return // policy / self-emitted events carry no lock state
+	case sim.TraceBlock:
+		// Scheduler-level park: bind it to the lock last named in a
+		// TraceLockBlock by this thread (if any).
+		intent, ok := c.blockIntent[tid]
+		if !ok {
+			intent = -2
+		}
+		c.parked[tid] = intent
+		c.parkedAt[tid] = at
+		return
+	case sim.TraceWake:
+		delete(c.parked, tid)
+		delete(c.parkedAt, tid)
+		return
+	case sim.TraceSleep, sim.TraceExit, sim.TraceSwitch:
+		return
+	}
+	if lock < 0 {
+		return
+	}
+	// A thread emitting a lock event is on-CPU: it cannot be parked.
+	delete(c.parked, tid)
+	delete(c.parkedAt, tid)
+	ls := c.lock(lock)
+	ls.lastActivity = at
+	switch kind {
+	case sim.TraceAcquire:
+		if len(ls.holders) > 0 {
+			for other, since := range ls.holders {
+				c.violate(Violation{
+					Invariant: MutualExclusion, At: at, Lock: lock,
+					LockName: c.m.LockName(lock), Thread: tid,
+					Detail: fmt.Sprintf("acquired while thread %d holds it (since t=%d)", other, since),
+				})
+				break
+			}
+		}
+		ls.holders[tid] = at
+		ls.acquires++
+		delete(ls.waiting, tid)
+		delete(c.blockIntent, tid)
+		for wtid, w := range ls.waiting {
+			w.passes++
+			if w.passes > c.o.StarvationK && !w.flagged {
+				w.flagged = true
+				c.violate(Violation{
+					Invariant: Starvation, At: at, Lock: lock,
+					LockName: c.m.LockName(lock), Thread: wtid,
+					Detail: fmt.Sprintf("waiting since t=%d, passed %d times (K=%d)", w.since, w.passes, c.o.StarvationK),
+				})
+			}
+		}
+	case sim.TraceRelease:
+		if _, ok := ls.holders[tid]; !ok {
+			c.violate(Violation{
+				Invariant: Conservation, At: at, Lock: lock,
+				LockName: c.m.LockName(lock), Thread: tid,
+				Detail: "release without a matching acquire",
+			})
+		}
+		delete(ls.holders, tid)
+		ls.releases++
+	case sim.TraceSpinStart:
+		if _, ok := ls.holders[tid]; ok {
+			return
+		}
+		if _, ok := ls.waiting[tid]; !ok {
+			ls.waiting[tid] = &waiterState{since: at}
+		}
+	case sim.TraceLockBlock:
+		c.blockIntent[tid] = lock
+		if _, ok := ls.waiting[tid]; !ok {
+			ls.waiting[tid] = &waiterState{since: at}
+		}
+	}
+}
+
+// Finish runs the end-of-run checks. quiesced is the value Run returned
+// (the time the machine went quiescent). Call exactly once, after Run.
+// Results are deterministic: end-of-run scans iterate in sorted order.
+func (c *Checker) Finish(quiesced sim.Time) []Violation {
+	if c.finished {
+		return c.violations
+	}
+	c.finished = true
+	drained := c.m.Deadlocked()
+	if drained {
+		c.violate(Violation{
+			Invariant: Deadlock, At: quiesced, Lock: -1, Thread: -1,
+			Detail: c.m.DeadlockReport(),
+		})
+	}
+	// Lost wakeups: threads still parked at run end on a lock nobody
+	// holds. After a drain no future wake can arrive, so any such park
+	// is lost; if the run hit its horizon instead, require the park and
+	// the lock's inactivity to both exceed the stall bound so in-flight
+	// wake chains are not miscounted.
+	threads := c.m.Threads()
+	parkedTids := make([]int32, 0, len(c.parked))
+	for tid := range c.parked {
+		parkedTids = append(parkedTids, tid)
+	}
+	sort.Slice(parkedTids, func(i, j int) bool { return parkedTids[i] < parkedTids[j] })
+	for _, tid := range parkedTids {
+		lockID := c.parked[tid]
+		if int(tid) >= len(threads) || threads[tid].State() != sim.StateBlocked {
+			continue
+		}
+		if lockID < 0 {
+			continue // parked on something that is not a lock (barrier etc.)
+		}
+		ls := c.lock(lockID)
+		if len(ls.holders) > 0 {
+			continue // a live holder may still wake it; deadlock check covers the rest
+		}
+		if !drained {
+			if quiesced-c.parkedAt[tid] <= c.o.StallBound || quiesced-ls.lastActivity <= c.o.StallBound {
+				continue
+			}
+		}
+		c.violate(Violation{
+			Invariant: LostWakeup, At: quiesced, Lock: lockID,
+			LockName: c.m.LockName(lockID), Thread: tid,
+			Detail: fmt.Sprintf("parked at t=%d, lock free since t=%d, nobody left to wake it", c.parkedAt[tid], ls.lastActivity),
+		})
+	}
+	lockIDs := make([]int32, 0, len(c.locks))
+	for id := range c.locks {
+		lockIDs = append(lockIDs, id)
+	}
+	sort.Slice(lockIDs, func(i, j int) bool { return lockIDs[i] < lockIDs[j] })
+	// Stalled waiters: non-parked waiters (spinners) stuck on a free,
+	// inactive lock. Only meaningful when the run hit its horizon — a
+	// quiesced machine has no spinners by construction.
+	for _, id := range lockIDs {
+		ls := c.locks[id]
+		if len(ls.holders) > 0 {
+			continue
+		}
+		wtids := make([]int32, 0, len(ls.waiting))
+		for wtid := range ls.waiting {
+			wtids = append(wtids, wtid)
+		}
+		sort.Slice(wtids, func(i, j int) bool { return wtids[i] < wtids[j] })
+		for _, wtid := range wtids {
+			w := ls.waiting[wtid]
+			if _, isParked := c.parked[wtid]; isParked {
+				continue
+			}
+			if int(wtid) >= len(threads) || threads[wtid].State() == sim.StateDone {
+				continue
+			}
+			if quiesced-w.since > c.o.StallBound && quiesced-ls.lastActivity > c.o.StallBound {
+				c.violate(Violation{
+					Invariant: StalledWaiter, At: quiesced, Lock: ls.id,
+					LockName: c.m.LockName(ls.id), Thread: wtid,
+					Detail: fmt.Sprintf("waiting since t=%d on a lock free and inactive since t=%d", w.since, ls.lastActivity),
+				})
+			}
+		}
+	}
+	// Conservation: acquisitions == releases + live holders, per lock.
+	for _, id := range lockIDs {
+		ls := c.locks[id]
+		if ls.acquires != ls.releases+int64(len(ls.holders)) {
+			c.violate(Violation{
+				Invariant: Conservation, At: quiesced, Lock: ls.id,
+				LockName: c.m.LockName(ls.id), Thread: -1,
+				Detail: fmt.Sprintf("%d acquires vs %d releases + %d live holders", ls.acquires, ls.releases, len(ls.holders)),
+			})
+		}
+	}
+	return c.violations
+}

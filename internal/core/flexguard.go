@@ -12,11 +12,12 @@ import (
 // block on the single-variable lock's futex otherwise; transitions happen
 // while the lock stays in use, with no loss of mutual exclusion.
 type FlexGuard struct {
-	rt   *Runtime
-	val  *sim.Word // single-variable lock: Unlocked/Locked/LockedWithBlockedWaiters
-	tail *sim.Word // MCS tail: encoded thread id + 1; 0 = empty
-	npcs *sim.Word // the num_preempted_cs counter this lock reacts to
-	ext  bool      // request timeslice extension while holding the lock
+	rt    *Runtime
+	val   *sim.Word // single-variable lock: Unlocked/Locked/LockedWithBlockedWaiters
+	tail  *sim.Word // MCS tail: encoded thread id + 1; 0 = empty
+	npcs  *sim.Word // the num_preempted_cs counter this lock reacts to
+	stale *sim.Word // monitor health flag: nonzero means NPCS cannot be trusted
+	ext   bool      // request timeslice extension while holding the lock
 	// blockingExit enables the busy-waiting-or-blocking mcs_exit loop the
 	// paper evaluated and reverted (§3.2.1, "Optimizing MCS exit") — kept
 	// as an ablation to reproduce that it brings no gains.
@@ -50,12 +51,13 @@ func WithBlockingMCSExit() LockOption {
 // otherwise it reads the system-wide one.
 func (rt *Runtime) NewLock(name string, opts ...LockOption) *FlexGuard {
 	l := &FlexGuard{
-		rt:   rt,
-		val:  rt.m.NewWord(name+".val", Unlocked),
-		tail: rt.m.NewWord(name+".tail", 0),
-		npcs: rt.mon.NPCS(),
-		name: name,
-		lid:  rt.m.RegisterLockName(name),
+		rt:    rt,
+		val:   rt.m.NewWord(name+".val", Unlocked),
+		tail:  rt.m.NewWord(name+".tail", 0),
+		npcs:  rt.mon.NPCS(),
+		stale: rt.mon.StaleWord(),
+		name:  name,
+		lid:   rt.m.RegisterLockName(name),
 	}
 	if rt.mon.PerLock() {
 		l.npcs = rt.m.NewWord(name+".npcs", 0)
@@ -68,6 +70,26 @@ func (rt *Runtime) NewLock(name string, opts ...LockOption) *FlexGuard {
 
 // String implements fmt.Stringer.
 func (l *FlexGuard) String() string { return fmt.Sprintf("flexguard(%s)", l.name) }
+
+// Graceful degradation: every busy-wait decision couples the NPCS read
+// with the monitor's health flag. A stale monitor (dropped events,
+// detached program, wedged counter) can report npcs == 0 forever; absent
+// this check, waiters would spin through preempted critical sections
+// indefinitely — spinning on a lie. When stale, the lock behaves as a
+// plain futex lock: always choose blocking mode, which is correct (if
+// slower) under any schedule. Both words live in the same eBPF-mapped
+// page, so the paired read costs nothing extra.
+
+// modeSpin is the costed mode check at slow-path decision points.
+func (l *FlexGuard) modeSpin(p *sim.Proc) bool {
+	return p.Load(l.npcs) == 0 && l.stale.V() == 0
+}
+
+// spinOK is the uncosted predicate evaluated inside busy-wait loops:
+// keep spinning only while NPCS is zero and the signal is fresh.
+func (l *FlexGuard) spinOK() bool {
+	return l.npcs.V() == 0 && l.stale.V() == 0
+}
 
 // Lock acquires the FlexGuard lock (Listing 2, flexguard_lock).
 func (l *FlexGuard) Lock(p *sim.Proc) {
@@ -123,7 +145,7 @@ func (l *FlexGuard) slowPath(p *sim.Proc) {
 		enqueued := false
 		mcsHolder := false
 		// Phase 1: MCS queue — only in busy-waiting mode.
-		if p.Load(l.npcs) == 0 {
+		if l.modeSpin(p) {
 			enqueued = true
 			p.Store(qn.next, 0)
 			p.Store(qn.waiting, 1)
@@ -144,7 +166,7 @@ func (l *FlexGuard) slowPath(p *sim.Proc) {
 				p.SetRegion(regP1Spin)
 				p.LockEvent(sim.TraceSpinStart, l.lid)
 				p.SpinWhile(func() bool {
-					return qn.waiting.V() == 1 && l.npcs.V() == 0
+					return qn.waiting.V() == 1 && l.spinOK()
 				})
 				if p.Load(qn.waiting) == 0 {
 					// Handover: we now hold the MCS lock.
@@ -160,13 +182,13 @@ func (l *FlexGuard) slowPath(p *sim.Proc) {
 		state := l.p2CAS(p, mcsHolder)
 		restart := false
 		for state != Unlocked {
-			if p.Load(l.npcs) == 0 {
+			if l.modeSpin(p) {
 				// Busy-waiting mode: spin until the lock looks free or the
 				// mode changes, then retry the CAS.
 				l.p2SpinRegion(p, mcsHolder)
 				p.LockEvent(sim.TraceSpinStart, l.lid)
 				p.SpinWhile(func() bool {
-					return l.val.V() != Unlocked && l.npcs.V() == 0
+					return l.val.V() != Unlocked && l.spinOK()
 				})
 				state = l.p2CAS(p, mcsHolder)
 				continue
@@ -188,7 +210,7 @@ func (l *FlexGuard) slowPath(p *sim.Proc) {
 				p.FutexWait(l.val, LockedWithBlockedWaiters)
 				p.SetRegion(regP2Swap)
 				state = p.Xchg(l.val, LockedWithBlockedWaiters)
-				if state != Unlocked && p.Load(l.npcs) == 0 {
+				if state != Unlocked && l.modeSpin(p) {
 					// Back to spin mode: restart the slow path (use MCS).
 					p.SetRegion(sim.RegionNone)
 					restart = true
@@ -245,9 +267,9 @@ func (l *FlexGuard) mcsExit(p *sim.Proc, qn *QNode) {
 		// that design for the ablation benchmark.
 		if l.blockingExit {
 			for p.Load(qn.next) == 0 {
-				if p.Load(l.npcs) == 0 {
+				if l.modeSpin(p) {
 					p.SpinWhileMax(func() bool {
-						return qn.next.V() == 0 && l.npcs.V() == 0
+						return qn.next.V() == 0 && l.spinOK()
 					}, 10_000)
 				} else {
 					p.FutexWait(qn.next, 0)

@@ -1,0 +1,97 @@
+package fault
+
+import (
+	"repro/internal/dist"
+	"repro/internal/monitor"
+	"repro/internal/sim"
+)
+
+// Injector realizes a Plan against one machine: it implements
+// sim.FaultInjector for the scheduler/futex faults and programs the
+// monitor's degradation mode for the NPCS faults. All randomness comes
+// from its own seeded stream (decoupled from the machine's RNG so that
+// attaching an injector never perturbs the machine's existing draws —
+// a plan-free run stays byte-identical to an uninjected one).
+type Injector struct {
+	plan Plan
+	rng  *dist.Rand
+
+	// Diagnostics, readable after the run.
+	ForcedPreempts int64
+	SpuriousWakes  int64
+}
+
+// Apply wires plan into machine m (and, when mon is non-nil and the
+// plan degrades the monitor, into the monitor). Call before Run.
+// Returns nil for the zero plan.
+func Apply(m *sim.Machine, mon *monitor.Monitor, plan Plan, seed uint64) *Injector {
+	if plan.IsZero() {
+		return nil
+	}
+	inj := &Injector{plan: plan, rng: dist.NewRand(seed ^ 0xfa17_5eed_c0de)}
+	if plan.PerturbsSim() {
+		m.SetFaultInjector(inj)
+	}
+	if mon != nil && plan.DegradesMonitor() {
+		mon.Degrade(&monitor.Degradation{
+			DelaySwitches: plan.NPCSDelay,
+			DropProb:      plan.DropSwitchProb,
+			DetachAfter:   plan.DetachAfter,
+			StuckEnabled:  plan.StuckEnabled,
+			StuckNPCS:     plan.StuckNPCS,
+			Rand:          dist.NewRand(seed ^ 0xdeca_ded),
+		})
+	}
+	return inj
+}
+
+// SliceGrant implements sim.FaultInjector.
+func (i *Injector) SliceGrant(t *sim.Thread, slice sim.Time) sim.Time {
+	j := i.plan.SliceJitterPct
+	if j <= 0 {
+		return slice
+	}
+	factor := 1 + j*(2*i.rng.Float64()-1)
+	out := sim.Time(float64(slice) * factor)
+	if out < 1 {
+		out = 1
+	}
+	return out
+}
+
+// PreemptAtBoundary implements sim.FaultInjector: the most specific
+// matching probability wins (CS > label window > any).
+func (i *Injector) PreemptAtBoundary(t *sim.Thread) bool {
+	p := i.plan.PreemptAnyProb
+	if t.Region != sim.RegionNone && i.plan.PreemptWindowProb > p {
+		p = i.plan.PreemptWindowProb
+	}
+	if t.CSCounter > 0 && i.plan.PreemptCSProb > p {
+		p = i.plan.PreemptCSProb
+	}
+	if p <= 0 || i.rng.Float64() >= p {
+		return false
+	}
+	i.ForcedPreempts++
+	return true
+}
+
+// WakeDelay implements sim.FaultInjector.
+func (i *Injector) WakeDelay(t *sim.Thread, lat sim.Time) sim.Time {
+	return lat + i.plan.WakeDelay
+}
+
+// SpuriousWakeDelay implements sim.FaultInjector.
+func (i *Injector) SpuriousWakeDelay(t *sim.Thread) sim.Time {
+	pr := i.plan.SpuriousWakeProb
+	if pr <= 0 || i.rng.Float64() >= pr {
+		return 0
+	}
+	i.SpuriousWakes++
+	after := i.plan.SpuriousWakeAfter
+	if after <= 0 {
+		after = 10_000
+	}
+	// Spread arrivals so storms do not land in lockstep.
+	return after + sim.Time(i.rng.Intn(int(after)))
+}

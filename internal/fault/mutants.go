@@ -1,0 +1,224 @@
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/locks"
+	"repro/internal/sim"
+)
+
+// Mutant is a deliberately broken lock used to prove the invariant
+// checker can fail: each carries the classic bug it reintroduces, the
+// invariant it is expected to trip, and a provoking plan that makes the
+// failure deterministic within a short horizon.
+type Mutant struct {
+	Name string
+	Doc  string
+	// Breaks names the invariant (internal/check constant) the checker
+	// is expected to report.
+	Breaks string
+	// NeedsMonitor marks mutants that read the NPCS word (they must run
+	// in a flexguard-style env with the Preemption Monitor attached).
+	NeedsMonitor bool
+	// Plan provokes the bug (zero = any contended schedule does).
+	Plan Plan
+	// New constructs an instance; npcs is the monitor's counter word
+	// (nil when NeedsMonitor is false).
+	New func(m *sim.Machine, npcs *sim.Word, name string) locks.Lock
+}
+
+// Mutants returns the self-test registry.
+func Mutants() []Mutant {
+	return []Mutant{
+		{
+			Name:   "tas-noatomic",
+			Doc:    "test-and-set without the winning CAS: check-then-act race admits two holders",
+			Breaks: "mutual-exclusion",
+			New: func(m *sim.Machine, _ *sim.Word, name string) locks.Lock {
+				return &tasNoAtomic{v: m.NewWord(name+".v", 0), lid: m.RegisterLockName(name)}
+			},
+		},
+		{
+			Name:   "mcs-nohandover",
+			Doc:    "MCS that skips successor handover: the next waiter spins on its node forever",
+			Breaks: "stalled-waiter",
+			New: func(m *sim.Machine, _ *sim.Word, name string) locks.Lock {
+				return newMCSNoHandover(m, name)
+			},
+		},
+		{
+			Name:         "flexguard-nowake",
+			Doc:          "flexguard-style lock that ignores the NPCS blocking protocol on release: waiters it parked are never woken",
+			Breaks:       "lost-wakeup",
+			NeedsMonitor: true,
+			// Pin NPCS nonzero so every contended waiter takes the
+			// blocking path — the release-side bug then strands them all.
+			Plan: Plan{StuckEnabled: true, StuckNPCS: 1},
+			New: func(m *sim.Machine, npcs *sim.Word, name string) locks.Lock {
+				return &fgNoWake{
+					val:  m.NewWord(name+".val", 0),
+					npcs: npcs,
+					lid:  m.RegisterLockName(name),
+				}
+			},
+		},
+	}
+}
+
+// MutantByName resolves a mutant from the registry.
+func MutantByName(name string) (Mutant, bool) {
+	for _, mu := range Mutants() {
+		if mu.Name == name {
+			return mu, true
+		}
+	}
+	return Mutant{}, false
+}
+
+// MutantNames lists the registry in order.
+func MutantNames() []string {
+	var out []string
+	for _, mu := range Mutants() {
+		out = append(out, mu.Name)
+	}
+	return out
+}
+
+// ---- tas-noatomic ----
+
+// tasNoAtomic is a TAS lock with the atomicity removed: it observes the
+// lock free with a plain load and claims it with a plain store. Two
+// threads whose load/store windows interleave both "acquire".
+type tasNoAtomic struct {
+	v   *sim.Word
+	lid int32
+}
+
+func (l *tasNoAtomic) Lock(p *sim.Proc) {
+	for {
+		if p.Load(l.v) == 0 {
+			p.Store(l.v, 1) // BUG: check-then-act, no CAS
+			p.LockEvent(sim.TraceAcquire, l.lid)
+			return
+		}
+		p.LockEvent(sim.TraceSpinStart, l.lid)
+		p.SpinWhile(func() bool { return l.v.V() != 0 })
+	}
+}
+
+func (l *tasNoAtomic) Unlock(p *sim.Proc) {
+	p.LockEvent(sim.TraceRelease, l.lid)
+	p.Store(l.v, 0)
+}
+
+// ---- mcs-nohandover ----
+
+// mcsNoHandover is a faithful MCS lock except that Unlock forgets the
+// final store clearing the successor's locked flag: the handover
+// message is dropped and the successor spins forever.
+type mcsNoHandover struct {
+	m     *sim.Machine
+	name  string
+	tail  *sim.Word
+	nodes map[int]*mutNode
+	lid   int32
+}
+
+type mutNode struct {
+	next   *sim.Word
+	locked *sim.Word
+}
+
+func newMCSNoHandover(m *sim.Machine, name string) *mcsNoHandover {
+	return &mcsNoHandover{
+		m:     m,
+		name:  name,
+		tail:  m.NewWord(name+".tail", 0),
+		nodes: make(map[int]*mutNode),
+		lid:   m.RegisterLockName(name),
+	}
+}
+
+func (l *mcsNoHandover) node(id int) *mutNode {
+	n := l.nodes[id]
+	if n == nil {
+		n = &mutNode{
+			next:   l.m.NewWord(fmt.Sprintf("%s.n%d.next", l.name, id), 0),
+			locked: l.m.NewWord(fmt.Sprintf("%s.n%d.locked", l.name, id), 0),
+		}
+		l.nodes[id] = n
+	}
+	return n
+}
+
+func (l *mcsNoHandover) Lock(p *sim.Proc) {
+	qn := l.node(p.ID())
+	p.Store(qn.next, 0)
+	p.Store(qn.locked, 1)
+	pred := p.Xchg(l.tail, uint64(p.ID()+1))
+	if pred == 0 {
+		p.LockEvent(sim.TraceAcquire, l.lid)
+		return
+	}
+	p.Store(l.node(int(pred-1)).next, uint64(p.ID()+1))
+	p.LockEvent(sim.TraceSpinStart, l.lid)
+	p.SpinWhile(func() bool { return qn.locked.V() == 1 })
+	p.LockEvent(sim.TraceAcquire, l.lid)
+}
+
+func (l *mcsNoHandover) Unlock(p *sim.Proc) {
+	qn := l.node(p.ID())
+	p.LockEvent(sim.TraceRelease, l.lid)
+	if p.Load(qn.next) == 0 {
+		if p.CAS(l.tail, uint64(p.ID()+1), 0) == uint64(p.ID()+1) {
+			return
+		}
+		p.SpinWhile(func() bool { return qn.next.V() == 0 })
+	}
+	// BUG: the successor is known but its locked flag is never cleared —
+	// the handover store is missing.
+}
+
+// ---- flexguard-nowake ----
+
+// fgNoWake follows FlexGuard's waiting protocol (spin while NPCS == 0,
+// otherwise park on the futex) but its release path ignores the
+// protocol entirely: a plain store, no wake. Under a plan that pins
+// NPCS nonzero, every contended waiter parks and is stranded.
+type fgNoWake struct {
+	val  *sim.Word
+	npcs *sim.Word
+	lid  int32
+}
+
+func (l *fgNoWake) Lock(p *sim.Proc) {
+	if p.CAS(l.val, 0, 1) == 0 {
+		p.LockEvent(sim.TraceAcquire, l.lid)
+		return
+	}
+	for {
+		if l.npcs == nil || p.Load(l.npcs) == 0 {
+			p.LockEvent(sim.TraceSpinStart, l.lid)
+			p.SpinWhile(func() bool { return l.val.V() != 0 && (l.npcs == nil || l.npcs.V() == 0) })
+			if p.CAS(l.val, 0, 1) == 0 {
+				p.LockEvent(sim.TraceAcquire, l.lid)
+				return
+			}
+			continue
+		}
+		state := p.Xchg(l.val, 2)
+		if state == 0 {
+			p.LockEvent(sim.TraceAcquire, l.lid)
+			return
+		}
+		p.LockEvent(sim.TraceLockBlock, l.lid)
+		p.FutexWait(l.val, 2)
+	}
+}
+
+func (l *fgNoWake) Unlock(p *sim.Proc) {
+	p.LockEvent(sim.TraceRelease, l.lid)
+	// BUG: ignores the LockedWithBlockedWaiters state the waiters
+	// installed — releases with a plain store and never calls FutexWake.
+	p.Store(l.val, 0)
+}

@@ -1,0 +1,87 @@
+package fault
+
+import (
+	"testing"
+)
+
+// TestPlanStringRoundTrip: every preset survives String -> ParsePlan.
+func TestPlanStringRoundTrip(t *testing.T) {
+	for _, np := range Plans() {
+		s := np.Plan.String()
+		got, err := ParsePlan(s)
+		if err != nil {
+			t.Fatalf("%s: parse %q: %v", np.Name, s, err)
+		}
+		if got != np.Plan {
+			t.Fatalf("%s: round trip changed plan: %q -> %+v", np.Name, s, got)
+		}
+	}
+}
+
+// TestParsePlanPresetNames: preset names are accepted as specs.
+func TestParsePlanPresetNames(t *testing.T) {
+	for _, np := range Plans() {
+		got, err := ParsePlan(np.Name)
+		if err != nil {
+			t.Fatalf("preset %q rejected: %v", np.Name, err)
+		}
+		if got != np.Plan {
+			t.Fatalf("preset %q resolved to %+v, want %+v", np.Name, got, np.Plan)
+		}
+	}
+	if _, err := ParsePlan("no-such-preset"); err == nil {
+		t.Fatal("bogus preset accepted")
+	}
+}
+
+// TestFromBitsBounded: derived plans stay within the documented caps and
+// are a pure function of the bits.
+func TestFromBitsBounded(t *testing.T) {
+	bits := []uint64{0, 1, 0xffffffffffffffff, 0xdeadbeef, 1 << 40, 0x5555_5555}
+	for _, b := range bits {
+		p1, p2 := FromBits(b), FromBits(b)
+		if p1 != p2 {
+			t.Fatalf("FromBits(%#x) not deterministic", b)
+		}
+		if p1.SliceJitterPct < 0 || p1.SliceJitterPct >= 1 {
+			t.Fatalf("FromBits(%#x): jitter %v out of [0,1)", b, p1.SliceJitterPct)
+		}
+		if p1.WakeDelay < 0 || p1.WakeDelay > 30_000 {
+			t.Fatalf("FromBits(%#x): wake delay %d out of cap", b, p1.WakeDelay)
+		}
+	}
+	if !FromBits(0).IsZero() {
+		t.Fatal("FromBits(0) should be the zero plan")
+	}
+}
+
+// TestShrinkDropsIrrelevantFaults: a predicate that only needs one field
+// shrinks to a plan with exactly that field.
+func TestShrinkDropsIrrelevantFaults(t *testing.T) {
+	chaos, _ := PlanByName("chaos")
+	needsDrop := func(p Plan) bool { return p.DropSwitchProb > 0 }
+	min := Shrink(chaos, needsDrop)
+	if !needsDrop(min) {
+		t.Fatal("shrink lost the failing fault")
+	}
+	want := Plan{DropSwitchProb: min.DropSwitchProb}
+	if min != want {
+		t.Fatalf("shrink kept irrelevant faults: %+v", min)
+	}
+	if min.DropSwitchProb >= chaos.DropSwitchProb {
+		t.Fatalf("shrink never halved the magnitude: %v", min.DropSwitchProb)
+	}
+}
+
+// TestShrinkKeepsFailingPlan: shrinking never returns a passing plan.
+func TestShrinkKeepsFailingPlan(t *testing.T) {
+	start := Plan{WakeDelay: 16_000, SpuriousWakeProb: 0.5}
+	fails := func(p Plan) bool { return p.WakeDelay >= 4_000 }
+	min := Shrink(start, fails)
+	if !fails(min) {
+		t.Fatalf("shrunk plan passes: %+v", min)
+	}
+	if min.SpuriousWakeProb != 0 {
+		t.Fatalf("irrelevant spurious-wake fault kept: %+v", min)
+	}
+}

@@ -136,19 +136,25 @@ func (e *Env) SpawnSpinners(n int, deadline sim.Time) {
 
 // Result carries the metrics of one run.
 type Result struct {
-	Alg       string
-	Threads   int
-	Spinners  int
-	Crashed   bool
-	Ops       int64
-	Duration  sim.Time
-	OpsPerSec float64 // virtual operations per virtual second
-	MeanLatUS float64 // mean recorded latency, µs
-	P99LatUS  float64 // ~99th-percentile latency from the reservoirs, µs
-	Fairness  float64 // Dice fairness factor over worker ops
-	SpinIters int64
-	Preempt   int64 // total involuntary context switches
-	CSPreempt int64 // monitor-detected critical-section preemptions
+	Alg      string
+	Threads  int
+	Spinners int
+	Crashed  bool
+	// Deadlocked reports the machine drained its event queue with threads
+	// still parked on a futex — a hang that previously looked like a
+	// silently idle (and suspiciously fast) run. DeadlockDump holds the
+	// owner/waiter report.
+	Deadlocked   bool
+	DeadlockDump string
+	Ops          int64
+	Duration     sim.Time
+	OpsPerSec    float64 // virtual operations per virtual second
+	MeanLatUS    float64 // mean recorded latency, µs
+	P99LatUS     float64 // ~99th-percentile latency from the reservoirs, µs
+	Fairness     float64 // Dice fairness factor over worker ops
+	SpinIters    int64
+	Preempt      int64 // total involuntary context switches
+	CSPreempt    int64 // monitor-detected critical-section preemptions
 
 	// Policy-transition counts from the Preemption Monitor (flexguard
 	// variants; zero otherwise). PolicySwitches is their sum.

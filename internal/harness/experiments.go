@@ -138,6 +138,11 @@ func averageRuns(o ExpOptions, fn func(seed uint64) (Result, error)) (Result, er
 		if err != nil {
 			return r, err
 		}
+		if r.Deadlocked {
+			// A deadlock must fail the whole experiment loudly, not show
+			// up as a row of suspiciously low numbers.
+			return r, fmt.Errorf("%s @%d threads deadlocked:\n%s", r.Alg, r.Threads, r.DeadlockDump)
+		}
 		if r.Crashed {
 			return r, nil
 		}

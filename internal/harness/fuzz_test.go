@@ -1,67 +1,53 @@
 package harness
 
 // Schedule-fuzz tests: sweep random machine shapes, subscription ratios
-// and seeds across every algorithm, checking the two invariants that must
-// survive any interleaving — mutual exclusion (the two cache lines of the
-// microbenchmark's critical section receive identical increments) and
-// global progress. Each failure seed is a deterministic reproducer.
+// and seeds across every algorithm — now routed through harness.Fuzz, so
+// every run is watched by the full invariant checker (mutual exclusion,
+// lost wakeups, stalled waiters, conservation, deadlock) instead of only
+// the workload's end-state witness. Each failure seed is a deterministic
+// reproducer; `go test -fuzz=FuzzSchedules` explores beyond the corpus.
 
 import (
 	"testing"
 
 	"repro/internal/dist"
+	"repro/internal/fault"
 	"repro/internal/locks"
 	"repro/internal/sim"
 	"repro/internal/workloads/sharedmem"
 )
 
-// fuzzOne runs one randomized configuration for one algorithm.
+// requireClean fails the test if the run violated any invariant, hung,
+// or made no progress.
+func requireClean(t *testing.T, label string, r FuzzResult) {
+	t.Helper()
+	for _, v := range r.Violations {
+		t.Errorf("%s: %s", label, v.String())
+	}
+	if r.Deadlocked {
+		t.Errorf("%s: deadlock\n%s", label, r.DeadlockDump)
+	}
+	if r.HitGrace {
+		t.Errorf("%s: still active at grace horizon %d: possible livelock", label, r.Grace)
+	}
+	if r.Ops == 0 {
+		t.Errorf("%s: no progress", label)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+}
+
+// fuzzOne runs one randomized configuration for one algorithm under the
+// invariant checker.
 func fuzzOne(t *testing.T, alg string, seed uint64) {
 	t.Helper()
-	rng := dist.NewRand(seed)
-	cfg := sim.Small(2 + rng.Intn(6))
-	cfg.Seed = seed
-	// Randomize the preemption-relevant knobs within sane ranges.
-	cfg.Costs.Timeslice = sim.Time(10_000 + rng.Intn(90_000))
-	cfg.Costs.MinSlice = cfg.Costs.Timeslice / 10
-	if rng.Intn(2) == 0 {
-		cfg.Costs.SliceExt = sim.Time(2_000 + rng.Intn(10_000))
-	}
-	threads := 1 + rng.Intn(4*cfg.NumCPUs)
-	horizon := sim.Time(3_000_000 + rng.Intn(5_000_000))
-
-	e, err := NewEnv(EnvOptions{Config: cfg, Alg: alg})
+	c := FuzzCfg{Alg: alg, Seed: seed}
+	r, err := Fuzz(c)
 	if err != nil {
 		t.Fatal(err)
 	}
-	w := sharedmem.Build(e.M, sharedmem.Options{
-		Threads:  threads,
-		Deadline: horizon,
-		NewLock:  e.NewLock,
-	})
-	// u-SCL drains slowly by design: a thread that exits while holding the
-	// slice (or a queued ticket) stalls the others for ~2 slice lengths
-	// each until the expiry-stealing path reclaims it.
-	grace := horizon * 3
-	if alg == "uscl" {
-		grace += sim.Time(threads) * 1_000_000
-	}
-	q := e.M.Run(grace)
-	if q >= grace {
-		t.Fatalf("seed %d (%d cpus, %d threads, slice %d): possible livelock",
-			seed, cfg.NumCPUs, threads, cfg.Costs.Timeslice)
-	}
-	if ok, a, b := w.Validate(e.M); !ok {
-		t.Fatalf("seed %d (%d cpus, %d threads): mutual exclusion violated: %d vs %d",
-			seed, cfg.NumCPUs, threads, a, b)
-	}
-	var ops int64
-	for _, th := range e.M.Threads() {
-		ops += th.Ops
-	}
-	if ops == 0 {
-		t.Fatalf("seed %d (%d cpus, %d threads): no progress", seed, cfg.NumCPUs, threads)
-	}
+	requireClean(t, c.Replay(), r)
 }
 
 // TestFuzzAllAlgorithms: ~a dozen random schedules per algorithm.
@@ -80,6 +66,117 @@ func TestFuzzAllAlgorithms(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestFuzzWithPlans: every fault-plan preset against a core algorithm
+// set. The stock algorithms must hold every invariant under adversarial
+// schedules, futex faults, and monitor degradation alike.
+func TestFuzzWithPlans(t *testing.T) {
+	algs := []string{"blocking", "mcs", "shuffle", "flexguard", "flexguard-ext"}
+	seeds := []uint64{7, 4242}
+	if testing.Short() {
+		algs = []string{"blocking", "mcs", "flexguard"}
+		seeds = seeds[:1]
+	}
+	for _, alg := range algs {
+		alg := alg
+		t.Run(alg, func(t *testing.T) {
+			t.Parallel()
+			for _, np := range fault.Plans() {
+				for _, seed := range seeds {
+					c := FuzzCfg{Alg: alg, Seed: seed, Plan: np.Plan}
+					r, err := Fuzz(c)
+					if err != nil {
+						t.Fatal(err)
+					}
+					requireClean(t, "plan "+np.Name+": "+c.Replay(), r)
+				}
+			}
+		})
+	}
+}
+
+// TestFuzzDegradedMonitor is the graceful-degradation acceptance test:
+// under every monitor-degradation preset, FlexGuard (whose health check
+// is armed by Fuzz for these plans) must complete every config with zero
+// violations and no deadlock — the stale fallback to always-block keeps
+// it safe even when the NPCS signal lies.
+func TestFuzzDegradedMonitor(t *testing.T) {
+	seeds := []uint64{1, 77, 1234, 99991}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, np := range fault.DegradedPlans() {
+		np := np
+		t.Run(np.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, seed := range seeds {
+				c := FuzzCfg{Alg: "flexguard", Seed: seed, Plan: np.Plan}
+				r, err := Fuzz(c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireClean(t, c.Replay(), r)
+			}
+		})
+	}
+}
+
+// TestFuzzReplayRoundTrip: the replay spec is a faithful serialization —
+// parsing it back and re-running reproduces the identical outcome.
+func TestFuzzReplayRoundTrip(t *testing.T) {
+	c := FuzzCfg{Alg: "flexguard", Seed: 31, Plan: fault.Plan{
+		SliceJitterPct: 0.25, WakeDelay: 3_000, SpuriousWakeProb: 0.125, NPCSDelay: 4,
+	}}
+	r1, err := Fuzz(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ParseReplay(c.Replay())
+	if err != nil {
+		t.Fatalf("parse %q: %v", c.Replay(), err)
+	}
+	if c2.Plan != c.Plan || c2.Seed != c.Seed || c2.Alg != c.Alg {
+		t.Fatalf("round-trip changed config: %+v vs %+v", c2, c)
+	}
+	r2, err := Fuzz(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Ops != r2.Ops || r1.Quiesced != r2.Quiesced || len(r1.Violations) != len(r2.Violations) {
+		t.Fatalf("replay diverged: ops %d vs %d, quiesced %d vs %d",
+			r1.Ops, r2.Ops, r1.Quiesced, r2.Quiesced)
+	}
+}
+
+// FuzzSchedules is the native fuzz target: go's mutator explores
+// (algorithm, seed, fault-plan bits); the invariant checker is the
+// oracle. The corpus seeds cover each preset family. Run with
+// `go test -fuzz=FuzzSchedules ./internal/harness/`.
+func FuzzSchedules(f *testing.F) {
+	f.Add(uint8(0), uint64(13), uint64(0))
+	f.Add(uint8(5), uint64(1013), uint64(0b111))          // clh + slice jitter
+	f.Add(uint8(7), uint64(2013), uint64(0b101<<3))       // mcs + forced preemption
+	f.Add(uint8(12), uint64(3013), uint64(0b1111<<12))    // flexguard + wake delay
+	f.Add(uint8(12), uint64(4013), uint64(0b110<<19))     // flexguard + NPCS delay
+	f.Add(uint8(12), uint64(5013), uint64(0b11<<31))      // flexguard + detach
+	f.Add(uint8(12), uint64(6013), uint64(0b11<<37))      // flexguard + stuck NPCS
+	f.Add(uint8(14), uint64(7013), uint64(0xfff))         // flexguard-ext + mixed
+	f.Add(uint8(9), uint64(8013), uint64(0b101<<16|0b11)) // shuffle + spurious wakes
+	f.Fuzz(func(t *testing.T, algIdx uint8, seed uint64, planBits uint64) {
+		alg := AllAlgorithms[int(algIdx)%len(AllAlgorithms)]
+		c := FuzzCfg{Alg: alg, Seed: seed, Plan: fault.FromBits(planBits)}
+		r, err := Fuzz(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range r.Violations {
+			t.Errorf("%s: %s", c.Replay(), v.String())
+		}
+		if r.Deadlocked {
+			t.Errorf("%s: deadlock\n%s", c.Replay(), r.DeadlockDump)
+		}
+	})
 }
 
 // TestFuzzFlexGuardPerLock: the ablation mode through the same fuzz.
@@ -135,6 +232,25 @@ func TestFuzzDeterminism(t *testing.T) {
 				t.Fatalf("%s nondeterministic: (%d,%d,%d) vs (%d,%d,%d)", alg, a1, s1, p1, a2, s2, p2)
 			}
 		})
+	}
+}
+
+// TestFuzzInjectedDeterminism: determinism must survive fault injection —
+// the injector draws from its own stream, so two identical injected runs
+// agree, and the checker sees the identical event sequence.
+func TestFuzzInjectedDeterminism(t *testing.T) {
+	plan, _ := fault.PlanByName("chaos")
+	run := func() (int64, sim.Time, int) {
+		r, err := Fuzz(FuzzCfg{Alg: "flexguard", Seed: 555, Plan: plan})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Ops, r.Quiesced, len(r.Violations)
+	}
+	o1, q1, v1 := run()
+	o2, q2, v2 := run()
+	if o1 != o2 || q1 != q2 || v1 != v2 {
+		t.Fatalf("injected run nondeterministic: (%d,%d,%d) vs (%d,%d,%d)", o1, q1, v1, o2, q2, v2)
 	}
 }
 

@@ -64,9 +64,17 @@ func prepare(c RunCfg) (*Env, sim.Time, error) {
 // operations complete) and collects worker metrics.
 func finish(e *Env, c RunCfg, dur sim.Time) Result {
 	e.SpawnSpinners(c.Spinners, dur)
-	e.M.Run(dur + dur/4)
+	q := e.M.Run(dur + dur/4)
 	r := e.Collect(c.Threads, dur)
 	r.Spinners = c.Spinners
+	// Threads still parked when the machine drained are a hang only if
+	// the drain happened before the workload deadline: waiters stranded
+	// at shutdown (e.g. barrier peers whose partners exited on deadline)
+	// are a benign end-of-run artifact.
+	if q < dur && e.M.Deadlocked() {
+		r.Deadlocked = true
+		r.DeadlockDump = e.M.DeadlockReport()
+	}
 	return r
 }
 

@@ -34,6 +34,11 @@ type Monitor struct {
 	perLock     bool
 	chargedTo   map[*sim.Thread]*sim.Word // which counter a mark was charged to
 
+	stale  *sim.Word    // health flag read by lock algorithms (0 = fresh)
+	deg    *Degradation // active fault-injection mode, nil when healthy
+	delayQ []switchRec  // withheld events when deg.DelaySwitches > 0
+	health healthState
+
 	// InCSPreemptions counts critical-section preemptions detected over
 	// the run (diagnostics).
 	InCSPreemptions int64
@@ -45,6 +50,14 @@ type Monitor struct {
 	// crossing counts separately.
 	SpinToBlockSwitches int64
 	BlockToSpinSwitches int64
+
+	// HookSeen counts raw sched_switch tracepoint firings; Processed
+	// counts the events the handler actually consumed. They diverge only
+	// under degradation — the gap is what the health check watches.
+	HookSeen  int64
+	Processed int64
+	// StaleEvents counts health-check trips (0 or 1; the flag latches).
+	StaleEvents int64
 }
 
 // Option configures Attach.
@@ -64,6 +77,7 @@ func Attach(m *sim.Machine, opts ...Option) *Monitor {
 	mo := &Monitor{
 		m:         m,
 		global:    m.NewWord("num_preempted_cs", 0),
+		stale:     m.NewWord("monitor_stale", 0),
 		chargedTo: make(map[*sim.Thread]*sim.Word),
 	}
 	for _, o := range opts {
@@ -104,9 +118,11 @@ func (mo *Monitor) RegisterRecheck(r Recheck) {
 	mo.rechecks = append(mo.rechecks, r)
 }
 
-// schedSwitch is the tracepoint handler — the structure mirrors Listing 1,
-// plus the pending-thread re-examination for next-waiter preemptions.
-func (mo *Monitor) schedSwitch(prev, next *sim.Thread) {
+// process is the real tracepoint handler body — the structure mirrors
+// Listing 1, plus the pending-thread re-examination for next-waiter
+// preemptions. schedSwitch (degrade.go) decides whether/when each event
+// reaches it.
+func (mo *Monitor) process(prev, next *sim.Thread) {
 	// If next was previously preempted in a critical section, it is now
 	// back on CPU: clear the mark and decrement the counter.
 	if next != nil && next.MonitorMark {

@@ -59,6 +59,11 @@ type LockObserver struct {
 	PolicyBlockToSpin int64
 	NPCSUps           int64
 	NPCSDowns         int64
+
+	// Robustness counters: invariant-checker verdicts and monitor
+	// health-check trips seen on the event stream.
+	Violations   int64
+	MonitorStale int64
 }
 
 // Observe attaches a new LockObserver to m and returns it.
@@ -103,6 +108,12 @@ func (o *LockObserver) LockEvent(at sim.Time, kind sim.TraceKind, lock, tid, arg
 		return
 	case sim.TraceNPCSDown:
 		o.NPCSDowns++
+		return
+	case sim.TraceViolation:
+		o.Violations++
+		return
+	case sim.TraceMonitorStale:
+		o.MonitorStale++
 		return
 	}
 	if lock < 0 {
@@ -181,12 +192,12 @@ func (o *LockObserver) Totals() LockTotals {
 
 // LockTotals is the cross-lock aggregate of a run.
 type LockTotals struct {
-	Acquires, Releases, Handovers   int64
-	SpinStarts, Blocks, Wakes       int64
-	SpinToBlock, BlockToSpin        int64
-	PolicySpinToBlock               int64
-	PolicyBlockToSpin               int64
-	Hold, Handover                  HistogramSnapshot
+	Acquires, Releases, Handovers int64
+	SpinStarts, Blocks, Wakes     int64
+	SpinToBlock, BlockToSpin      int64
+	PolicySpinToBlock             int64
+	PolicyBlockToSpin             int64
+	Hold, Handover                HistogramSnapshot
 }
 
 // WriteText writes the plain-text per-lock metrics summary: one line per

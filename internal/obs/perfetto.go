@@ -166,6 +166,13 @@ func WritePerfetto(w io.Writer, names lockNamer, events []sim.TraceEvent) error 
 		case sim.TraceNPCSUp, sim.TraceNPCSDown:
 			instant(perfettoPidLocks, e.Prev, e.At, e.Kind.String(), "policy",
 				map[string]any{"npcs": e.Next})
+		case sim.TraceViolation:
+			instant(perfettoPidLocks, e.Prev, e.At,
+				"violation: "+sim.ViolationCodeName(e.Next), "check",
+				map[string]any{"lock": lockName(names, e.Lock)})
+		case sim.TraceMonitorStale:
+			instant(perfettoPidLocks, e.Prev, e.At, "monitor-stale", "check",
+				map[string]any{"reason": e.Next})
 		case sim.TraceSpinStart, sim.TraceLockBlock, sim.TraceLockWake, sim.TraceHandover:
 			args := map[string]any{"lock": lockName(names, e.Lock)}
 			if e.Kind == sim.TraceHandover && e.Next >= 0 {

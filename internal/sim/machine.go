@@ -2,6 +2,8 @@ package sim
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"repro/internal/dist"
 	"repro/internal/stats"
@@ -17,13 +19,34 @@ type SchedSwitchHook func(prev, next *Thread)
 
 // LockObserver consumes the machine's lock-event stream (the expanded
 // trace model): acquisitions, releases, spin legs, blocking decisions,
-// handovers and the Preemption Monitor's policy switches. Observers are
-// called synchronously from the emitting context and must not call Proc
-// methods. Attach with Machine.SetLockObserver; when none is attached
-// (and no Tracer is), emitting an event is a pair of nil checks — the
-// same default-off pattern as Tracer.record.
+// handovers and the Preemption Monitor's policy switches, plus the
+// scheduler-side block/wake/sleep/exit events (Lock = -1) that frame
+// them. Observers are called synchronously from the emitting context
+// and must not call Proc methods. Attach with Machine.SetLockObserver
+// or AddLockObserver; when none is attached (and no Tracer is),
+// emitting an event is a pair of cheap checks — the same default-off
+// pattern as Tracer.record.
 type LockObserver interface {
 	LockEvent(at Time, kind TraceKind, lock, tid, arg int32)
+}
+
+// FaultInjector perturbs scheduling-relevant decisions. All methods are
+// called from inside the (single-threaded) event loop and must be
+// deterministic given the machine seed: draw randomness only from a
+// seeded dist.Rand. Attach with SetFaultInjector before Run; with none
+// attached every seam is a single nil check.
+type FaultInjector interface {
+	// SliceGrant may perturb the timeslice about to be granted to t.
+	// Values below 1 are clamped to 1 tick.
+	SliceGrant(t *Thread, slice Time) Time
+	// PreemptAtBoundary reports whether to force an involuntary context
+	// switch at the instruction boundary t just reached.
+	PreemptAtBoundary(t *Thread) bool
+	// WakeDelay may stretch the futex wake latency for waiter t.
+	WakeDelay(t *Thread, lat Time) Time
+	// SpuriousWakeDelay returns a delay after which waiter t, just
+	// parked on a futex, is spuriously woken (0 = no spurious wake).
+	SpuriousWakeDelay(t *Thread) Time
 }
 
 // cpuCtx is one hardware context.
@@ -50,8 +73,9 @@ type Machine struct {
 
 	hooks     []SchedSwitchHook
 	tracer    *Tracer
-	lockObs   LockObserver
+	lockObs   []LockObserver
 	lockNames []string
+	fi        FaultInjector
 
 	spinners []*Thread
 
@@ -62,6 +86,7 @@ type Machine struct {
 
 	running  bool
 	finished bool
+	drained  bool // event queue emptied before the Run horizon
 
 	// TotalSwitches and TotalPreemptions count context switches across the
 	// run; TotalPreemptions counts only involuntary ones.
@@ -110,8 +135,26 @@ func (m *Machine) RegisterSwitchHook(h SchedSwitchHook) {
 	m.hooks = append(m.hooks, h)
 }
 
-// SetLockObserver attaches the lock-event consumer (nil detaches).
-func (m *Machine) SetLockObserver(o LockObserver) { m.lockObs = o }
+// SetLockObserver attaches the lock-event consumer, replacing any
+// already attached (nil detaches all).
+func (m *Machine) SetLockObserver(o LockObserver) {
+	m.lockObs = m.lockObs[:0]
+	if o != nil {
+		m.lockObs = append(m.lockObs, o)
+	}
+}
+
+// AddLockObserver attaches an additional lock-event consumer; observers
+// are invoked in attach order.
+func (m *Machine) AddLockObserver(o LockObserver) {
+	if o != nil {
+		m.lockObs = append(m.lockObs, o)
+	}
+}
+
+// SetFaultInjector attaches (or with nil, detaches) the fault injector.
+// Attach before Run.
+func (m *Machine) SetFaultInjector(fi FaultInjector) { m.fi = fi }
 
 // RegisterLockName assigns the next dense lock id to name. Lock
 // implementations call it once at construction; the id tags every lock
@@ -138,12 +181,12 @@ func (m *Machine) NumLocks() int { return len(m.lockNames) }
 // branches, matching the Tracer.record pattern, so instrumentation in
 // lock hot paths is free when nothing is attached.
 func (m *Machine) lockEvent(kind TraceKind, lock, tid, arg int32) {
-	if m.tracer == nil && m.lockObs == nil {
+	if m.tracer == nil && len(m.lockObs) == 0 {
 		return
 	}
 	m.tracer.record(m.clock, kind, tid, arg, lock)
-	if m.lockObs != nil {
-		m.lockObs.LockEvent(m.clock, kind, lock, tid, arg)
+	for _, o := range m.lockObs {
+		o.LockEvent(m.clock, kind, lock, tid, arg)
 	}
 }
 
@@ -204,6 +247,7 @@ func (m *Machine) Run(until Time) Time {
 	for {
 		ev := m.eq.Pop()
 		if ev == nil {
+			m.drained = true
 			break
 		}
 		if ev.At >= until {
@@ -225,6 +269,59 @@ func (m *Machine) Run(until Time) Time {
 	m.running = false
 	m.finished = true
 	return quiesced
+}
+
+// Deadlocked reports, after Run, whether the machine deadlocked: the
+// event queue drained before the horizon while threads were still
+// blocked on futexes. (Spinning threads keep slice-expiry events in the
+// queue, so a drain implies nothing was spinning either.) A silent hang
+// — throughput zero, queue empty — is indistinguishable from a slow run
+// without this.
+func (m *Machine) Deadlocked() bool {
+	if !m.drained {
+		return false
+	}
+	for _, t := range m.threads {
+		if t.state == StateBlocked {
+			return true
+		}
+	}
+	return false
+}
+
+// BlockedWaiter pairs a blocked thread with the futex word it waits on.
+type BlockedWaiter struct {
+	Thread *Thread
+	Word   *Word
+}
+
+// BlockedWaiters returns, in thread-id order, every thread parked on a
+// futex at the time of the call (typically after Run, for deadlock
+// dumps).
+func (m *Machine) BlockedWaiters() []BlockedWaiter {
+	var out []BlockedWaiter
+	for w, q := range m.futexQ {
+		for _, t := range q {
+			out = append(out, BlockedWaiter{Thread: t, Word: w})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Thread.id < out[j].Thread.id })
+	return out
+}
+
+// DeadlockReport formats the owner/waiter state behind a Deadlocked()
+// verdict: one line per parked thread naming the futex word it waits
+// on, plus the word's current value (the "owner" state a futex-based
+// lock encodes there).
+func (m *Machine) DeadlockReport() string {
+	var b strings.Builder
+	bw := m.BlockedWaiters()
+	fmt.Fprintf(&b, "deadlock: event queue drained at t=%d with %d thread(s) still blocked\n", m.clock, len(bw))
+	for _, w := range bw {
+		fmt.Fprintf(&b, "  thread %d (%s) blocked on %q (value %d)\n",
+			w.Thread.id, w.Thread.name, w.Word.Name(), w.Word.V())
+	}
+	return b.String()
 }
 
 // shutdown terminates all live threads deterministically (spawn order) and
@@ -400,6 +497,11 @@ func (m *Machine) dispatch(c *cpuCtx, t *Thread) {
 	if slice < m.cfg.Costs.MinSlice {
 		slice = m.cfg.Costs.MinSlice
 	}
+	if m.fi != nil {
+		if slice = m.fi.SliceGrant(t, slice); slice < 1 {
+			slice = 1
+		}
+	}
 	t.slicePenalty = 0
 	t.extGranted = false
 	t.sliceStart = m.clock
@@ -431,8 +533,14 @@ func (m *Machine) renewSlice(c *cpuCtx, t *Thread) {
 	if t.sliceEv != nil {
 		t.sliceEv.Cancel()
 	}
+	slice := m.cfg.Costs.Timeslice
+	if m.fi != nil {
+		if slice = m.fi.SliceGrant(t, slice); slice < 1 {
+			slice = 1
+		}
+	}
 	t.sliceStart = m.clock
-	t.sliceEnd = m.clock + m.cfg.Costs.Timeslice
+	t.sliceEnd = m.clock + slice
 	t.sliceEv = m.eq.Schedule(t.sliceEnd, func() { m.onSliceExpiry(c, t) })
 }
 
@@ -494,6 +602,17 @@ func (m *Machine) preempt(c *cpuCtx, t *Thread) {
 func (m *Machine) finishOp(t *Thread) {
 	t.pending = pendStep
 	c := m.cpus[t.cpu]
+	// Fault injection: an adversarial scheduler may force an involuntary
+	// switch at any instruction boundary — this is exactly the window
+	// attack of the Listing-2/3 analysis (preempt between the label the
+	// monitor classifies and the instruction that completes the region).
+	// With an empty runqueue this degenerates to a self-switch, which
+	// still fires the sched_switch hooks the monitor watches.
+	if m.fi != nil && m.fi.PreemptAtBoundary(t) {
+		t.needResched = false
+		m.preempt(c, t)
+		return
+	}
 	if t.needResched {
 		t.needResched = false
 		if m.runqLen() == 0 {
@@ -520,7 +639,7 @@ func (m *Machine) step(t *Thread) {
 
 // onExit handles a thread whose body returned.
 func (m *Machine) onExit(t *Thread) {
-	m.tracer.record(m.clock, TraceExit, tid(t), -1, -1)
+	m.lockEvent(TraceExit, -1, tid(t), -1)
 	c := m.cpus[t.cpu]
 	m.detach(t)
 	t.state = StateDone

@@ -292,10 +292,42 @@ func (m *Machine) futexWaitDone(t *Thread) {
 	m.detach(t)
 	t.state = StateBlocked
 	m.setRunnable(-1)
-	m.tracer.record(m.clock, TraceBlock, tid(t), -1, -1)
+	m.lockEvent(TraceBlock, -1, tid(t), -1)
 	t.pending = pendStep // result delivered when rescheduled after wake
 	m.futexQ[req.w] = append(m.futexQ[req.w], t)
+	if m.fi != nil {
+		if d := m.fi.SpuriousWakeDelay(t); d > 0 {
+			w := req.w
+			m.eq.Schedule(m.clock+d, func() { m.spuriousWake(w, t) })
+		}
+	}
 	m.contextSwitch(c, t, m.runqPop())
+}
+
+// spuriousWake (fault injection) yanks t out of w's wait queue as a real
+// futex can: the wait returns ok=false with the thread having observed
+// nothing. Callers of FutexWait must re-check their predicate — every
+// lock in the tree loops — so a correct lock tolerates this; a lock that
+// treats "returned from futex_wait" as "I was handed the lock" breaks.
+func (m *Machine) spuriousWake(w *Word, t *Thread) {
+	q := m.futexQ[w]
+	for i, wt := range q {
+		if wt != t {
+			continue
+		}
+		q = append(q[:i], q[i+1:]...)
+		if len(q) == 0 {
+			delete(m.futexQ, w)
+		} else {
+			m.futexQ[w] = q
+		}
+		t.res = opRes{ok: false}
+		m.lockEvent(TraceWake, -1, tid(t), -1)
+		if t.state == StateBlocked {
+			m.makeRunnable(t)
+		}
+		return
+	}
 }
 
 // futexWake wakes up to n FIFO waiters on w, returning the count. Woken
@@ -307,8 +339,11 @@ func (m *Machine) futexWake(w *Word, n int) int {
 		wt := q[0]
 		q = q[1:]
 		wt.res = opRes{ok: true}
-		m.tracer.record(m.clock, TraceWake, tid(wt), -1, -1)
+		m.lockEvent(TraceWake, -1, tid(wt), -1)
 		lat := m.cfg.Costs.WakeLatency
+		if m.fi != nil {
+			lat = m.fi.WakeDelay(wt, lat)
+		}
 		if lat > 0 {
 			m.eq.Schedule(m.clock+lat, func() {
 				if wt.state == StateBlocked {
@@ -355,7 +390,7 @@ func (m *Machine) sleepDone(t *Thread) {
 	m.detach(t)
 	t.state = StateSleeping
 	m.setRunnable(-1)
-	m.tracer.record(m.clock, TraceSleep, tid(t), -1, -1)
+	m.lockEvent(TraceSleep, -1, tid(t), -1)
 	t.pending = pendStep
 	t.res = opRes{}
 	m.eq.Schedule(m.clock+d, func() {

@@ -30,7 +30,50 @@ const (
 	TracePolicySwitch // flexguard policy flip; Next: 1 = spin→block, 0 = block→spin
 	TraceNPCSUp       // num_preempted_cs incremented; Next is the new value
 	TraceNPCSDown     // num_preempted_cs decremented; Next is the new value
+	TraceMonitorStale // monitor health check marked the NPCS signal stale; Next is a StaleReason
+	TraceViolation    // invariant checker flagged a violation; Next is a ViolationCode
 )
+
+// Reasons carried in the Next field of TraceMonitorStale events.
+const (
+	StaleEventLoss    int32 = 1 // hook lagging / dropping sched_switch events
+	StaleCounterStuck int32 = 2 // NPCS nonzero and unchanged for too long
+	StaleForced       int32 = 3 // marked stale explicitly (fault plan or test)
+)
+
+// Violation codes carried in the Next field of TraceViolation events.
+// The invariant semantics live in internal/check; the codes are defined
+// here so trace consumers (Perfetto export, dumps) can label them
+// without importing the checker.
+const (
+	ViolationMutualExclusion int32 = iota + 1
+	ViolationLostWakeup
+	ViolationStarvation
+	ViolationStalledWaiter
+	ViolationDeadlock
+	ViolationConservation
+)
+
+// ViolationCodeName resolves a TraceViolation argument to the invariant
+// name used by internal/check.
+func ViolationCodeName(code int32) string {
+	switch code {
+	case ViolationMutualExclusion:
+		return "mutual-exclusion"
+	case ViolationLostWakeup:
+		return "lost-wakeup"
+	case ViolationStarvation:
+		return "starvation"
+	case ViolationStalledWaiter:
+		return "stalled-waiter"
+	case ViolationDeadlock:
+		return "deadlock"
+	case ViolationConservation:
+		return "conservation"
+	default:
+		return "unknown"
+	}
+}
 
 func (k TraceKind) String() string {
 	switch k {
@@ -62,6 +105,10 @@ func (k TraceKind) String() string {
 		return "npcs-up"
 	case TraceNPCSDown:
 		return "npcs-down"
+	case TraceMonitorStale:
+		return "monitor-stale"
+	case TraceViolation:
+		return "violation"
 	default:
 		return "invalid"
 	}
