@@ -30,6 +30,7 @@ func main() {
 		quick     = flag.Bool("quick", false, "1 seed, core algorithms only (CI smoke)")
 		mutants   = flag.Bool("mutants", false, "run the mutation self-test instead of the sweep")
 		replay    = flag.String("replay", "", "replay one spec (as printed for a shrunk failure) and exit")
+		parallel  = flag.Int("parallel", 0, "sweep cells run on this many OS threads (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -62,12 +63,46 @@ func main() {
 			plans = append(plans, fault.NamedPlan{Name: s, Plan: p})
 		}
 	}
-	os.Exit(runSweep(algs, plans, *seeds))
+	os.Exit(runSweep(algs, plans, *seeds, *parallel))
+}
+
+// cellOutcome is one (alg, plan) cell of the sweep table.
+type cellOutcome struct {
+	ok   bool
+	spec string
 }
 
 // runSweep is the campaign: every algorithm must hold every invariant
-// under every plan. Failures are shrunk and printed as replay specs.
-func runSweep(algs []string, plans []fault.NamedPlan, seeds int) int {
+// under every plan. Cells fan out across the worker pool (each cell
+// runs its seeds, and shrinks its first failure, on its own isolated
+// machines); the table prints in order once all cells land. Failures
+// are shrunk and printed as replay specs.
+func runSweep(algs []string, plans []fault.NamedPlan, seeds, parallel int) int {
+	cells, errs := harness.ParallelMap(parallel, len(algs)*len(plans), func(i int) (cellOutcome, error) {
+		alg, np := algs[i/len(plans)], plans[i%len(plans)]
+		for s := 0; s < seeds; s++ {
+			c := harness.FuzzCfg{Alg: alg, Seed: uint64(1000*s + 17), Plan: np.Plan}
+			r, err := harness.Fuzz(c)
+			if err != nil {
+				return cellOutcome{}, err
+			}
+			if r.Failed() || r.Deadlocked || r.HitGrace {
+				min, res, err := harness.ShrinkFailure(c)
+				if err != nil {
+					return cellOutcome{}, err
+				}
+				spec := min.Replay()
+				if !res.Failed() {
+					spec = c.Replay() + "  (shrink lost it; original spec)"
+				}
+				return cellOutcome{spec: fmt.Sprintf("%s × %s: %s", alg, np.Name, spec)}, nil
+			}
+		}
+		return cellOutcome{ok: true}, nil
+	})
+	if err := harness.FirstError(errs); err != nil {
+		fatal(err)
+	}
 	fmt.Printf("%-16s", "alg\\plan")
 	for _, np := range plans {
 		fmt.Printf(" %14s", np.Name)
@@ -75,30 +110,15 @@ func runSweep(algs []string, plans []fault.NamedPlan, seeds int) int {
 	fmt.Println()
 	failures := 0
 	var specs []string
-	for _, alg := range algs {
+	for i, alg := range algs {
 		fmt.Printf("%-16s", alg)
-		for _, np := range plans {
+		for j := range plans {
+			c := cells[i*len(plans)+j]
 			cell := "ok"
-			for s := 0; s < seeds; s++ {
-				c := harness.FuzzCfg{Alg: alg, Seed: uint64(1000*s + 17), Plan: np.Plan}
-				r, err := harness.Fuzz(c)
-				if err != nil {
-					fatal(err)
-				}
-				if r.Failed() || r.Deadlocked || r.HitGrace {
-					failures++
-					cell = "FAIL"
-					min, res, err := harness.ShrinkFailure(c)
-					if err != nil {
-						fatal(err)
-					}
-					spec := min.Replay()
-					if !res.Failed() {
-						spec = c.Replay() + "  (shrink lost it; original spec)"
-					}
-					specs = append(specs, fmt.Sprintf("%s × %s: %s", alg, np.Name, spec))
-					break
-				}
+			if !c.ok {
+				cell = "FAIL"
+				failures++
+				specs = append(specs, c.spec)
 			}
 			fmt.Printf(" %14s", cell)
 		}

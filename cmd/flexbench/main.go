@@ -8,7 +8,12 @@
 //	flexbench -experiment fig2a
 //	flexbench -experiment fig3a -scale 0.5 -duration 50000000 -seeds 3
 //	flexbench -experiment fig2a -algs blocking,mcs,flexguard
+//	flexbench -experiment fig2a -parallel 8
 //	flexbench -all
+//
+// Sweep cells fan out across -parallel OS threads (default GOMAXPROCS);
+// every cell owns an isolated simulated machine, so per-cell results
+// are bit-for-bit identical at any -parallel value.
 //
 // Scale 1.0 with long durations approaches the paper's full sweeps; the
 // defaults finish each figure in minutes on a laptop.
@@ -33,6 +38,7 @@ func main() {
 		seeds    = flag.Int("seeds", 1, "repetitions averaged per data point (paper: 50)")
 		algsFlag = flag.String("algs", "", "comma-separated algorithm subset (default: the paper's ten)")
 		metrics  = flag.Bool("metrics", false, "collect per-lock telemetry and print it after each algorithm row")
+		parallel = flag.Int("parallel", 0, "sweep cells run on this many OS threads (0 = GOMAXPROCS); per-cell results are identical at any setting")
 	)
 	flag.Parse()
 
@@ -51,6 +57,7 @@ func main() {
 		Seeds:    *seeds,
 		Algs:     algs,
 		Metrics:  *metrics,
+		Parallel: *parallel,
 	}
 	switch {
 	case *all:

@@ -1,0 +1,78 @@
+package fault
+
+// Injector-seam regression: the sharded per-core runqueue refactor must
+// leave the sim.FaultInjector hooks intact — forced preemptions still
+// fire, still target label windows, and remain deterministic per
+// (plan, seed).
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// windowRun drives a real forced-preemption plan through a machine:
+// two threads work inside a lock-function label window, two outside.
+func windowRun(t *testing.T, seed uint64) (inj *Injector, m *sim.Machine, window, plain int64) {
+	t.Helper()
+	cfg := sim.Small(2)
+	cfg.Seed = seed
+	m = sim.New(cfg)
+	plan := Plan{PreemptWindowProb: 1} // every boundary inside a window preempts
+	inj = Apply(m, nil, plan, seed)
+	if inj == nil {
+		t.Fatal("Apply returned nil for a sim-perturbing plan")
+	}
+	var windowThreads, plainThreads []*sim.Thread
+	for i := 0; i < 2; i++ {
+		windowThreads = append(windowThreads, m.Spawn("window", func(p *sim.Proc) {
+			p.SetRegion(1)
+			for j := 0; j < 30; j++ {
+				p.Compute(500)
+			}
+			p.SetRegion(sim.RegionNone)
+		}))
+		plainThreads = append(plainThreads, m.Spawn("plain", func(p *sim.Proc) {
+			for j := 0; j < 30; j++ {
+				p.Compute(500)
+			}
+		}))
+	}
+	m.Run(10_000_000)
+	for _, th := range windowThreads {
+		window += th.Preemptions
+	}
+	for _, th := range plainThreads {
+		plain += th.Preemptions
+	}
+	return inj, m, window, plain
+}
+
+func TestForcedPreemptionTargetsWindows(t *testing.T) {
+	inj, m, window, plain := windowRun(t, 7)
+	if inj.ForcedPreempts == 0 {
+		t.Fatal("plan with PreemptWindowProb=1 forced no preemptions")
+	}
+	if window <= plain {
+		t.Errorf("window threads preempted %d times, plain %d; the window "+
+			"probability should dominate", window, plain)
+	}
+	if m.TotalPreemptions < inj.ForcedPreempts {
+		t.Errorf("machine counted %d preemptions but injector forced %d",
+			m.TotalPreemptions, inj.ForcedPreempts)
+	}
+}
+
+func TestForcedPreemptionDeterministic(t *testing.T) {
+	inj1, m1, w1, p1 := windowRun(t, 42)
+	inj2, m2, w2, p2 := windowRun(t, 42)
+	if inj1.ForcedPreempts != inj2.ForcedPreempts ||
+		m1.TotalSwitches != m2.TotalSwitches ||
+		m1.TotalPreemptions != m2.TotalPreemptions ||
+		w1 != w2 || p1 != p2 {
+		t.Fatalf("identical (plan, seed) diverged: forced %d/%d, switches %d/%d, preempts %d/%d, window %d/%d, plain %d/%d",
+			inj1.ForcedPreempts, inj2.ForcedPreempts,
+			m1.TotalSwitches, m2.TotalSwitches,
+			m1.TotalPreemptions, m2.TotalPreemptions, w1, w2, p1, p2)
+	}
+}

@@ -1,0 +1,131 @@
+package harness
+
+// The determinism regression suite for the parallel sweep engine: the
+// per-cell outcome of a sweep — the full trace digest plus every Result
+// field — must be bit-for-bit identical whether cells run on 1 worker,
+// 4, 8, or under a different GOMAXPROCS. Concurrency testing is only
+// trustworthy when runs are exactly reproducible; any shared mutable
+// state leaking between cells (a package-level RNG, a shared registry)
+// shows up here as a digest mismatch.
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// detCell builds the canonical determinism cell for one algorithm: the
+// sharedmem microbenchmark on a small machine, short horizon, traced.
+func detCell(alg string) RunCfg {
+	cfg := sim.Small(4)
+	return RunCfg{
+		Config: cfg, Alg: alg, Threads: 6,
+		Duration: 400_000, Seed: 11, Trace: true,
+	}
+}
+
+// detAlgs picks the algorithm set: every algorithm in the paper's list,
+// trimmed under -short to keep the suite fast.
+func detAlgs(t *testing.T) []string {
+	if testing.Short() {
+		return []string{"blocking", "mcs", "uscl", "flexguard", "flexguard-ext"}
+	}
+	t.Helper()
+	return Algorithms
+}
+
+// sweepResults runs the canonical cell set through the engine at the
+// given worker count.
+func sweepResults(t *testing.T, algs []string, workers int) []Result {
+	t.Helper()
+	res, errs := ParallelMap(workers, len(algs), func(i int) (Result, error) {
+		return RunSharedMem(detCell(algs[i]), 100)
+	})
+	if err := FirstError(errs); err != nil {
+		t.Fatalf("sweep at %d workers: %v", workers, err)
+	}
+	return res
+}
+
+// TestParallelDeterminism asserts per-cell results are identical at
+// -parallel 1, 4 and 8.
+func TestParallelDeterminism(t *testing.T) {
+	algs := detAlgs(t)
+	base := sweepResults(t, algs, 1)
+	for _, workers := range []int{4, 8} {
+		got := sweepResults(t, algs, workers)
+		for i, alg := range algs {
+			if base[i].TraceDigest == 0 {
+				t.Fatalf("%s: zero trace digest (tracer not attached?)", alg)
+			}
+			if got[i].TraceDigest != base[i].TraceDigest || got[i].TraceEvents != base[i].TraceEvents {
+				t.Errorf("%s: trace digest diverged at %d workers: %#x/%d events vs %#x/%d",
+					alg, workers, got[i].TraceDigest, got[i].TraceEvents,
+					base[i].TraceDigest, base[i].TraceEvents)
+			}
+			if !reflect.DeepEqual(got[i], base[i]) {
+				t.Errorf("%s: Result diverged at %d workers:\n got: %+v\nwant: %+v",
+					alg, workers, got[i], base[i])
+			}
+		}
+	}
+}
+
+// TestGOMAXPROCSDeterminism asserts results do not depend on how many
+// OS threads the Go runtime multiplexes the simulation goroutines onto.
+func TestGOMAXPROCSDeterminism(t *testing.T) {
+	algs := detAlgs(t)
+	orig := runtime.GOMAXPROCS(0)
+	runtime.GOMAXPROCS(1)
+	base := sweepResults(t, algs, 8)
+	runtime.GOMAXPROCS(orig)
+	if orig == 1 {
+		// Single-core machine: still asserts workers > GOMAXPROCS is safe.
+		many := sweepResults(t, algs, 8)
+		for i, alg := range algs {
+			if !reflect.DeepEqual(many[i], base[i]) {
+				t.Errorf("%s: Result diverged across repeated runs", alg)
+			}
+		}
+		return
+	}
+	many := sweepResults(t, algs, 8)
+	for i, alg := range algs {
+		if many[i].TraceDigest != base[i].TraceDigest {
+			t.Errorf("%s: trace digest depends on GOMAXPROCS: %#x vs %#x",
+				alg, many[i].TraceDigest, base[i].TraceDigest)
+		}
+		if !reflect.DeepEqual(many[i], base[i]) {
+			t.Errorf("%s: Result depends on GOMAXPROCS", alg)
+		}
+	}
+}
+
+// TestParallelPanicIsolation asserts a panicking cell surfaces as that
+// cell's error without poisoning its neighbours.
+func TestParallelPanicIsolation(t *testing.T) {
+	res, errs := ParallelMap(4, 5, func(i int) (int, error) {
+		if i == 2 {
+			panic("cell blew up")
+		}
+		return i * i, nil
+	})
+	if errs[2] == nil {
+		t.Fatal("panicking cell reported no error")
+	}
+	for i, e := range errs {
+		if i != 2 && e != nil {
+			t.Errorf("cell %d poisoned by neighbour panic: %v", i, e)
+		}
+	}
+	for _, i := range []int{0, 1, 3, 4} {
+		if res[i] != i*i {
+			t.Errorf("cell %d result lost: got %d", i, res[i])
+		}
+	}
+	if err := FirstError(errs); err == nil {
+		t.Error("FirstError missed the panic")
+	}
+}

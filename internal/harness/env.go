@@ -45,6 +45,7 @@ type Env struct {
 	Mon    *monitor.Monitor // nil unless a flexguard variant is in use
 	RT     *core.Runtime
 	Obs    *obs.LockObserver // nil unless EnvOptions.Observe was set
+	Tr     *sim.Tracer       // nil unless RunCfg.Trace was set
 	Alg    string
 	info   locks.Info
 	nLocks int
@@ -155,6 +156,13 @@ type Result struct {
 	SpinIters    int64
 	Preempt      int64 // total involuntary context switches
 	CSPreempt    int64 // monitor-detected critical-section preemptions
+
+	// TraceDigest/TraceEvents fingerprint the machine's full event
+	// stream (RunCfg.Trace): equal digests mean behaviourally identical
+	// runs, the property the determinism suite asserts across -parallel
+	// worker counts and GOMAXPROCS settings.
+	TraceDigest uint64
+	TraceEvents int64
 
 	// Policy-transition counts from the Preemption Monitor (flexguard
 	// variants; zero otherwise). PolicySwitches is their sum.

@@ -30,6 +30,10 @@ type ExpOptions struct {
 	// per-lock telemetry block after each algorithm row (flexbench
 	// -metrics).
 	Metrics bool
+	// Parallel is the number of OS threads sweep cells fan out across
+	// (flexbench -parallel). Values below 1 mean GOMAXPROCS. Per-cell
+	// results are identical at any setting; only wall-clock changes.
+	Parallel int
 }
 
 func (o ExpOptions) withDefaults() ExpOptions {
@@ -202,37 +206,46 @@ func fig2(machine string, normalize bool, o ExpOptions, w io.Writer) error {
 	if normalize {
 		unit = "CS execution time normalized to the blocking lock"
 	}
+	grid, err := runGrid(o.Parallel, len(o.Algs), len(threads), func(r, c int) (Result, error) {
+		res, err := averageRuns(o, func(seed uint64) (Result, error) {
+			return RunSharedMem(RunCfg{
+				Config: cfg, Alg: o.Algs[r], Threads: threads[c],
+				Duration: o.Duration, Seed: seed, Observe: o.Metrics,
+			}, 100)
+		})
+		if err != nil {
+			return res, fmt.Errorf("%s @%d threads: %w", o.Algs[r], threads[c], err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return err
+	}
 	header(w, fmt.Sprintf("shared-memory-access microbenchmark, %s (%d contexts)", machine, cfg.NumCPUs), threads, unit)
 	baseline := make(map[int]float64)
-	for _, alg := range o.Algs {
-		var last Result
+	for r, alg := range o.Algs {
+		if alg == "blocking" {
+			for c, t := range threads {
+				baseline[t] = grid[r][c].MeanLatUS
+			}
+		}
+	}
+	for row, alg := range o.Algs {
 		fmt.Fprintf(w, "%-14s", alg)
-		for _, t := range threads {
-			r, err := averageRuns(o, func(seed uint64) (Result, error) {
-				return RunSharedMem(RunCfg{
-					Config: cfg, Alg: alg, Threads: t,
-					Duration: o.Duration, Seed: seed, Observe: o.Metrics,
-				}, 100)
-			})
-			if err != nil {
-				return fmt.Errorf("%s @%d threads: %w", alg, t, err)
-			}
-			if alg == "blocking" {
-				baseline[t] = r.MeanLatUS
-			}
+		for col, t := range threads {
+			r := grid[row][col]
 			v := r.MeanLatUS
 			if normalize && baseline[t] > 0 {
 				v = r.MeanLatUS / baseline[t]
 			}
 			cell(w, v, r.Crashed)
-			last = r
 		}
 		fmt.Fprintln(w)
-		maybeMetrics(o, w, alg, last)
+		maybeMetrics(o, w, alg, grid[row][len(threads)-1])
 	}
 	if normalize {
-		fmt.Fprintln(w, "# note: run the 'blocking' row first (it is the denominator);")
-		fmt.Fprintln(w, "# the default algorithm list already orders it first.")
+		fmt.Fprintln(w, "# note: values are normalized to the 'blocking' row;")
+		fmt.Fprintln(w, "# without it in -algs, raw µs are printed instead.")
 	}
 	return nil
 }
@@ -260,28 +273,33 @@ func runApp(machine string, concurrent bool, runner func(RunCfg) (Result, error)
 			header(w, fmt.Sprintf("%s, sweep = worker threads (%d contexts)", machine, cfg.NumCPUs),
 				sweep, "throughput (Mops/s)")
 		}
-		for _, alg := range o.Algs {
-			var last Result
+		grid, err := runGrid(o.Parallel, len(o.Algs), len(sweep), func(row, col int) (Result, error) {
+			c := RunCfg{Config: cfg, Alg: o.Algs[row], Duration: o.Duration, Observe: o.Metrics}
+			if concurrent {
+				c.Threads, c.Spinners = workers, sweep[col]
+			} else {
+				c.Threads = sweep[col]
+			}
+			r, err := averageRuns(o, func(seed uint64) (Result, error) {
+				c.Seed = seed
+				return runner(c)
+			})
+			if err != nil {
+				return r, fmt.Errorf("%s @%d: %w", o.Algs[row], sweep[col], err)
+			}
+			return r, nil
+		})
+		if err != nil {
+			return err
+		}
+		for row, alg := range o.Algs {
 			fmt.Fprintf(w, "%-14s", alg)
-			for _, x := range sweep {
-				c := RunCfg{Config: cfg, Alg: alg, Duration: o.Duration, Observe: o.Metrics}
-				if concurrent {
-					c.Threads, c.Spinners = workers, x
-				} else {
-					c.Threads = x
-				}
-				r, err := averageRuns(o, func(seed uint64) (Result, error) {
-					c.Seed = seed
-					return runner(c)
-				})
-				if err != nil {
-					return fmt.Errorf("%s @%d: %w", alg, x, err)
-				}
+			for col := range sweep {
+				r := grid[row][col]
 				cell(w, r.OpsPerSec/1e6, r.Crashed)
-				last = r
 			}
 			fmt.Fprintln(w)
-			maybeMetrics(o, w, alg, last)
+			maybeMetrics(o, w, alg, grid[row][len(sweep)-1])
 		}
 		return nil
 	}
@@ -304,15 +322,19 @@ func runFig5a(o ExpOptions, w io.Writer) error {
 	threads := cfg.NumCPUs * 135 / 100
 	fmt.Fprintf(w, "# runnable threads over time, %d threads on %d contexts\n", threads, cfg.NumCPUs)
 	fmt.Fprintf(w, "# 40 samples across the run; the paper's Figure 5a\n")
-	for _, alg := range []string{"mcs", "blocking", "flexguard"} {
+	algs := []string{"mcs", "blocking", "flexguard"}
+	envs, errs := ParallelMap(o.Parallel, len(algs), func(i int) (*Env, error) {
 		e, _, err := RunSharedMemEnv(RunCfg{
-			Config: cfg, Alg: alg, Threads: threads,
+			Config: cfg, Alg: algs[i], Threads: threads,
 			Duration: o.Duration, Seed: 7, RecordRunnable: true,
 		}, 100)
-		if err != nil {
-			return err
-		}
-		tl := e.M.RunnableTimeline()
+		return e, err
+	})
+	if err := FirstError(errs); err != nil {
+		return err
+	}
+	for i, alg := range algs {
+		tl := envs[i].M.RunnableTimeline()
 		samples := tl.Sample(0, o.Duration, 40)
 		min, max, _ := tl.MinMax(o.Duration/10, o.Duration)
 		fmt.Fprintf(w, "%-10s min=%3d max=%3d mean=%6.1f series=%v\n",
@@ -340,22 +362,23 @@ func runFig5b(o ExpOptions, w io.Writer) error {
 		}
 	}
 	fmt.Fprintln(w)
-	for _, alg := range o.Algs {
+	grid, err := runGrid(o.Parallel, len(o.Algs), len(subs)*len(gaps), func(row, col int) (Result, error) {
+		s, g := subs[col/len(gaps)], gaps[col%len(gaps)]
+		threads := int(float64(cfg.NumCPUs) * s.ratio)
+		return averageRuns(o, func(seed uint64) (Result, error) {
+			return RunSharedMem(RunCfg{
+				Config: cfg, Alg: o.Algs[row], Threads: threads,
+				Duration: o.Duration, Seed: seed,
+			}, g)
+		})
+	})
+	if err != nil {
+		return err
+	}
+	for row, alg := range o.Algs {
 		fmt.Fprintf(w, "%-14s", alg)
-		for _, s := range subs {
-			for _, g := range gaps {
-				threads := int(float64(cfg.NumCPUs) * s.ratio)
-				r, err := averageRuns(o, func(seed uint64) (Result, error) {
-					return RunSharedMem(RunCfg{
-						Config: cfg, Alg: alg, Threads: threads,
-						Duration: o.Duration, Seed: seed,
-					}, g)
-				})
-				if err != nil {
-					return err
-				}
-				cell(w, r.Fairness, r.Crashed)
-			}
+		for col := range grid[row] {
+			cell(w, grid[row][col].Fairness, grid[row][col].Crashed)
 		}
 		fmt.Fprintln(w)
 	}
@@ -369,26 +392,26 @@ func runFig5c(o ExpOptions, w io.Writer) error {
 	base, _ := MachineConfig("intel")
 	cfg := ScaleConfig(base, o.Scale)
 	threads := threadSweep(cfg.NumCPUs)
+	grid, err := runGrid(o.Parallel, len(o.Algs), len(threads), func(row, col int) (Result, error) {
+		return averageRuns(o, func(seed uint64) (Result, error) {
+			return RunSharedMem(RunCfg{
+				Config: cfg, Alg: o.Algs[row], Threads: threads[col],
+				Duration: o.Duration, Seed: seed, Observe: o.Metrics,
+			}, 100)
+		})
+	})
+	if err != nil {
+		return err
+	}
 	header(w, fmt.Sprintf("spin-loop iterations, sharedmem, intel (%d contexts)", cfg.NumCPUs),
 		threads, "spin iterations (millions)")
-	for _, alg := range o.Algs {
-		var last Result
+	for row, alg := range o.Algs {
 		fmt.Fprintf(w, "%-14s", alg)
-		for _, t := range threads {
-			r, err := averageRuns(o, func(seed uint64) (Result, error) {
-				return RunSharedMem(RunCfg{
-					Config: cfg, Alg: alg, Threads: t,
-					Duration: o.Duration, Seed: seed, Observe: o.Metrics,
-				}, 100)
-			})
-			if err != nil {
-				return err
-			}
-			cell(w, float64(r.SpinIters)/1e6, r.Crashed)
-			last = r
+		for col := range threads {
+			cell(w, float64(grid[row][col].SpinIters)/1e6, grid[row][col].Crashed)
 		}
 		fmt.Fprintln(w)
-		maybeMetrics(o, w, alg, last)
+		maybeMetrics(o, w, alg, grid[row][len(threads)-1])
 	}
 	return nil
 }
@@ -400,14 +423,18 @@ func runOverhead(o ExpOptions, w io.Writer) error {
 	base, _ := MachineConfig("intel")
 	cfg := ScaleConfig(base, o.Scale)
 	opts := hackbench.Options{Groups: 6, Pairs: 8, Messages: 300}
-	var offs, ons []float64
-	for s := 0; s < o.Seeds; s++ {
+	type pair struct{ off, on float64 }
+	pairs, errs := ParallelMap(o.Parallel, o.Seeds, func(s int) (pair, error) {
 		off, on, err := RunHackbench(cfg, uint64(7+s), opts)
-		if err != nil {
-			return err
-		}
-		offs = append(offs, float64(off))
-		ons = append(ons, float64(on))
+		return pair{float64(off), float64(on)}, err
+	})
+	if err := FirstError(errs); err != nil {
+		return err
+	}
+	var offs, ons []float64
+	for _, p := range pairs {
+		offs = append(offs, p.off)
+		ons = append(ons, p.on)
 	}
 	off := stats.Summarize(offs).Mean
 	on := stats.Summarize(ons).Mean
@@ -428,21 +455,19 @@ func runAblationPerLock(o ExpOptions, w io.Writer) error {
 	threads := cfg.NumCPUs * 2
 	fmt.Fprintf(w, "# hash-table (multiple locks), %d threads on %d contexts (2× oversubscribed)\n",
 		threads, cfg.NumCPUs)
-	for _, perLock := range []bool{false, true} {
-		r, err := averageRuns(o, func(seed uint64) (Result, error) {
+	res, errs := ParallelMap(o.Parallel, 2, func(i int) (Result, error) {
+		return averageRuns(o, func(seed uint64) (Result, error) {
 			return RunHashTable(RunCfg{
 				Config: cfg, Alg: "flexguard", Threads: threads,
-				Duration: o.Duration, Seed: seed, PerLock: perLock,
+				Duration: o.Duration, Seed: seed, PerLock: i == 1,
 			})
 		})
-		if err != nil {
-			return err
-		}
-		name := "system-wide counter"
-		if perLock {
-			name = "per-lock counters "
-		}
-		fmt.Fprintf(w, "%s: %8.3f Mops/s\n", name, r.OpsPerSec/1e6)
+	})
+	if err := FirstError(errs); err != nil {
+		return err
+	}
+	for i, name := range []string{"system-wide counter", "per-lock counters "} {
+		fmt.Fprintf(w, "%s: %8.3f Mops/s\n", name, res[i].OpsPerSec/1e6)
 	}
 	return nil
 }
@@ -455,21 +480,19 @@ func runAblationMCSExit(o ExpOptions, w io.Writer) error {
 	cfg := ScaleConfig(base, o.Scale)
 	threads := cfg.NumCPUs * 2
 	fmt.Fprintf(w, "# sharedmem, %d threads on %d contexts (2× oversubscribed)\n", threads, cfg.NumCPUs)
-	for _, blocking := range []bool{false, true} {
-		r, err := averageRuns(o, func(seed uint64) (Result, error) {
+	res, errs := ParallelMap(o.Parallel, 2, func(i int) (Result, error) {
+		return averageRuns(o, func(seed uint64) (Result, error) {
 			return RunSharedMem(RunCfg{
 				Config: cfg, Alg: "flexguard", Threads: threads,
-				Duration: o.Duration, Seed: seed, BlockingMCSExit: blocking,
+				Duration: o.Duration, Seed: seed, BlockingMCSExit: i == 1,
 			}, 100)
 		})
-		if err != nil {
-			return err
-		}
-		name := "shipped mcs_exit (spin only)     "
-		if blocking {
-			name = "ablation: blocking-aware mcs_exit"
-		}
-		fmt.Fprintf(w, "%s: mean CS time %8.2f µs\n", name, r.MeanLatUS)
+	})
+	if err := FirstError(errs); err != nil {
+		return err
+	}
+	for i, name := range []string{"shipped mcs_exit (spin only)     ", "ablation: blocking-aware mcs_exit"} {
+		fmt.Fprintf(w, "%s: mean CS time %8.2f µs\n", name, res[i].MeanLatUS)
 	}
 	return nil
 }

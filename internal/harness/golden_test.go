@@ -1,0 +1,116 @@
+package harness
+
+// Golden-trace fixtures: the committed per-algorithm digest of the full
+// lock/scheduler event stream for one small canonical scenario. A
+// scheduler or lock refactor that changes simulation semantics — event
+// order, timing, placement — cannot land silently: this test fails
+// until the change is reviewed and the goldens regenerated with
+//
+//	go test ./internal/harness -run TestGoldenTraces -update
+//
+// The digest is an FNV-1a hash over every event (time, kind, thread,
+// arg, lock), exact regardless of tracer ring capacity, and depends
+// only on the seeded simulation — not on Go version, platform or
+// GOMAXPROCS — so it is stable enough to commit.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "regenerate golden trace fixtures")
+
+const goldenPath = "testdata/golden_traces.json"
+
+// goldenEntry is one algorithm's committed fingerprint.
+type goldenEntry struct {
+	Digest string `json:"digest"` // 0x-prefixed FNV-1a 64
+	Events int64  `json:"events"` // total events recorded
+}
+
+// goldenFile is the fixture layout.
+type goldenFile struct {
+	Scenario string                 `json:"scenario"`
+	Digests  map[string]goldenEntry `json:"digests"`
+}
+
+// goldenScenario describes the canonical run (kept deliberately small:
+// every algorithm, 6 threads on 4 contexts, 400k ticks).
+const goldenScenario = "sharedmem Small(4) threads=6 seed=11 duration=400000 think=100"
+
+func goldenCell(alg string) RunCfg {
+	return detCell(alg) // the determinism suite's canonical cell
+}
+
+func TestGoldenTraces(t *testing.T) {
+	algs := AllAlgorithms
+	res, errs := ParallelMap(0, len(algs), func(i int) (Result, error) {
+		return RunSharedMem(goldenCell(algs[i]), 100)
+	})
+	if err := FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+	got := goldenFile{Scenario: goldenScenario, Digests: map[string]goldenEntry{}}
+	for i, alg := range algs {
+		got.Digests[alg] = goldenEntry{
+			Digest: fmt.Sprintf("0x%016x", res[i].TraceDigest),
+			Events: res[i].TraceEvents,
+		}
+	}
+
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d digests", goldenPath, len(got.Digests))
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden fixtures (run with -update to generate): %v", err)
+	}
+	var want goldenFile
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("corrupt golden fixtures: %v", err)
+	}
+	if want.Scenario != goldenScenario {
+		t.Fatalf("golden scenario drifted: fixtures for %q, test runs %q (regenerate with -update)",
+			want.Scenario, goldenScenario)
+	}
+	for _, alg := range algs {
+		w, ok := want.Digests[alg]
+		if !ok {
+			t.Errorf("%s: no committed digest (regenerate with -update)", alg)
+			continue
+		}
+		if g := got.Digests[alg]; g != w {
+			t.Errorf("%s: event stream changed: digest %s (%d events), committed %s (%d events)\n"+
+				"  if the semantic change is intended, regenerate with -update",
+				alg, g.Digest, g.Events, w.Digest, w.Events)
+		}
+	}
+	for alg := range want.Digests {
+		found := false
+		for _, a := range algs {
+			if a == alg {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("stale golden entry %q: algorithm no longer registered", alg)
+		}
+	}
+}

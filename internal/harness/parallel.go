@@ -1,0 +1,104 @@
+package harness
+
+// The parallel sweep engine: experiment tables fan their (lock ×
+// threads × workload × seed) cells out across OS threads. Each cell
+// builds its own sim.Machine, RNG, tracer and observer registry, so
+// cells share no mutable state and the per-cell outcome is bit-for-bit
+// identical whether the sweep runs on 1 worker or GOMAXPROCS workers —
+// the determinism regression suite (determinism_test.go) pins this
+// down. Results land at their cell's index, so output ordering never
+// depends on completion order.
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Workers resolves a parallelism setting: values below 1 mean "one
+// worker per available OS thread" (GOMAXPROCS).
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ParallelMap evaluates fn(0..n-1) on up to workers goroutines and
+// returns the results and errors in index order. A panic inside a cell
+// is isolated: it is captured (with its stack) as that cell's error and
+// the remaining cells still run.
+func ParallelMap[T any](workers, n int, fn func(i int) (T, error)) ([]T, []error) {
+	results := make([]T, n)
+	errs := make([]error, n)
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			results[i], errs[i] = runCell(i, fn)
+		}
+		return results, errs
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i], errs[i] = runCell(i, fn)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results, errs
+}
+
+// runCell invokes one cell with panic isolation.
+func runCell[T any](i int, fn func(i int) (T, error)) (res T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cell %d panicked: %v\n%s", i, r, debug.Stack())
+		}
+	}()
+	return fn(i)
+}
+
+// FirstError returns the lowest-index non-nil error, or nil.
+func FirstError(errs []error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// gridCell addresses one cell of a rows×cols experiment table.
+func gridCell(i, cols int) (row, col int) { return i / cols, i % cols }
+
+// runGrid evaluates every cell of a rows×cols table through the worker
+// pool and returns results indexed [row][col]. The first failing cell's
+// error is returned (cells after a failure still complete; their
+// results are discarded with the table).
+func runGrid(workers, rows, cols int, cell func(r, c int) (Result, error)) ([][]Result, error) {
+	flat, errs := ParallelMap(workers, rows*cols, func(i int) (Result, error) {
+		r, c := gridCell(i, cols)
+		return cell(r, c)
+	})
+	if err := FirstError(errs); err != nil {
+		return nil, err
+	}
+	out := make([][]Result, rows)
+	for r := 0; r < rows; r++ {
+		out[r] = flat[r*cols : (r+1)*cols]
+	}
+	return out, nil
+}

@@ -29,6 +29,11 @@ type RunCfg struct {
 	// Observe attaches the lock-event observer (per-lock telemetry in
 	// Result; see EnvOptions.Observe).
 	Observe bool
+	// Trace attaches a small-ring tracer whose streaming digest covers
+	// the full event stream (Result.TraceDigest/TraceEvents): the
+	// behavioural fingerprint the determinism and golden-trace suites
+	// compare across worker counts and scheduler refactors.
+	Trace bool
 }
 
 // prepare builds the env; the workload's worker threads must be spawned
@@ -53,6 +58,11 @@ func prepare(c RunCfg) (*Env, sim.Time, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	if c.Trace {
+		// A tiny ring suffices: the digest is folded per event before
+		// eviction, so it is exact over the whole stream.
+		e.Tr = e.M.AttachTracer(256)
+	}
 	dur := c.Duration
 	if dur == 0 {
 		dur = 20_000_000
@@ -74,6 +84,10 @@ func finish(e *Env, c RunCfg, dur sim.Time) Result {
 	if q < dur && e.M.Deadlocked() {
 		r.Deadlocked = true
 		r.DeadlockDump = e.M.DeadlockReport()
+	}
+	if e.Tr != nil {
+		r.TraceDigest = e.Tr.Digest()
+		r.TraceEvents = e.Tr.Seen
 	}
 	return r
 }

@@ -49,11 +49,19 @@ type FaultInjector interface {
 	SpuriousWakeDelay(t *Thread) Time
 }
 
-// cpuCtx is one hardware context.
+// cpuCtx is one hardware context with its own runqueue shard. Sharding
+// the runqueue per core (instead of one global FIFO) mirrors the
+// per-CPU runqueues of the CFS environment the paper evaluates on, and
+// turns the O(runnable) global scan into O(1) local operations at the
+// many-context scale (up to 512 contexts) the paper studies.
 type cpuCtx struct {
 	id        int
 	cur       *Thread
 	switching bool // a dispatch is in flight toward this context
+
+	// Local runqueue shard: q[qhead:] are the queued threads, FIFO.
+	q     []*Thread
+	qhead int
 }
 
 // Machine is a simulated multicore machine. Create with New, add threads
@@ -66,8 +74,9 @@ type Machine struct {
 	cpus    []*cpuCtx
 	threads []*Thread
 
-	runq     []*Thread
-	runqHead int
+	// nqueued is the total number of threads across all runqueue shards
+	// (excluding threads currently on a context).
+	nqueued int
 
 	futexQ map[*Word][]*Thread
 
@@ -89,9 +98,14 @@ type Machine struct {
 	drained  bool // event queue emptied before the Run horizon
 
 	// TotalSwitches and TotalPreemptions count context switches across the
-	// run; TotalPreemptions counts only involuntary ones.
+	// run; TotalPreemptions counts only involuntary ones. TotalSteals
+	// counts threads taken off another core's runqueue shard, and
+	// TotalMigrations dispatches of a thread onto a context other than
+	// the one it last ran on.
 	TotalSwitches    int64
 	TotalPreemptions int64
+	TotalSteals      int64
+	TotalMigrations  int64
 }
 
 // New builds a machine from cfg.
@@ -205,13 +219,14 @@ func (m *Machine) Spawn(name string, body func(p *Proc)) *Thread {
 		panic("sim: Spawn after Run finished")
 	}
 	t := &Thread{
-		id:     len(m.threads),
-		name:   name,
-		m:      m,
-		resume: make(chan struct{}),
-		yield:  make(chan struct{}),
-		cpu:    -1,
-		Rand:   m.rng.Split(),
+		id:      len(m.threads),
+		name:    name,
+		m:       m,
+		resume:  make(chan struct{}),
+		yield:   make(chan struct{}),
+		cpu:     -1,
+		lastCPU: -1,
+		Rand:    m.rng.Split(),
 	}
 	t.proc = &Proc{t: t, m: m}
 	t.pending = pendStep
@@ -259,6 +274,10 @@ func (m *Machine) Run(until Time) Time {
 		}
 		m.clock = ev.At
 		ev.Fn()
+		// The event fired and every handle to it has been dropped (the
+		// machine nulls its event pointers when a callback runs), so it
+		// can be reused by the next Schedule.
+		m.eq.Recycle(ev)
 	}
 	quiesced := m.clock
 	if m.clock < until {
@@ -345,38 +364,116 @@ func (m *Machine) shutdown() {
 	}
 }
 
-// ---- Runqueue ----
+// ---- Runqueue (sharded per core) ----
+//
+// Every hardware context owns a FIFO runqueue shard. Placement is by
+// wake affinity: a thread enqueues on the core it last ran on (its
+// "home" core; never-ran threads spread round-robin by id). A core with
+// an empty shard steals the oldest waiter from its neighbours in a
+// deterministic round-robin scan starting at id+1, so no thread waits
+// while any core idles, and two runs with the same seed make identical
+// stealing decisions.
 
-func (m *Machine) runqLen() int { return len(m.runq) - m.runqHead }
+func (m *Machine) runqLen() int { return m.nqueued }
 
-func (m *Machine) runqPush(t *Thread) { m.runq = append(m.runq, t) }
-
-// runqPushFront inserts t at the head of the runqueue (wake preemption:
-// the woken thread takes the context its victim releases).
-func (m *Machine) runqPushFront(t *Thread) {
-	if m.runqHead > 0 {
-		m.runqHead--
-		m.runq[m.runqHead] = t
-		return
+// homeCPU returns the shard a runnable thread enqueues on.
+func (m *Machine) homeCPU(t *Thread) *cpuCtx {
+	if t.lastCPU >= 0 {
+		return m.cpus[t.lastCPU]
 	}
-	m.runq = append([]*Thread{t}, m.runq...)
+	return m.cpus[t.id%len(m.cpus)]
 }
 
-func (m *Machine) runqPop() *Thread {
-	if m.runqHead == len(m.runq) {
+// runqPush enqueues a waking thread: on its home shard when that shard
+// is empty (wake affinity), otherwise on the least-loaded shard (wake
+// balancing, as CFS's select_task_rq spreads wakeups away from busy
+// CPUs) — home wins ties, then lowest id, so placement is
+// deterministic. Without balancing a woken waiter can sit behind a deep
+// home shard while other cores cycle shallow ones, which stretches
+// lock-handover latency under oversubscription.
+func (m *Machine) runqPush(t *Thread) {
+	home := m.homeCPU(t)
+	c := home
+	if best := len(home.q) - home.qhead; best > 0 {
+		for _, v := range m.cpus {
+			if d := len(v.q) - v.qhead; d < best {
+				best, c = d, v
+			}
+		}
+	}
+	m.runqPushLocal(c, t)
+}
+
+// runqPushLocal enqueues t at the tail of c's shard.
+func (m *Machine) runqPushLocal(c *cpuCtx, t *Thread) {
+	c.q = append(c.q, t)
+	m.nqueued++
+}
+
+// runqPushFront inserts t at the head of c's shard (wake preemption:
+// the woken thread takes the context its victim releases).
+func (m *Machine) runqPushFront(c *cpuCtx, t *Thread) {
+	if c.qhead > 0 {
+		c.qhead--
+		c.q[c.qhead] = t
+	} else {
+		c.q = append([]*Thread{t}, c.q...)
+	}
+	m.nqueued++
+}
+
+// popLocal dequeues the head of c's shard, or nil if it is empty.
+func (m *Machine) popLocal(c *cpuCtx) *Thread {
+	if c.qhead == len(c.q) {
 		return nil
 	}
-	t := m.runq[m.runqHead]
-	m.runq[m.runqHead] = nil
-	m.runqHead++
-	if m.runqHead > 64 && m.runqHead*2 > len(m.runq) {
-		m.runq = append(m.runq[:0], m.runq[m.runqHead:]...)
-		m.runqHead = 0
+	t := c.q[c.qhead]
+	c.q[c.qhead] = nil
+	c.qhead++
+	if c.qhead > 64 && c.qhead*2 > len(c.q) {
+		c.q = append(c.q[:0], c.q[c.qhead:]...)
+		c.qhead = 0
 	}
+	m.nqueued--
 	return t
 }
 
-func (m *Machine) idleCPU() *cpuCtx {
+// pickNext selects the next thread to run on c: the local shard first,
+// then a deterministic round-robin steal from the other shards.
+func (m *Machine) pickNext(c *cpuCtx) *Thread {
+	if t := m.popLocal(c); t != nil {
+		return t
+	}
+	return m.steal(c)
+}
+
+// steal scans the other shards round-robin starting at c.id+1 and takes
+// the head (oldest waiter) of the first non-empty one — idle-core
+// balancing with a FIFO starvation bound.
+func (m *Machine) steal(c *cpuCtx) *Thread {
+	if m.nqueued == 0 {
+		return nil
+	}
+	n := len(m.cpus)
+	for i := 1; i < n; i++ {
+		v := m.cpus[(c.id+i)%n]
+		if t := m.popLocal(v); t != nil {
+			m.TotalSteals++
+			return t
+		}
+	}
+	return nil
+}
+
+// idleCPU returns an idle context, preferring t's last context (wake
+// affinity, as CFS tries prev_cpu first) and falling back to the
+// lowest-id idle one. t may be nil.
+func (m *Machine) idleCPU(t *Thread) *cpuCtx {
+	if t != nil && t.lastCPU >= 0 {
+		if c := m.cpus[t.lastCPU]; c.cur == nil && !c.switching {
+			return c
+		}
+	}
 	for _, c := range m.cpus {
 		if c.cur == nil && !c.switching {
 			return c
@@ -400,12 +497,12 @@ func (m *Machine) setRunnable(delta int64) {
 func (m *Machine) makeRunnable(t *Thread) {
 	t.state = StateRunnable
 	m.setRunnable(+1)
-	if c := m.idleCPU(); c != nil {
+	if c := m.idleCPU(t); c != nil {
 		m.contextSwitch(c, nil, t)
 		return
 	}
 	if c := m.wakePreemptVictim(); c != nil {
-		m.runqPushFront(t)
+		m.runqPushFront(c, t)
 		m.forcePreempt(c, c.cur)
 		return
 	}
@@ -493,6 +590,11 @@ func (m *Machine) dispatch(c *cpuCtx, t *Thread) {
 	c.cur = t
 	t.state = StateRunning
 	t.cpu = c.id
+	if t.lastCPU >= 0 && t.lastCPU != c.id {
+		t.Migrations++
+		m.TotalMigrations++
+	}
+	t.lastCPU = c.id
 	slice := m.cfg.Costs.Timeslice - t.slicePenalty
 	if slice < m.cfg.Costs.MinSlice {
 		slice = m.cfg.Costs.MinSlice
@@ -585,15 +687,23 @@ func (m *Machine) onSliceExpiry(c *cpuCtx, t *Thread) {
 	m.preempt(c, t)
 }
 
-// preempt moves the running t to the runqueue tail and switches c to the
-// next runnable thread.
+// preempt moves the running t to the tail of c's shard and switches c to
+// the next runnable thread (local shard first, then stealing). The next
+// thread is picked before t is re-queued so a preemption with other
+// runnable work never degenerates into a self-switch; with all shards
+// empty (fault-injected preemption) it still self-switches, firing the
+// sched_switch hooks the monitor watches.
 func (m *Machine) preempt(c *cpuCtx, t *Thread) {
 	t.Preemptions++
 	m.TotalPreemptions++
 	m.detach(t)
 	t.state = StateRunnable
-	m.runqPush(t)
-	m.contextSwitch(c, t, m.runqPop())
+	next := m.pickNext(c)
+	m.runqPushLocal(c, t)
+	if next == nil {
+		next = m.popLocal(c)
+	}
+	m.contextSwitch(c, t, next)
 }
 
 // finishOp delivers the current op's result: if a preemption was deferred
@@ -644,5 +754,5 @@ func (m *Machine) onExit(t *Thread) {
 	m.detach(t)
 	t.state = StateDone
 	m.setRunnable(-1)
-	m.contextSwitch(c, t, m.runqPop())
+	m.contextSwitch(c, t, m.pickNext(c))
 }

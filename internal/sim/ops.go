@@ -301,7 +301,7 @@ func (m *Machine) futexWaitDone(t *Thread) {
 			m.eq.Schedule(m.clock+d, func() { m.spuriousWake(w, t) })
 		}
 	}
-	m.contextSwitch(c, t, m.runqPop())
+	m.contextSwitch(c, t, m.pickNext(c))
 }
 
 // spuriousWake (fault injection) yanks t out of w's wait queue as a real
@@ -377,11 +377,16 @@ func (m *Machine) yieldDone(t *Thread) {
 		return
 	}
 	c := m.cpus[t.cpu]
+	next := m.pickNext(c)
+	if next == nil {
+		m.finishOp(t)
+		return
+	}
 	m.detach(t)
 	t.state = StateRunnable
 	t.pending = pendStep
-	m.runqPush(t)
-	m.contextSwitch(c, t, m.runqPop())
+	m.runqPushLocal(c, t)
+	m.contextSwitch(c, t, next)
 }
 
 func (m *Machine) sleepDone(t *Thread) {
@@ -398,5 +403,5 @@ func (m *Machine) sleepDone(t *Thread) {
 			m.makeRunnable(t)
 		}
 	})
-	m.contextSwitch(c, t, m.runqPop())
+	m.contextSwitch(c, t, m.pickNext(c))
 }

@@ -1,0 +1,259 @@
+package sim
+
+// Tests for the sharded per-core runqueue: shard placement, FIFO order
+// within a shard, deterministic round-robin work-stealing, wake-affinity
+// and migration accounting, idle-core balancing, and the interaction of
+// the preemption path with forced (fault-injected) preemptions.
+
+import "testing"
+
+// fakeThread builds a bare runnable thread for queue-mechanics tests
+// that never dispatch it.
+func fakeThread(id, lastCPU int) *Thread {
+	return &Thread{id: id, lastCPU: lastCPU, cpu: -1}
+}
+
+func TestRunqueueShardPlacement(t *testing.T) {
+	cases := []struct {
+		name      string
+		ncpu      int
+		id        int
+		lastCPU   int
+		wantShard int
+	}{
+		{"never-ran spreads by id", 4, 5, -1, 1},
+		{"never-ran id 0", 4, 0, -1, 0},
+		{"affinity to last cpu", 4, 5, 3, 3},
+		{"affinity overrides id", 2, 4, 1, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := small(tc.ncpu)
+			th := fakeThread(tc.id, tc.lastCPU)
+			m.runqPush(th)
+			if got := m.homeCPU(th).id; got != tc.wantShard {
+				t.Fatalf("home shard = %d, want %d", got, tc.wantShard)
+			}
+			c := m.cpus[tc.wantShard]
+			if len(c.q)-c.qhead != 1 || c.q[c.qhead] != th {
+				t.Fatalf("thread not queued on shard %d", tc.wantShard)
+			}
+			if m.runqLen() != 1 {
+				t.Fatalf("runqLen = %d, want 1", m.runqLen())
+			}
+		})
+	}
+}
+
+func TestRunqueueFIFOAndPushFront(t *testing.T) {
+	m := small(2)
+	a, b, c := fakeThread(0, 0), fakeThread(2, 0), fakeThread(4, 0)
+	m.runqPushLocal(m.cpus[0], a)
+	m.runqPushLocal(m.cpus[0], b)
+	m.runqPushFront(m.cpus[0], c) // wake preemption: c takes the head
+	want := []*Thread{c, a, b}
+	for i, w := range want {
+		if got := m.popLocal(m.cpus[0]); got != w {
+			t.Fatalf("pop %d = thread %v, want %d", i, got, w.id)
+		}
+	}
+	if m.popLocal(m.cpus[0]) != nil || m.runqLen() != 0 {
+		t.Fatal("shard not empty after draining")
+	}
+}
+
+func TestWorkStealingOrder(t *testing.T) {
+	// Stealing scans round-robin from id+1 and takes the oldest waiter
+	// (shard head) of the first non-empty shard.
+	cases := []struct {
+		name      string
+		thief     int
+		shards    map[int][]int // shard -> thread ids, FIFO order
+		wantOrder []int         // ids returned by successive pickNext calls
+	}{
+		{
+			name:      "nearest neighbour first",
+			thief:     0,
+			shards:    map[int][]int{1: {10, 11}, 2: {20}},
+			wantOrder: []int{10, 11, 20},
+		},
+		{
+			name:      "scan wraps past ncpu",
+			thief:     2,
+			shards:    map[int][]int{0: {30}, 1: {40}},
+			wantOrder: []int{30, 40}, // from cpu 2: scan 3, 0, 1
+		},
+		{
+			name:      "local shard beats stealing",
+			thief:     1,
+			shards:    map[int][]int{1: {50}, 2: {60}},
+			wantOrder: []int{50, 60},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := small(4)
+			for shard, ids := range tc.shards {
+				for _, id := range ids {
+					m.runqPushLocal(m.cpus[shard], fakeThread(id, shard))
+				}
+			}
+			thief := m.cpus[tc.thief]
+			for i, want := range tc.wantOrder {
+				got := m.pickNext(thief)
+				if got == nil || got.id != want {
+					t.Fatalf("pick %d: got %v, want thread %d", i, got, want)
+				}
+			}
+			if m.pickNext(thief) != nil {
+				t.Fatal("queues should be empty")
+			}
+		})
+	}
+}
+
+func TestStealDeterminism(t *testing.T) {
+	// Two identical push sequences must yield identical steal decisions.
+	build := func() []int {
+		m := small(4)
+		for i := 0; i < 12; i++ {
+			m.runqPushLocal(m.cpus[i%3+1], fakeThread(i, -1))
+		}
+		var order []int
+		for th := m.pickNext(m.cpus[0]); th != nil; th = m.pickNext(m.cpus[0]) {
+			order = append(order, th.id)
+		}
+		return order
+	}
+	a, b := build(), build()
+	if len(a) != 12 {
+		t.Fatalf("drained %d threads, want 12", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("steal order diverged at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestIdleCoreBalancing(t *testing.T) {
+	// 9 compute threads on 4 contexts with skewed lengths: cores that
+	// drain their shard must steal queued work from loaded neighbours
+	// rather than idle, so the machine quiesces with every thread done.
+	m := small(4)
+	lengths := []Time{400_000, 5_000, 5_000, 5_000, 5_000, 5_000, 5_000, 5_000, 5_000}
+	done := make([]bool, len(lengths))
+	for i, n := range lengths {
+		i, n := i, n
+		m.Spawn("w", func(p *Proc) {
+			p.Compute(n)
+			done[i] = true
+		})
+	}
+	m.Run(2_000_000)
+	for i, d := range done {
+		if !d {
+			t.Errorf("thread %d never completed (stranded on a shard)", i)
+		}
+	}
+	if m.TotalSteals == 0 {
+		t.Error("no work was stolen despite skewed shard load")
+	}
+}
+
+func TestMigrationOnWakeup(t *testing.T) {
+	// A sleeper whose home context is taken when it wakes migrates to an
+	// idle context instead of queueing behind the usurper.
+	m := small(2)
+	var wokeOn, sleptOn int
+	m.Spawn("hog", func(p *Proc) { // occupies cpu 0 for the whole run
+		p.Compute(900_000)
+	})
+	m.Spawn("sleeper", func(p *Proc) { // starts on cpu 1
+		sleptOn = p.Thread().lastCPU
+		p.Sleep(50_000)
+		p.Compute(1_000)
+		wokeOn = p.Thread().lastCPU
+	})
+	m.Spawn("filler", func(p *Proc) { // takes cpu 1 while the sleeper sleeps
+		p.Compute(20_000)
+	})
+	m.Run(1_000_000)
+	if sleptOn != 1 {
+		t.Fatalf("sleeper started on cpu %d, want 1", sleptOn)
+	}
+	if wokeOn < 0 {
+		t.Fatal("sleeper never ran after wake")
+	}
+	// With wake affinity, the sleeper prefers cpu 1; by 50k ticks the
+	// filler (20k compute) has exited, so cpu 1 is idle again and no
+	// migration is needed — the affinity path must keep it home.
+	if wokeOn != 1 {
+		t.Errorf("sleeper woke on cpu %d, want affinity to cpu 1", wokeOn)
+	}
+}
+
+func TestMigrationCounted(t *testing.T) {
+	// Force a migration: the sleeper's home context stays occupied
+	// across its whole wake, so it must run elsewhere and the machine
+	// must count the migration.
+	m := small(2)
+	m.Spawn("hogA", func(p *Proc) { p.Compute(400_000) }) // cpu 0
+	var mig int64
+	m.Spawn("sleeper", func(p *Proc) { // cpu 1
+		p.Sleep(30_000)
+		p.Compute(1_000)
+		mig = p.Thread().Migrations
+	})
+	m.Spawn("hogB", func(p *Proc) { p.Compute(400_000) }) // takes cpu 1 at sleep
+	m.Run(1_000_000)
+	if m.TotalMigrations == 0 {
+		t.Error("machine counted no migrations")
+	}
+	_ = mig // the sleeper may wake-preempt a hog on either cpu; the
+	// machine-level counter above is the invariant under test
+}
+
+// alwaysPreempt forces an involuntary switch at every instruction
+// boundary of the victim thread id — the Listing-2/3 window attack —
+// exercising the preempt path's requeue-and-pick ordering.
+type alwaysPreempt struct{ victim int }
+
+func (alwaysPreempt) SliceGrant(t *Thread, s Time) Time  { return s }
+func (a alwaysPreempt) PreemptAtBoundary(t *Thread) bool { return t.id == a.victim }
+func (alwaysPreempt) WakeDelay(t *Thread, lat Time) Time { return lat }
+func (alwaysPreempt) SpuriousWakeDelay(t *Thread) Time   { return 0 }
+
+func TestForcedPreemptionRequeue(t *testing.T) {
+	run := func() (int64, int64, Time) {
+		m := small(2)
+		m.SetFaultInjector(alwaysPreempt{victim: 0})
+		var victimDone, otherDone bool
+		m.Spawn("victim", func(p *Proc) {
+			for i := 0; i < 20; i++ {
+				p.Compute(1_000)
+			}
+			victimDone = true
+		})
+		m.Spawn("other", func(p *Proc) {
+			for i := 0; i < 20; i++ {
+				p.Compute(1_000)
+			}
+			otherDone = true
+		})
+		q := m.Run(5_000_000)
+		if !victimDone || !otherDone {
+			t.Fatal("forced preemption starved a thread")
+		}
+		return m.TotalPreemptions, m.TotalSwitches, q
+	}
+	p1, s1, q1 := run()
+	p2, s2, q2 := run()
+	if p1 == 0 {
+		t.Fatal("injector forced no preemptions")
+	}
+	if p1 != p2 || s1 != s2 || q1 != q2 {
+		t.Fatalf("forced-preemption run not deterministic: (%d,%d,%d) vs (%d,%d,%d)",
+			p1, s1, q1, p2, s2, q2)
+	}
+}

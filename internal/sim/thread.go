@@ -82,6 +82,7 @@ type Thread struct {
 	latStride   int64
 	Preemptions int64 // involuntary context switches
 	Switches    int64 // all context switches off-CPU
+	Migrations  int64 // dispatches onto a different context than last time
 
 	// Rand is this thread's private deterministic stream.
 	Rand *dist.Rand
@@ -93,10 +94,11 @@ type Thread struct {
 	resume chan struct{}
 	yield  chan struct{}
 
-	state  State
-	cpu    int // hardware context while running, else -1
-	killed bool
-	done   bool
+	state   State
+	cpu     int // hardware context while running, else -1
+	lastCPU int // context of the most recent dispatch, -1 if never ran
+	killed  bool
+	done    bool
 
 	// Current op plumbing.
 	req       opReq

@@ -142,16 +142,45 @@ type Tracer struct {
 	full   bool
 	// Dropped counts older events evicted after the ring filled.
 	Dropped int64
+	// Streaming digest state: every event is folded into an FNV-1a hash
+	// before ring eviction, so Digest is exact over the full event
+	// stream regardless of the ring capacity. Seen counts all events
+	// ever recorded (buffered plus evicted).
+	digest uint64
+	Seen   int64
 }
+
+// FNV-1a 64-bit parameters.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
 
 // AttachTracer installs a tracer keeping the newest max events.
 func (m *Machine) AttachTracer(max int) *Tracer {
 	if max <= 0 {
 		max = 1 << 16
 	}
-	tr := &Tracer{max: max}
+	tr := &Tracer{max: max, digest: fnvOffset64}
 	m.tracer = tr
 	return tr
+}
+
+// Digest returns the FNV-1a hash of every event recorded so far (time,
+// kind, thread ids and lock id of each, in stream order). Two runs are
+// behaviourally identical exactly when their digests and Seen counts
+// match; scheduler refactors that change semantics cannot hide from it.
+func (tr *Tracer) Digest() uint64 { return tr.digest }
+
+// fold mixes one 64-bit word into the digest byte by byte.
+func (tr *Tracer) fold(v uint64) {
+	h := tr.digest
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	tr.digest = h
 }
 
 // record appends an event, evicting the oldest at capacity.
@@ -160,6 +189,11 @@ func (tr *Tracer) record(at Time, kind TraceKind, prev, next, lock int32) {
 		return
 	}
 	ev := TraceEvent{At: at, Kind: kind, Prev: prev, Next: next, Lock: lock}
+	tr.Seen++
+	tr.fold(uint64(at))
+	tr.fold(uint64(kind))
+	tr.fold(uint64(uint32(prev))<<32 | uint64(uint32(next)))
+	tr.fold(uint64(uint32(lock)))
 	if len(tr.events) < tr.max {
 		tr.events = append(tr.events, ev)
 		return

@@ -20,6 +20,7 @@ type Event struct {
 	seq      uint64
 	index    int // heap index, -1 if popped/canceled
 	canceled bool
+	pooled   bool
 	Fn       func()
 }
 
@@ -41,7 +42,15 @@ func (e *Event) Canceled() bool { return e.canceled }
 type Queue struct {
 	heap []*Event
 	seq  uint64
+	// free is the event free-list: fired or collected-after-cancel events
+	// recycled by Recycle and reused by Schedule, cutting the per-step
+	// allocation on the simulator's hot path to zero once warm.
+	free []*Event
 }
+
+// maxFree bounds the free-list so a transient event burst does not pin
+// memory for the rest of the run.
+const maxFree = 1024
 
 // Len returns the number of events in the queue, including canceled events
 // that have not yet been removed.
@@ -51,10 +60,34 @@ func (q *Queue) Len() int { return len(q.heap) }
 // to cancel it. Scheduling in the past is permitted (the simulator guards
 // against it separately); such events fire before any later ones.
 func (q *Queue) Schedule(at Time, fn func()) *Event {
-	e := &Event{At: at, seq: q.seq, Fn: fn}
+	var e *Event
+	if n := len(q.free); n > 0 {
+		e = q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+		*e = Event{At: at, seq: q.seq, Fn: fn}
+	} else {
+		e = &Event{At: at, seq: q.seq, Fn: fn}
+	}
 	q.seq++
 	q.push(e)
 	return e
+}
+
+// Recycle returns a fired event to the free-list for reuse by Schedule.
+// The caller must guarantee no reference to e survives the call: a
+// recycled event may be handed out again as a logically different event,
+// so a stale Cancel through an old pointer would cancel the wrong one.
+// The simulator upholds this by nulling its event handles when a
+// callback fires or is canceled. Recycling an event still in the heap,
+// already pooled, or nil is a no-op.
+func (q *Queue) Recycle(e *Event) {
+	if e == nil || e.index != -1 || e.pooled || len(q.free) >= maxFree {
+		return
+	}
+	e.Fn = nil
+	e.pooled = true
+	q.free = append(q.free, e)
 }
 
 // PeekTime returns the firing time of the earliest live event, discarding
@@ -79,7 +112,7 @@ func (q *Queue) Pop() *Event {
 
 func (q *Queue) dropCanceled() {
 	for len(q.heap) > 0 && q.heap[0].canceled {
-		q.pop()
+		q.Recycle(q.pop())
 	}
 }
 
