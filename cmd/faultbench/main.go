@@ -20,25 +20,41 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/harness"
+	"repro/internal/profiling"
 )
 
 func main() {
 	var (
-		algsFlag  = flag.String("algs", "", "comma-separated algorithms (default: the §5.1 set)")
-		plansFlag = flag.String("plans", "", "comma-separated fault-plan presets or specs (default: all presets)")
-		seeds     = flag.Int("seeds", 3, "seeds per (alg, plan) cell")
-		quick     = flag.Bool("quick", false, "1 seed, core algorithms only (CI smoke)")
-		mutants   = flag.Bool("mutants", false, "run the mutation self-test instead of the sweep")
-		replay    = flag.String("replay", "", "replay one spec (as printed for a shrunk failure) and exit")
-		parallel  = flag.Int("parallel", 0, "sweep cells run on this many OS threads (0 = GOMAXPROCS)")
+		algsFlag   = flag.String("algs", "", "comma-separated algorithms (default: the §5.1 set)")
+		plansFlag  = flag.String("plans", "", "comma-separated fault-plan presets or specs (default: all presets)")
+		seeds      = flag.Int("seeds", 3, "seeds per (alg, plan) cell")
+		quick      = flag.Bool("quick", false, "1 seed, core algorithms only (CI smoke)")
+		mutants    = flag.Bool("mutants", false, "run the mutation self-test instead of the sweep")
+		replay     = flag.String("replay", "", "replay one spec (as printed for a shrunk failure) and exit")
+		parallel   = flag.Int("parallel", 0, "sweep cells run on this many OS threads (0 = GOMAXPROCS)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	// The sub-commands report their verdict through the exit status, so
+	// flush the profiles before exiting rather than via defer.
+	exit := func(code int) {
+		if err := stopProf(); err != nil {
+			fatal(err)
+		}
+		os.Exit(code)
+	}
+
 	switch {
 	case *replay != "":
-		os.Exit(runReplay(*replay))
+		exit(runReplay(*replay))
 	case *mutants:
-		os.Exit(runMutants())
+		exit(runMutants())
 	}
 
 	algs := harness.Algorithms
@@ -47,7 +63,6 @@ func main() {
 		*seeds = 1
 	}
 	if *algsFlag != "" {
-		var err error
 		if algs, err = harness.ParseAlgs(*algsFlag); err != nil {
 			fatal(err)
 		}
@@ -63,7 +78,7 @@ func main() {
 			plans = append(plans, fault.NamedPlan{Name: s, Plan: p})
 		}
 	}
-	os.Exit(runSweep(algs, plans, *seeds, *parallel))
+	exit(runSweep(algs, plans, *seeds, *parallel))
 }
 
 // cellOutcome is one (alg, plan) cell of the sweep table.

@@ -25,20 +25,23 @@ import (
 	"os"
 
 	"repro/internal/harness"
+	"repro/internal/profiling"
 	"repro/internal/sim"
 )
 
 func main() {
 	var (
-		list     = flag.Bool("list", false, "list the available experiments")
-		exp      = flag.String("experiment", "", "experiment id to run (see -list)")
-		all      = flag.Bool("all", false, "run every experiment")
-		scale    = flag.Float64("scale", 0.25, "machine scale factor (1.0 = the paper's 104/512 contexts)")
-		duration = flag.Int64("duration", 20_000_000, "virtual ticks per measured run (~2200 ticks/µs)")
-		seeds    = flag.Int("seeds", 1, "repetitions averaged per data point (paper: 50)")
-		algsFlag = flag.String("algs", "", "comma-separated algorithm subset (default: the paper's ten)")
-		metrics  = flag.Bool("metrics", false, "collect per-lock telemetry and print it after each algorithm row")
-		parallel = flag.Int("parallel", 0, "sweep cells run on this many OS threads (0 = GOMAXPROCS); per-cell results are identical at any setting")
+		list       = flag.Bool("list", false, "list the available experiments")
+		exp        = flag.String("experiment", "", "experiment id to run (see -list)")
+		all        = flag.Bool("all", false, "run every experiment")
+		scale      = flag.Float64("scale", 0.25, "machine scale factor (1.0 = the paper's 104/512 contexts)")
+		duration   = flag.Int64("duration", 20_000_000, "virtual ticks per measured run (~2200 ticks/µs)")
+		seeds      = flag.Int("seeds", 1, "repetitions averaged per data point (paper: 50)")
+		algsFlag   = flag.String("algs", "", "comma-separated algorithm subset (default: the paper's ten)")
+		metrics    = flag.Bool("metrics", false, "collect per-lock telemetry and print it after each algorithm row")
+		parallel   = flag.Int("parallel", 0, "sweep cells run on this many OS threads (0 = GOMAXPROCS); per-cell results are identical at any setting")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -47,9 +50,23 @@ func main() {
 		harness.Describe(os.Stdout)
 		return
 	}
-	algs, err := harness.ParseAlgs(*algsFlag)
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fatal(err)
+		}
+	}()
+	// fatal os.Exits and would skip the profile flush; stop first.
+	die := func(err error) {
+		stopProf()
+		fatal(err)
+	}
+	algs, err := harness.ParseAlgs(*algsFlag)
+	if err != nil {
+		die(err)
 	}
 	opts := harness.ExpOptions{
 		Scale:    *scale,
@@ -64,18 +81,18 @@ func main() {
 		for _, e := range harness.Experiments() {
 			fmt.Printf("==== %s: %s ====\n", e.ID, e.Description)
 			if err := e.Run(opts, os.Stdout); err != nil {
-				fatal(fmt.Errorf("%s: %w", e.ID, err))
+				die(fmt.Errorf("%s: %w", e.ID, err))
 			}
 			fmt.Println()
 		}
 	case *exp != "":
 		e, err := harness.FindExperiment(*exp)
 		if err != nil {
-			fatal(err)
+			die(err)
 		}
 		fmt.Printf("==== %s: %s ====\n", e.ID, e.Description)
 		if err := e.Run(opts, os.Stdout); err != nil {
-			fatal(err)
+			die(err)
 		}
 	default:
 		fmt.Fprintln(os.Stderr, "flexbench: pass -experiment <id>, -all, or -list")

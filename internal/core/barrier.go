@@ -42,9 +42,9 @@ func (b *FGBarrier) Wait(p *sim.Proc) {
 	}
 	for p.Load(b.sense) == round {
 		if p.Load(b.npcs) == 0 {
-			p.SpinWhile(func() bool {
+			p.SpinOn(func() bool {
 				return b.sense.V() == round && b.npcs.V() == 0
-			})
+			}, b.sense, b.npcs)
 			continue
 		}
 		p.FutexWait(b.sense, round)

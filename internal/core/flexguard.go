@@ -165,9 +165,9 @@ func (l *FlexGuard) slowPath(p *sim.Proc) {
 				}
 				p.SetRegion(regP1Spin)
 				p.LockEvent(sim.TraceSpinStart, l.lid)
-				p.SpinWhile(func() bool {
+				p.SpinOn(func() bool {
 					return qn.waiting.V() == 1 && l.spinOK()
-				})
+				}, qn.waiting, l.npcs, l.stale)
 				if p.Load(qn.waiting) == 0 {
 					// Handover: we now hold the MCS lock.
 					mcsHolder = true
@@ -187,9 +187,9 @@ func (l *FlexGuard) slowPath(p *sim.Proc) {
 				// mode changes, then retry the CAS.
 				l.p2SpinRegion(p, mcsHolder)
 				p.LockEvent(sim.TraceSpinStart, l.lid)
-				p.SpinWhile(func() bool {
+				p.SpinOn(func() bool {
 					return l.val.V() != Unlocked && l.spinOK()
-				})
+				}, l.val, l.npcs, l.stale)
 				state = l.p2CAS(p, mcsHolder)
 				continue
 			}
@@ -268,15 +268,15 @@ func (l *FlexGuard) mcsExit(p *sim.Proc, qn *QNode) {
 		if l.blockingExit {
 			for p.Load(qn.next) == 0 {
 				if l.modeSpin(p) {
-					p.SpinWhileMax(func() bool {
+					p.SpinOnMax(func() bool {
 						return qn.next.V() == 0 && l.spinOK()
-					}, 10_000)
+					}, 10_000, qn.next, l.npcs, l.stale)
 				} else {
 					p.FutexWait(qn.next, 0)
 				}
 			}
 		} else {
-			p.SpinWhile(func() bool { return qn.next.V() == 0 })
+			p.SpinOn(func() bool { return qn.next.V() == 0 }, qn.next)
 		}
 	}
 	succ := int(p.Load(qn.next) - 1)

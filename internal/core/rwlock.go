@@ -57,9 +57,9 @@ func (l *RWLock) Lock(p *sim.Proc) {
 			return
 		}
 		if p.Load(l.npcs) == 0 {
-			p.SpinWhile(func() bool {
+			p.SpinOn(func() bool {
 				return l.readers.V() != 0 && l.npcs.V() == 0
-			})
+			}, l.readers, l.npcs)
 			continue
 		}
 		// Blocking mode: sleep until the count we saw changes (EAGAIN on

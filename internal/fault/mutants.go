@@ -102,7 +102,7 @@ func (l *tasNoAtomic) Lock(p *sim.Proc) {
 			return
 		}
 		p.LockEvent(sim.TraceSpinStart, l.lid)
-		p.SpinWhile(func() bool { return l.v.V() != 0 })
+		p.SpinOn(func() bool { return l.v.V() != 0 }, l.v)
 	}
 }
 
@@ -162,7 +162,7 @@ func (l *mcsNoHandover) Lock(p *sim.Proc) {
 	}
 	p.Store(l.node(int(pred-1)).next, uint64(p.ID()+1))
 	p.LockEvent(sim.TraceSpinStart, l.lid)
-	p.SpinWhile(func() bool { return qn.locked.V() == 1 })
+	p.SpinOn(func() bool { return qn.locked.V() == 1 }, qn.locked)
 	p.LockEvent(sim.TraceAcquire, l.lid)
 }
 
@@ -173,7 +173,7 @@ func (l *mcsNoHandover) Unlock(p *sim.Proc) {
 		if p.CAS(l.tail, uint64(p.ID()+1), 0) == uint64(p.ID()+1) {
 			return
 		}
-		p.SpinWhile(func() bool { return qn.next.V() == 0 })
+		p.SpinOn(func() bool { return qn.next.V() == 0 }, qn.next)
 	}
 	// BUG: the successor is known but its locked flag is never cleared —
 	// the handover store is missing.
@@ -199,7 +199,7 @@ func (l *fgNoWake) Lock(p *sim.Proc) {
 	for {
 		if l.npcs == nil || p.Load(l.npcs) == 0 {
 			p.LockEvent(sim.TraceSpinStart, l.lid)
-			p.SpinWhile(func() bool { return l.val.V() != 0 && (l.npcs == nil || l.npcs.V() == 0) })
+			p.SpinOn(func() bool { return l.val.V() != 0 && (l.npcs == nil || l.npcs.V() == 0) }, l.val, l.npcs)
 			if p.CAS(l.val, 0, 1) == 0 {
 				p.LockEvent(sim.TraceAcquire, l.lid)
 				return

@@ -66,7 +66,7 @@ func (l *Posix) Lock(p *sim.Proc) {
 	// paper argues cannot be tuned reliably.
 	pause := p.Machine().Config().Costs.Pause
 	p.LockEvent(sim.TraceSpinStart, l.lid)
-	if p.SpinWhileMax(func() bool { return l.v.V() != 0 }, posixSpin*pause) {
+	if p.SpinOnMax(func() bool { return l.v.V() != 0 }, posixSpin*pause, l.v) {
 		if p.CAS(l.v, 0, 1) == 0 {
 			p.LockEvent(sim.TraceAcquire, l.lid)
 			return

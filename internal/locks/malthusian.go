@@ -89,7 +89,7 @@ func (l *Malthusian) Lock(p *sim.Proc) {
 	p.Store(l.node(dec(pred)).next, enc(p.ID()))
 	for {
 		p.LockEvent(sim.TraceSpinStart, l.lid)
-		p.SpinWhile(func() bool { return qn.locked.V() == mActive })
+		p.SpinOn(func() bool { return qn.locked.V() == mActive }, qn.locked)
 		switch p.Load(qn.locked) {
 		case mGranted:
 			p.LockEvent(sim.TraceAcquire, l.lid)
@@ -98,7 +98,7 @@ func (l *Malthusian) Lock(p *sim.Proc) {
 			// Culled to the passive list: spin briefly, then block on the
 			// node until the holder re-inserts/grants us.
 			p.LockEvent(sim.TraceSpinStart, l.lid)
-			if !p.SpinWhileMax(func() bool { return qn.locked.V() == mCulled }, malthusianPark) {
+			if !p.SpinOnMax(func() bool { return qn.locked.V() == mCulled }, malthusianPark, qn.locked) {
 				if p.CAS(qn.locked, mCulled, mParked) == mCulled {
 					p.LockEvent(sim.TraceLockBlock, l.lid)
 					p.FutexWait(qn.locked, mParked)
@@ -151,7 +151,7 @@ func (l *Malthusian) Unlock(p *sim.Proc) {
 		if p.CAS(l.tail, enc(p.ID()), 0) == enc(p.ID()) {
 			return
 		}
-		p.SpinWhile(func() bool { return qn.next.V() == 0 })
+		p.SpinOn(func() bool { return qn.next.V() == 0 }, qn.next)
 		succ = p.Load(qn.next)
 	}
 	// Cull the second waiter in line (keeping the active queue minimal

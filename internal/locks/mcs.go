@@ -59,7 +59,7 @@ func (l *MCS) Lock(p *sim.Proc) {
 	}
 	p.Store(l.node(dec(pred)).next, enc(p.ID()))
 	p.LockEvent(sim.TraceSpinStart, l.lid)
-	p.SpinWhile(func() bool { return qn.locked.V() == 1 })
+	p.SpinOn(func() bool { return qn.locked.V() == 1 }, qn.locked)
 	p.LockEvent(sim.TraceAcquire, l.lid)
 }
 
@@ -71,7 +71,7 @@ func (l *MCS) Unlock(p *sim.Proc) {
 		if p.CAS(l.tail, enc(p.ID()), 0) == enc(p.ID()) {
 			return
 		}
-		p.SpinWhile(func() bool { return qn.next.V() == 0 })
+		p.SpinOn(func() bool { return qn.next.V() == 0 }, qn.next)
 	}
 	succ := dec(p.Load(qn.next))
 	p.LockEventArg(sim.TraceHandover, l.lid, int32(succ))
@@ -136,7 +136,7 @@ func (l *CLH) Lock(p *sim.Proc) {
 	predWord := l.nodes[pred].succMustWait
 	if p.Load(predWord) == 1 {
 		p.LockEvent(sim.TraceSpinStart, l.lid)
-		p.SpinWhile(func() bool { return predWord.V() == 1 })
+		p.SpinOn(func() bool { return predWord.V() == 1 }, predWord)
 	}
 	p.LockEvent(sim.TraceAcquire, l.lid)
 	// Adopt the predecessor's node for the next acquisition.

@@ -97,7 +97,7 @@ func (l *MCSTP) Lock(p *sim.Proc) {
 func (l *MCSTP) waitGranted(p *sim.Proc, qn *tpNode) bool {
 	for {
 		p.LockEvent(sim.TraceSpinStart, l.lid)
-		p.SpinWhileMax(func() bool { return qn.status.V() == tpWaiting }, tpPubPeriod)
+		p.SpinOnMax(func() bool { return qn.status.V() == tpWaiting }, tpPubPeriod, qn.status)
 		switch p.Load(qn.status) {
 		case tpGranted:
 			return true
@@ -125,7 +125,7 @@ func (l *MCSTP) Unlock(p *sim.Proc) {
 		if p.CAS(l.tail, enc(p.ID()), 0) == enc(p.ID()) {
 			return
 		}
-		p.SpinWhile(func() bool { return qn.next.V() == 0 })
+		p.SpinOn(func() bool { return qn.next.V() == 0 }, qn.next)
 		cur = p.Load(qn.next)
 	}
 	for {
@@ -143,7 +143,7 @@ func (l *MCSTP) Unlock(p *sim.Proc) {
 				p.Store(n.status, tpRemoved)
 				return
 			}
-			p.SpinWhile(func() bool { return n.next.V() == 0 })
+			p.SpinOn(func() bool { return n.next.V() == 0 }, n.next)
 			nxt = p.Load(n.next)
 		}
 		p.Store(n.status, tpRemoved)

@@ -96,7 +96,7 @@ func (l *Shuffle) Lock(p *sim.Proc) {
 func (l *Shuffle) waitAtNode(p *sim.Proc, qn *shuffleNode) {
 	for {
 		p.LockEvent(sim.TraceSpinStart, l.lid)
-		if p.SpinWhileMax(func() bool { return qn.waiting.V() == shSpinning }, shuffleSpin) {
+		if p.SpinOnMax(func() bool { return qn.waiting.V() == shSpinning }, shuffleSpin, qn.waiting) {
 			if p.Load(qn.waiting) == shReleased {
 				return
 			}
@@ -127,7 +127,7 @@ func (l *Shuffle) acquireTop(p *sim.Proc) {
 			return
 		}
 		p.LockEvent(sim.TraceSpinStart, l.lid)
-		p.SpinWhile(func() bool { return l.top.V() != topFree })
+		p.SpinOn(func() bool { return l.top.V() != topFree }, l.top)
 	}
 }
 
@@ -138,7 +138,7 @@ func (l *Shuffle) mcsPass(p *sim.Proc, qn *shuffleNode) {
 		if p.CAS(l.tail, enc(p.ID()), 0) == enc(p.ID()) {
 			return
 		}
-		p.SpinWhile(func() bool { return qn.next.V() == 0 })
+		p.SpinOn(func() bool { return qn.next.V() == 0 }, qn.next)
 	}
 	succ := dec(p.Load(qn.next))
 	next := l.s.shuffleNode(succ)

@@ -55,7 +55,7 @@ func (l *TATAS) Lock(p *sim.Proc) {
 			return
 		}
 		p.LockEvent(sim.TraceSpinStart, l.lid)
-		p.SpinWhile(func() bool { return l.v.V() != 0 })
+		p.SpinOn(func() bool { return l.v.V() != 0 }, l.v)
 	}
 }
 
@@ -90,7 +90,7 @@ func (l *Ticket) Lock(p *sim.Proc) {
 		return
 	}
 	p.LockEvent(sim.TraceSpinStart, l.lid)
-	p.SpinWhile(func() bool { return l.owner.V() != my })
+	p.SpinOn(func() bool { return l.owner.V() != my }, l.owner)
 	p.LockEvent(sim.TraceAcquire, l.lid)
 }
 

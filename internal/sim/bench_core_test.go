@@ -1,0 +1,226 @@
+package sim
+
+// BenchmarkSimCore measures the raw per-cell event-loop throughput of the
+// simulator core on four canonical shapes: spin-heavy (undersubscribed
+// spinlock handovers), block-heavy (futex park/wake churn), mixed
+// (spin-then-park), and oversubscribed 8x (slice churn plus preempted
+// spinners). Each iteration builds a fresh machine and runs it to a fixed
+// virtual horizon, so ns/op tracks the real cost of simulating one cell;
+// the virtual-ticks/s metric normalizes across shapes. The recorded
+// before/after baseline lives in BENCH_simcore.json at the repo root (see
+// EXPERIMENTS.md for the refresh procedure).
+
+import (
+	"runtime"
+	"testing"
+)
+
+// benchCfg returns a small profile with the default (production) cost
+// table: the benchmarks must exercise the same slice/preemption cadence
+// the sweeps use.
+func benchCfg(ncpu int) Config {
+	return Config{Name: "bench", NumCPUs: ncpu, MaxThreads: 512, Seed: 7, Costs: DefaultCosts()}
+}
+
+// benchTicket is a minimal ticket lock built directly on Proc ops so the
+// benchmark depends only on the simulator core (no lock-package import):
+// waiters busy-wait on the owner word — the spin-coalescing hot path.
+type benchTicket struct {
+	next, owner *Word
+}
+
+func newBenchTicket(m *Machine) *benchTicket {
+	return &benchTicket{next: m.NewWord("bt.next", 0), owner: m.NewWord("bt.owner", 0)}
+}
+
+func (l *benchTicket) lock(p *Proc) {
+	my := p.Add(l.next, 1) - 1
+	if p.Load(l.owner) == my {
+		return
+	}
+	p.SpinOn(func() bool { return l.owner.V() != my }, l.owner)
+}
+
+func (l *benchTicket) unlock(p *Proc) {
+	p.Add(l.owner, 1)
+}
+
+// benchFutex is a minimal two-state futex lock (the pure blocking
+// baseline's shape): contended waiters park, every release wakes one.
+type benchFutex struct {
+	v *Word
+}
+
+func newBenchFutex(m *Machine) *benchFutex {
+	return &benchFutex{v: m.NewWord("bf.v", 0)}
+}
+
+func (l *benchFutex) lock(p *Proc) {
+	if p.CAS(l.v, 0, 1) == 0 {
+		return
+	}
+	for p.Xchg(l.v, 2) != 0 {
+		p.FutexWait(l.v, 2)
+	}
+}
+
+func (l *benchFutex) unlock(p *Proc) {
+	if p.Xchg(l.v, 0) == 2 {
+		p.FutexWake(l.v, 1)
+	}
+}
+
+// benchMixed spins for a bounded budget, then parks (spin-then-park).
+type benchMixed struct {
+	v *Word
+}
+
+func newBenchMixed(m *Machine) *benchMixed {
+	return &benchMixed{v: m.NewWord("bm.v", 0)}
+}
+
+func (l *benchMixed) lock(p *Proc) {
+	for {
+		if p.CAS(l.v, 0, 1) == 0 {
+			return
+		}
+		if p.SpinOnMax(func() bool { return l.v.V() != 0 }, 20_000, l.v) {
+			continue
+		}
+		if p.Xchg(l.v, 2) == 0 {
+			return
+		}
+		p.FutexWait(l.v, 2)
+	}
+}
+
+func (l *benchMixed) unlock(p *Proc) {
+	if p.Xchg(l.v, 0) == 2 {
+		p.FutexWake(l.v, 1)
+	}
+}
+
+type benchLock interface {
+	lock(p *Proc)
+	unlock(p *Proc)
+}
+
+// runCoreCell builds one machine with nthreads lock/compute workers and
+// runs it to the horizon, returning the machine for stat inspection.
+func runCoreCell(b *testing.B, ncpu, nthreads int, horizon Time, mk func(m *Machine) benchLock) *Machine {
+	m := New(benchCfg(ncpu))
+	l := mk(m)
+	for i := 0; i < nthreads; i++ {
+		m.Spawn("w", func(p *Proc) {
+			for p.Now() < horizon {
+				l.lock(p)
+				p.IncCS()
+				p.Compute(250)
+				p.DecCS()
+				l.unlock(p)
+				p.Compute(150)
+			}
+		})
+	}
+	m.Run(horizon)
+	return m
+}
+
+func benchCore(b *testing.B, ncpu, nthreads int, horizon Time, mk func(m *Machine) benchLock) {
+	b.ReportAllocs()
+	var ops int64
+	for i := 0; i < b.N; i++ {
+		m := runCoreCell(b, ncpu, nthreads, horizon, mk)
+		for _, t := range m.Threads() {
+			ops += t.Ops
+		}
+	}
+	b.ReportMetric(float64(int64(b.N)*horizon)/b.Elapsed().Seconds(), "vticks/s")
+}
+
+func BenchmarkSimCore(b *testing.B) {
+	b.Run("spin-heavy", func(b *testing.B) {
+		// 6 workers on 8 contexts: every waiter busy-waits, handovers are
+		// store -> spin-exit chains. Undersubscribed, no blocking.
+		benchCore(b, 8, 6, 4_000_000, func(m *Machine) benchLock { return newBenchTicket(m) })
+	})
+	b.Run("block-heavy", func(b *testing.B) {
+		// 16 workers on 4 contexts with a pure blocking lock: futex
+		// park/wake and context-switch churn dominate.
+		benchCore(b, 4, 16, 4_000_000, func(m *Machine) benchLock { return newBenchFutex(m) })
+	})
+	b.Run("mixed", func(b *testing.B) {
+		// Spin-then-park at 2x subscription: both the coalescing and the
+		// futex paths in one cell.
+		benchCore(b, 4, 8, 4_000_000, func(m *Machine) benchLock { return newBenchMixed(m) })
+	})
+	b.Run("oversub-8x", func(b *testing.B) {
+		// 32 spinning workers on 4 contexts: the pathological shape — every
+		// slice expiry preempts a spinner mid-leg and requeues it.
+		benchCore(b, 4, 32, 2_000_000, func(m *Machine) benchLock { return newBenchTicket(m) })
+	})
+	b.Run("steady", func(b *testing.B) {
+		// One worker per context, private words, no contention: pure
+		// instruction stepping. This is the shape the zero-alloc guarantee
+		// covers (see TestSteadySteppingAllocs).
+		benchSteady(b)
+	})
+}
+
+func benchSteady(b *testing.B) {
+	const ncpu = 4
+	const horizon = 4_000_000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := New(benchCfg(ncpu))
+		for j := 0; j < ncpu; j++ {
+			w := m.NewWord("priv", 0)
+			m.Spawn("w", func(p *Proc) {
+				for p.Now() < horizon {
+					p.Compute(200)
+					v := p.Load(w)
+					p.Store(w, v+1)
+					p.IncCS()
+					p.DecCS()
+				}
+			})
+		}
+		m.Run(horizon)
+	}
+	b.ReportMetric(float64(int64(b.N)*horizon)/b.Elapsed().Seconds(), "vticks/s")
+}
+
+// TestSteadySteppingAllocs asserts the steady-state stepping path —
+// fixed-cost instructions and computes with no tracer, observer or fault
+// injector attached — performs no per-operation heap allocations: the
+// event free list, pre-bound completion callbacks and inline instruction
+// batching must cover it. Setup (Spawn, first-park sudogs, runqueue
+// growth) is a small constant, so the budget is a loose absolute bound
+// over a run of ~40k operations rather than exactly zero.
+func TestSteadySteppingAllocs(t *testing.T) {
+	const ncpu = 4
+	const horizon = 4_000_000
+	m := New(benchCfg(ncpu))
+	for j := 0; j < ncpu; j++ {
+		w := m.NewWord("priv", 0)
+		m.Spawn("w", func(p *Proc) {
+			for p.Now() < horizon {
+				p.Compute(200)
+				v := p.Load(w)
+				p.Store(w, v+1)
+			}
+		})
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	m.Run(horizon)
+	runtime.ReadMemStats(&after)
+	allocs := after.Mallocs - before.Mallocs
+	// ~4 contexts x 4_000_000/450 ops ≈ 35k ops. A per-op allocation would
+	// show up as tens of thousands of mallocs; the constant overhead of
+	// goroutine parking and slice growth stays far below the bound.
+	if allocs > 2000 {
+		t.Fatalf("steady-state stepping allocated %d times over ~35k ops; want amortized zero", allocs)
+	}
+}

@@ -86,7 +86,21 @@ type Machine struct {
 	lockNames []string
 	fi        FaultInjector
 
+	// spinners holds the live UNSCOPED spinners (SpinWhile with no watch
+	// set): their conditions may read any word, so every store
+	// re-evaluates them. Scoped spinners (SpinOn) live on the watch lists
+	// of their declared words instead. spinSeq numbers registrations
+	// globally so checkSpinners can merge both populations in exact
+	// registration order.
 	spinners []*Thread
+	spinSeq  uint64
+
+	// horizon is the current Run deadline; firing is the event whose
+	// callback is executing. Both drive the fast-forward path: horizon
+	// bounds inline execution, and firing lets pre-bound slice-expiry
+	// callbacks detect staleness by event identity.
+	horizon Time
+	firing  *vtime.Event
 
 	rng *dist.Rand
 
@@ -230,6 +244,28 @@ func (m *Machine) Spawn(name string, body func(p *Proc)) *Thread {
 	}
 	t.proc = &Proc{t: t, m: m}
 	t.pending = pendStep
+	// Bind the per-thread event callbacks once; see Thread.fnOp.
+	t.fnOp = func() { m.opFire(t) }
+	t.fnCompute = func() { m.computeFire(t) }
+	t.fnSpinExit = func() { m.spinExitCheck(t) }
+	t.fnSpinTimeout = func() { m.spinTimeoutFire(t) }
+	t.fnSpinFinal = func() {
+		if t.state == StateRunning && t.pending == pendSpin {
+			m.completeSpin(t, true)
+		}
+	}
+	t.fnFutexWake = func() {
+		if t.state == StateBlocked {
+			m.makeRunnable(t)
+		}
+	}
+	t.fnSleepWake = func() {
+		if t.state == StateSleeping {
+			m.makeRunnable(t)
+		}
+	}
+	t.fnSlice = func() { m.sliceFire(t) }
+	t.fnDispatch = func() { m.dispatch(m.cpus[t.dispatchCPU], t) }
 	m.threads = append(m.threads, t)
 	go func() {
 		<-t.resume
@@ -259,6 +295,7 @@ func (m *Machine) Run(until Time) Time {
 		panic("sim: Run called twice")
 	}
 	m.running = true
+	m.horizon = until
 	for {
 		ev := m.eq.Pop()
 		if ev == nil {
@@ -273,7 +310,9 @@ func (m *Machine) Run(until Time) Time {
 			panic(fmt.Sprintf("sim: time went backwards: event at %d, clock %d", ev.At, m.clock))
 		}
 		m.clock = ev.At
+		m.firing = ev
 		ev.Fn()
+		m.firing = nil
 		// The event fired and every handle to it has been dropped (the
 		// machine nulls its event pointers when a callback runs), so it
 		// can be reused by the next Schedule.
@@ -346,9 +385,13 @@ func (m *Machine) DeadlockReport() string {
 // shutdown terminates all live threads deterministically (spawn order) and
 // flushes statistics.
 func (m *Machine) shutdown() {
-	// Flush accounting for threads still spinning.
-	for _, t := range m.spinners {
-		m.accountSpin(t)
+	// Flush accounting for threads still spinning (scoped spinners live
+	// on per-word watch lists, so walk all threads; accounting is
+	// per-thread and order-independent).
+	for _, t := range m.threads {
+		if t.spinReg {
+			m.accountSpin(t)
+		}
 	}
 	m.spinners = nil
 	for _, t := range m.threads {
@@ -578,7 +621,11 @@ func (m *Machine) contextSwitch(c *cpuCtx, prev, next *Thread) {
 		cost += m.cfg.Costs.HookCost
 	}
 	c.switching = true
-	m.eq.Schedule(m.clock+cost, func() { m.dispatch(c, next) })
+	// At most one dispatch per thread is ever in flight (the thread is
+	// off every runqueue once picked), so parking the target context on
+	// the thread and reusing its pre-bound callback is unambiguous.
+	next.dispatchCPU = int32(c.id)
+	m.eq.Schedule(m.clock+cost, next.fnDispatch)
 }
 
 // dispatch puts t on context c and resumes its pending continuation.
@@ -608,7 +655,7 @@ func (m *Machine) dispatch(c *cpuCtx, t *Thread) {
 	t.extGranted = false
 	t.sliceStart = m.clock
 	t.sliceEnd = m.clock + slice
-	t.sliceEv = m.eq.Schedule(t.sliceEnd, func() { m.onSliceExpiry(c, t) })
+	t.sliceEv = m.eq.Schedule(t.sliceEnd, t.fnSlice)
 	switch t.pending {
 	case pendStep:
 		m.step(t)
@@ -643,11 +690,19 @@ func (m *Machine) renewSlice(c *cpuCtx, t *Thread) {
 	}
 	t.sliceStart = m.clock
 	t.sliceEnd = m.clock + slice
-	t.sliceEv = m.eq.Schedule(t.sliceEnd, func() { m.onSliceExpiry(c, t) })
+	t.sliceEv = m.eq.Schedule(t.sliceEnd, t.fnSlice)
 }
 
-// onSliceExpiry fires when t's timeslice ends on context c.
-func (m *Machine) onSliceExpiry(c *cpuCtx, t *Thread) {
+// sliceFire fires when t's timeslice ends. The callback is pre-bound per
+// thread, so staleness is detected by event identity: the machine records
+// the event whose callback is executing, and only the thread's live slice
+// timer may act (a canceled timer never fires, and a fired event cannot
+// be recycled into a new handle until its callback has returned).
+func (m *Machine) sliceFire(t *Thread) {
+	if t.sliceEv == nil || t.sliceEv != m.firing {
+		return // stale timer
+	}
+	c := m.cpus[t.cpu]
 	if c.cur != t || t.state != StateRunning {
 		return // stale timer
 	}
@@ -658,7 +713,7 @@ func (m *Machine) onSliceExpiry(c *cpuCtx, t *Thread) {
 		t.extGranted = true
 		t.slicePenalty = m.cfg.Costs.SliceExt
 		t.sliceEnd = m.clock + m.cfg.Costs.SliceExt
-		t.sliceEv = m.eq.Schedule(t.sliceEnd, func() { m.onSliceExpiry(c, t) })
+		t.sliceEv = m.eq.Schedule(t.sliceEnd, t.fnSlice)
 		return
 	}
 	if m.runqLen() == 0 {
@@ -736,15 +791,38 @@ func (m *Machine) finishOp(t *Thread) {
 	m.step(t)
 }
 
-// step resumes t's goroutine until it posts its next operation or exits.
+// step resumes t's goroutine until it posts its next operation or exits,
+// then executes ops inline for as long as they stay unobservable (see
+// execOp): each inline completion is a full instruction boundary — the
+// fault injector's forced-preemption seam and deferred-resched handling
+// run exactly as they would in finishOp — after which the loop fetches
+// the next op. The loop leaves when an op needs a scheduled event, the
+// thread is preempted, or it exits.
 func (m *Machine) step(t *Thread) {
-	t.resume <- struct{}{}
-	<-t.yield
-	if t.done {
-		m.onExit(t)
-		return
+	for {
+		t.resume <- struct{}{}
+		<-t.yield
+		if t.done {
+			m.onExit(t)
+			return
+		}
+		if !m.execOp(t) {
+			return
+		}
+		if m.fi != nil && m.fi.PreemptAtBoundary(t) {
+			t.needResched = false
+			m.preempt(m.cpus[t.cpu], t)
+			return
+		}
+		if t.needResched {
+			t.needResched = false
+			if m.runqLen() != 0 {
+				m.preempt(m.cpus[t.cpu], t)
+				return
+			}
+			m.renewSlice(m.cpus[t.cpu], t)
+		}
 	}
-	m.beginOp(t)
 }
 
 // onExit handles a thread whose body returned.

@@ -10,69 +10,56 @@ func (m *Machine) jitter() Time {
 	return Time(m.rng.Intn(int(j) + 1))
 }
 
-// beginOp starts processing the operation t just posted. It runs
-// synchronously inside an event callback; completions are scheduled as
-// future events so that memory effects linearize in virtual-time order.
-func (m *Machine) beginOp(t *Thread) {
+// execOp starts processing the operation t just posted, returning true if
+// the op completed inline (the fast-forward path) and false if a
+// completion event was scheduled.
+//
+// Fixed-cost instructions — computes, loads, stores, atomics, TLS ops —
+// run inline when nothing can observe or perturb the interval they span:
+// the completion time must fall strictly before both the run horizon and
+// the earliest pending event. Under that guard the event-scheduled
+// execution would have fired the op's completion next with nothing in
+// between, so applying the effect synchronously and advancing the clock
+// is observationally identical (only event sequence numbers differ, and
+// ordering depends solely on their relative order, which is preserved).
+// Cost computation stays ahead of the guard because loadCost/rmwCost
+// mutate cache-line state and draw jitter; both must happen exactly once
+// at the same point in the random-stream order as before.
+//
+// Ops with scheduling side effects (spin, futex, yield, sleep) always take
+// the event path.
+func (m *Machine) execOp(t *Thread) bool {
 	req := &t.req
 	switch req.kind {
 	case opCompute:
-		m.scheduleCompute(t, Time(req.a))
-	case opLoad:
-		cost := m.loadCost(t.cpu, req.w)
-		m.instr(t, cost, func() {
-			t.res = opRes{val: req.w.v}
-		})
-	case opStore:
-		cost := m.rmwCost(t.cpu, req.w, false) + m.jitter()
-		m.instr(t, cost, func() {
-			req.w.v = req.a
+		n := Time(req.a)
+		if n <= 0 {
+			n = 1
+		}
+		if m.canInline(n) {
+			m.clock += n
+			t.pending = pendStep
 			t.res = opRes{}
-			m.applyRegionAfter(t, req)
-			m.checkSpinners()
-		})
-	case opCAS:
-		cost := m.rmwCost(t.cpu, req.w, true) + m.jitter()
-		m.instr(t, cost, func() {
-			old := req.w.v
-			if old == req.a {
-				req.w.v = req.b
-			}
-			t.res = opRes{val: old}
-			if req.setReg {
-				t.Reg = old
-			}
-			m.applyRegionAfter(t, req)
-			m.checkSpinners()
-		})
-	case opXchg:
-		cost := m.rmwCost(t.cpu, req.w, true) + m.jitter()
-		m.instr(t, cost, func() {
-			old := req.w.v
-			req.w.v = req.a
-			t.res = opRes{val: old}
-			if req.setReg {
-				t.Reg = old
-			}
-			m.applyRegionAfter(t, req)
-			m.checkSpinners()
-		})
-	case opAdd:
-		cost := m.rmwCost(t.cpu, req.w, true) + m.jitter()
-		m.instr(t, cost, func() {
-			req.w.v = uint64(int64(req.w.v) + int64(req.a))
-			t.res = opRes{val: req.w.v}
-			m.applyRegionAfter(t, req)
-			m.checkSpinners()
-		})
-	case opCSAdd:
-		m.instr(t, m.cfg.Costs.TLSOp, func() {
-			t.CSCounter += int32(int64(req.a))
-			if t.CSCounter < 0 {
-				panic("sim: cs_counter went negative")
-			}
-			t.res = opRes{}
-		})
+			return true
+		}
+		m.scheduleCompute(t, n)
+	case opLoad, opStore, opCAS, opXchg, opAdd, opCSAdd:
+		var cost Time
+		if t.opCostSet {
+			// Proc.do already computed the cost (mutating cache state and
+			// drawing jitter) before concluding it could not inline.
+			cost = t.opCost
+			t.opCostSet = false
+		} else {
+			cost = m.fixedCost(t)
+		}
+		if m.canInline(cost) {
+			m.clock += cost
+			t.pending = pendStep
+			m.applyOpEffect(t)
+			return true
+		}
+		m.instr(t, cost)
 	case opSpin:
 		t.spinCond = req.cond
 		t.spinBudget = req.max
@@ -80,22 +67,104 @@ func (m *Machine) beginOp(t *Thread) {
 	case opFutexWait:
 		// Value check and blocking happen atomically at syscall completion
 		// (futexWaitDone).
-		m.instr(t, m.cfg.Costs.Syscall, nil)
+		m.instr(t, m.cfg.Costs.Syscall)
 	case opFutexWake:
 		cost := m.cfg.Costs.Syscall
 		if len(m.futexQ[req.w]) > 0 {
 			// Waking real waiters costs the waker the full wake path.
 			cost += m.cfg.Costs.FutexWakeWork
 		}
-		m.instr(t, cost, func() {
-			t.res = opRes{val: uint64(m.futexWake(req.w, int(req.a)))}
-		})
+		m.instr(t, cost)
 	case opYield:
-		m.instr(t, m.cfg.Costs.Syscall, nil) // effect applied in finish path
+		m.instr(t, m.cfg.Costs.Syscall) // effect applied in finish path
 	case opSleep:
-		m.instr(t, m.cfg.Costs.Syscall, nil)
+		m.instr(t, m.cfg.Costs.Syscall)
 	default:
 		panic("sim: unknown op kind")
+	}
+	return false
+}
+
+// fixedCost computes the duration of a fixed-cost instruction, mutating
+// cache-line coherence state and drawing the RMW jitter. Call exactly once
+// per instruction, at its start instant.
+func (m *Machine) fixedCost(t *Thread) Time {
+	req := &t.req
+	switch req.kind {
+	case opLoad:
+		return m.loadCost(t.cpu, req.w)
+	case opStore:
+		return m.rmwCost(t.cpu, req.w, false) + m.jitter()
+	case opCSAdd:
+		return m.cfg.Costs.TLSOp
+	default:
+		return m.rmwCost(t.cpu, req.w, true) + m.jitter()
+	}
+}
+
+// canInline reports whether an op completing at clock+cost can run
+// synchronously: strictly before the run horizon (an event at exactly the
+// horizon does not execute) and strictly before the earliest pending
+// event (on a time tie the already-queued event holds the lower sequence
+// number and would fire first).
+func (m *Machine) canInline(cost Time) bool {
+	end := m.clock + cost
+	if end >= m.horizon {
+		return false
+	}
+	at, ok := m.eq.PeekTime()
+	return !ok || end < at
+}
+
+// applyOpEffect applies the memory/result effect of the current
+// instruction on t. It runs either inline (fast-forward path) or from the
+// instruction's completion event, in both cases at the op's completion
+// time.
+func (m *Machine) applyOpEffect(t *Thread) {
+	req := &t.req
+	switch req.kind {
+	case opLoad:
+		t.res = opRes{val: req.w.v}
+	case opStore:
+		req.w.v = req.a
+		t.res = opRes{}
+		m.applyRegionAfter(t, req)
+		m.checkSpinners(req.w)
+	case opCAS:
+		old := req.w.v
+		if old == req.a {
+			req.w.v = req.b
+		}
+		t.res = opRes{val: old}
+		if req.setReg {
+			t.Reg = old
+		}
+		m.applyRegionAfter(t, req)
+		m.checkSpinners(req.w)
+	case opXchg:
+		old := req.w.v
+		req.w.v = req.a
+		t.res = opRes{val: old}
+		if req.setReg {
+			t.Reg = old
+		}
+		m.applyRegionAfter(t, req)
+		m.checkSpinners(req.w)
+	case opAdd:
+		req.w.v = uint64(int64(req.w.v) + int64(req.a))
+		t.res = opRes{val: req.w.v}
+		m.applyRegionAfter(t, req)
+		m.checkSpinners(req.w)
+	case opCSAdd:
+		t.CSCounter += int32(int64(req.a))
+		if t.CSCounter < 0 {
+			panic("sim: cs_counter went negative")
+		}
+		t.res = opRes{}
+	case opFutexWake:
+		t.res = opRes{val: uint64(m.futexWake(req.w, int(req.a)))}
+	case opFutexWait, opYield, opSleep:
+		// No memory effect; scheduling handled in instrDone.
 	}
 }
 
@@ -107,22 +176,22 @@ func (m *Machine) applyRegionAfter(t *Thread, req *opReq) {
 	}
 }
 
-// instr schedules a non-preemptible instruction of the given cost. effect
-// (if non-nil) is applied at completion; then control continues at the
-// instruction boundary (where a deferred preemption may land). Ops with
-// scheduling side effects (futex, yield, sleep) are finalized in
-// instrDone.
-func (m *Machine) instr(t *Thread, cost Time, effect func()) {
+// instr schedules a non-preemptible instruction of the given cost. The
+// completion callback is the thread's pre-bound opFire handler — the op
+// kind and operands live in Thread.req, so scheduling allocates nothing.
+func (m *Machine) instr(t *Thread, cost Time) {
 	t.opNonPreempt = true
 	t.pending = pendStep
-	t.opEv = m.eq.Schedule(m.clock+cost, func() {
-		t.opEv = nil
-		t.opNonPreempt = false
-		if effect != nil {
-			effect()
-		}
-		m.instrDone(t)
-	})
+	t.opEv = m.eq.Schedule(m.clock+cost, t.fnOp)
+}
+
+// opFire completes a scheduled instruction: apply the effect recorded in
+// Thread.req, then continue at the boundary.
+func (m *Machine) opFire(t *Thread) {
+	t.opEv = nil
+	t.opNonPreempt = false
+	m.applyOpEffect(t)
+	m.instrDone(t)
 }
 
 // instrDone finalizes an instruction at its boundary, handling the ops
@@ -151,11 +220,14 @@ func (m *Machine) scheduleCompute(t *Thread, n Time) {
 	}
 	t.pending = pendCompute
 	t.pendTicks = n
-	t.opEv = m.eq.Schedule(m.clock+n, func() {
-		t.opEv = nil
-		t.res = opRes{}
-		m.finishOp(t)
-	})
+	t.opEv = m.eq.Schedule(m.clock+n, t.fnCompute)
+}
+
+// computeFire completes a scheduled compute leg.
+func (m *Machine) computeFire(t *Thread) {
+	t.opEv = nil
+	t.res = opRes{}
+	m.finishOp(t)
 }
 
 // ---- Spin ----
@@ -169,32 +241,99 @@ func (m *Machine) resumeSpin(t *Thread) {
 	if t.req.max > 0 && t.spinBudget <= 0 {
 		// Budget consumed on earlier legs; deliver the timeout after one
 		// final check iteration.
-		m.eq.Schedule(m.clock+m.cfg.Costs.Pause, func() {
-			if t.state == StateRunning && t.pending == pendSpin {
-				m.completeSpin(t, true)
-			}
-		})
+		m.eq.Schedule(m.clock+m.cfg.Costs.Pause, t.fnSpinFinal)
 		return
 	}
 	if !t.spinCond() {
-		t.spinExitEv = m.eq.Schedule(m.clock+m.cfg.Costs.Pause+m.jitter(), func() { m.spinExitCheck(t) })
-		m.spinners = append(m.spinners, t)
+		t.spinExitEv = m.eq.Schedule(m.clock+m.cfg.Costs.Pause+m.jitter(), t.fnSpinExit)
+		m.registerSpinner(t)
 		return
 	}
-	m.spinners = append(m.spinners, t)
+	m.registerSpinner(t)
 	if t.req.max > 0 {
-		t.spinTimeEv = m.eq.Schedule(m.clock+t.spinBudget, func() { m.spinTimeoutFire(t) })
+		t.spinTimeEv = m.eq.Schedule(m.clock+t.spinBudget, t.fnSpinTimeout)
 	}
 }
 
-// checkSpinners re-evaluates every live spinner's condition after a memory
-// effect; spinners whose condition turned false observe it after the
-// detection latency.
-func (m *Machine) checkSpinners() {
-	for _, t := range m.spinners {
+// registerSpinner adds t to the watch lists of its declared words, or to
+// the machine's unscoped list when the spin op declared none. Every
+// registration takes the next global sequence number so merged iteration
+// (checkSpinners) reproduces the visit order of a single flat list.
+func (m *Machine) registerSpinner(t *Thread) {
+	t.spinSeq = m.spinSeq
+	m.spinSeq++
+	t.spinReg = true
+	scoped := false
+	for _, w := range t.req.watch {
+		if w != nil {
+			scoped = true
+			w.watchers = append(w.watchers, t)
+		}
+	}
+	if !scoped {
+		m.spinners = append(m.spinners, t)
+	}
+}
+
+// unregisterSpinner removes t from whichever lists registerSpinner put it
+// on. No-op if t is not currently registered (e.g. the budget-exhausted
+// final-check wait, which never registers).
+func (m *Machine) unregisterSpinner(t *Thread) {
+	if !t.spinReg {
+		return
+	}
+	t.spinReg = false
+	scoped := false
+	for _, w := range t.req.watch {
+		if w == nil {
+			continue
+		}
+		scoped = true
+		for i, s := range w.watchers {
+			if s == t {
+				w.watchers = append(w.watchers[:i], w.watchers[i+1:]...)
+				break
+			}
+		}
+	}
+	if scoped {
+		return
+	}
+	for i, s := range m.spinners {
+		if s == t {
+			m.spinners = append(m.spinners[:i], m.spinners[i+1:]...)
+			return
+		}
+	}
+}
+
+// checkSpinners re-evaluates the spin conditions that can have been
+// changed by a store to w: the spinners watching w plus every unscoped
+// spinner (whose conditions may read any word). Spinners whose condition
+// turned false observe it after the detection latency.
+//
+// The two lists are merged by ascending registration sequence, so
+// spinners are visited in exactly the order a flat scan of all live
+// spinners would have used. Scoped spinners on other words are skipped
+// entirely — by the SpinOn contract their conditions cannot have changed,
+// so the flat scan would have evaluated them to true and drawn no jitter;
+// skipping them leaves the machine's random stream and event order
+// untouched.
+func (m *Machine) checkSpinners(w *Word) {
+	ws := w.watchers
+	gs := m.spinners
+	i, j := 0, 0
+	for i < len(ws) || j < len(gs) {
+		var t *Thread
+		if j >= len(gs) || (i < len(ws) && ws[i].spinSeq < gs[j].spinSeq) {
+			t = ws[i]
+			i++
+		} else {
+			t = gs[j]
+			j++
+		}
 		if t.spinExitEv == nil && !t.spinCond() {
-			tt := t
-			t.spinExitEv = m.eq.Schedule(m.clock+m.cfg.Costs.SpinDetect+m.jitter(), func() { m.spinExitCheck(tt) })
+			t.spinExitEv = m.eq.Schedule(m.clock+m.cfg.Costs.SpinDetect+m.jitter(), t.fnSpinExit)
 		}
 	}
 }
@@ -268,15 +407,6 @@ func (m *Machine) accountSpin(t *Thread) {
 	t.spinStart = m.clock
 }
 
-func (m *Machine) unregisterSpinner(t *Thread) {
-	for i, s := range m.spinners {
-		if s == t {
-			m.spinners = append(m.spinners[:i], m.spinners[i+1:]...)
-			return
-		}
-	}
-}
-
 // ---- Futex ----
 
 // futexWaitDone runs at the end of the futex_wait syscall entry: check the
@@ -331,7 +461,9 @@ func (m *Machine) spuriousWake(w *Word, t *Thread) {
 }
 
 // futexWake wakes up to n FIFO waiters on w, returning the count. Woken
-// threads become dispatchable after the wakeup-path latency.
+// threads become dispatchable after the wakeup-path latency, via their
+// pre-bound wake callback (a waiter is off the futex queue once a wake is
+// in flight, so at most one wake event per thread is ever pending).
 func (m *Machine) futexWake(w *Word, n int) int {
 	q := m.futexQ[w]
 	woken := 0
@@ -345,11 +477,7 @@ func (m *Machine) futexWake(w *Word, n int) int {
 			lat = m.fi.WakeDelay(wt, lat)
 		}
 		if lat > 0 {
-			m.eq.Schedule(m.clock+lat, func() {
-				if wt.state == StateBlocked {
-					m.makeRunnable(wt)
-				}
-			})
+			m.eq.Schedule(m.clock+lat, wt.fnFutexWake)
 			wt.state = StateBlocked // remains blocked during the wake path
 		} else {
 			m.makeRunnable(wt)
@@ -398,10 +526,6 @@ func (m *Machine) sleepDone(t *Thread) {
 	m.lockEvent(TraceSleep, -1, tid(t), -1)
 	t.pending = pendStep
 	t.res = opRes{}
-	m.eq.Schedule(m.clock+d, func() {
-		if t.state == StateSleeping {
-			m.makeRunnable(t)
-		}
-	})
+	m.eq.Schedule(m.clock+d, t.fnSleepWake)
 	m.contextSwitch(c, t, m.pickNext(c))
 }

@@ -45,6 +45,10 @@ type opReq struct {
 	regionAfter    Region
 	hasRegionAfter bool
 	setReg         bool // store the result in Thread.Reg (the RCX idiom)
+	// watch is a spin op's declared watch set (SpinOn): cond depends only
+	// on these words, so only stores to them re-evaluate the spinner. All
+	// nil means unscoped (SpinWhile): re-evaluated on every store.
+	watch [3]*Word
 }
 
 // opRes carries an operation's result back to the thread.
@@ -56,9 +60,44 @@ type opRes struct {
 
 // do submits the op and parks the goroutine until the machine delivers the
 // result.
+//
+// Fast path: while this goroutine holds the turn, the machine goroutine is
+// parked inside step, so the thread has exclusive access to machine state.
+// A fixed-cost op that would run inline anyway (execOp) can therefore
+// execute right here — same virtual instant, same effect and random-stream
+// order — without the two channel handoffs, which dominate the event
+// loop's real-time cost. With a fault injector attached the fast path is
+// disabled so every instruction boundary goes through the machine's
+// PreemptAtBoundary seam.
 func (p *Proc) do(req opReq) opRes {
 	t := p.t
+	m := p.m
 	t.req = req
+	if m.fi == nil && !t.needResched {
+		switch req.kind {
+		case opCompute:
+			n := Time(req.a)
+			if n <= 0 {
+				n = 1
+			}
+			if m.canInline(n) {
+				m.clock += n
+				t.res = opRes{}
+				return t.res
+			}
+		case opLoad, opStore, opCAS, opXchg, opAdd, opCSAdd:
+			cost := m.fixedCost(t)
+			if m.canInline(cost) {
+				m.clock += cost
+				m.applyOpEffect(t)
+				return t.res
+			}
+			// Cost already computed (cache state mutated, jitter drawn):
+			// hand it to execOp rather than recomputing.
+			t.opCost = cost
+			t.opCostSet = true
+		}
+	}
 	t.yield <- struct{}{}
 	<-t.resume
 	if t.killed {
@@ -155,6 +194,53 @@ func (p *Proc) SpinWhileMax(cond func() bool, max Time) bool {
 	}
 	res := p.do(opReq{kind: opSpin, cond: cond, max: max})
 	return !res.timeout
+}
+
+// SpinOn is SpinWhile with a declared watch set: cond must depend only on
+// the values of the given Words (at most three distinct, nils ignored).
+// The machine then re-evaluates the spinner only on stores to a watched
+// word instead of on every store in the system — the spin-wait coalescing
+// fast path. Declaring a watch set that does not cover every word cond
+// reads is a correctness bug: the spinner can miss its wakeup.
+func (p *Proc) SpinOn(cond func() bool, ws ...*Word) {
+	p.do(opReq{kind: opSpin, cond: cond, watch: watchSet(ws)})
+}
+
+// SpinOnMax is SpinWhileMax with a declared watch set (see SpinOn).
+func (p *Proc) SpinOnMax(cond func() bool, max Time, ws ...*Word) bool {
+	if max <= 0 {
+		return !cond()
+	}
+	res := p.do(opReq{kind: opSpin, cond: cond, max: max, watch: watchSet(ws)})
+	return !res.timeout
+}
+
+// watchSet packs a watch list into the fixed-size opReq field, dropping
+// nils and duplicates.
+func watchSet(ws []*Word) [3]*Word {
+	var out [3]*Word
+	n := 0
+	for _, w := range ws {
+		if w == nil {
+			continue
+		}
+		dup := false
+		for i := 0; i < n; i++ {
+			if out[i] == w {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		if n == len(out) {
+			panic("sim: SpinOn supports at most three watched words")
+		}
+		out[n] = w
+		n++
+	}
+	return out
 }
 
 // FutexWait blocks the thread if w's value equals expect at syscall time,

@@ -105,6 +105,13 @@ type Thread struct {
 	res       opRes
 	pending   pendingKind
 	pendTicks Time // remaining compute ticks when pending == pendCompute
+	// opCost carries a cost already computed (and cache state already
+	// mutated) by the thread-side fast path in Proc.do when the op could
+	// not run inline after all; execOp must consume it instead of
+	// recomputing, or the coherence mutation and jitter draw would
+	// happen twice.
+	opCost    Time
+	opCostSet bool
 
 	// Spin bookkeeping (valid while the current op is a spin).
 	spinCond   func() bool
@@ -112,6 +119,24 @@ type Thread struct {
 	spinStart  Time // when the current on-CPU spin leg began
 	spinExitEv *vtime.Event
 	spinTimeEv *vtime.Event
+	spinReg    bool   // currently on a watch list (or the unscoped list)
+	spinSeq    uint64 // global registration sequence of the live spin leg
+
+	// Pre-bound event callbacks, allocated once at Spawn. Steady-state
+	// stepping schedules completions through these instead of fresh
+	// closures, so the event loop allocates nothing beyond the queue's
+	// free list. Each handler reads its operands from the thread (req,
+	// dispatchCPU) at fire time.
+	fnOp          func() // fixed-cost instruction completion (opFire)
+	fnCompute     func() // compute-leg completion (computeFire)
+	fnSpinExit    func() // spin condition observed false (spinExitCheck)
+	fnSpinTimeout func() // bounded-spin budget expired on-CPU
+	fnSpinFinal   func() // final check after budget exhausted off-CPU
+	fnFutexWake   func() // wake-path latency elapsed
+	fnSleepWake   func() // sleep duration elapsed
+	fnSlice       func() // timeslice expiry (sliceFire)
+	fnDispatch    func() // context-switch completion (dispatch)
+	dispatchCPU   int32  // target context for the pending fnDispatch
 
 	// Scheduling.
 	sliceStart   Time

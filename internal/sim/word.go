@@ -55,6 +55,11 @@ type Word struct {
 	v    uint64
 	line *CacheLine
 	name string
+
+	// watchers are the live scoped spinners (Proc.SpinOn) polling this
+	// word, in registration order. A store to the word re-evaluates only
+	// these plus the machine's unscoped spinners; see checkSpinners.
+	watchers []*Thread
 }
 
 // V returns the current raw value without cost accounting. Use only from
@@ -122,7 +127,7 @@ func (m *Machine) KernelStore(w *Word, v uint64) {
 	w.v = v
 	w.line.owner = ownerKernel
 	w.line.clearSharers()
-	m.checkSpinners()
+	m.checkSpinners(w)
 }
 
 // KernelAdd adds delta to w from kernel-side code and returns the new
@@ -131,6 +136,6 @@ func (m *Machine) KernelAdd(w *Word, delta int64) uint64 {
 	w.v = uint64(int64(w.v) + delta)
 	w.line.owner = ownerKernel
 	w.line.clearSharers()
-	m.checkSpinners()
+	m.checkSpinners(w)
 	return w.v
 }

@@ -36,9 +36,27 @@ func (e *Event) Cancel() {
 // Canceled reports whether Cancel has been called on the event.
 func (e *Event) Canceled() bool { return e.canceled }
 
+// before reports whether e fires before o: earlier time, or scheduling
+// order on ties.
+func (e *Event) before(o *Event) bool {
+	if e.At != o.At {
+		return e.At < o.At
+	}
+	return e.seq < o.seq
+}
+
 // Queue is a deterministic min-heap of events. The zero value is an empty
 // queue ready for use. Queue is not safe for concurrent use; the simulator
 // drives it from a single goroutine.
+//
+// The heap is 4-ary: the simulator's event mix after spin coalescing and
+// instruction batching is dominated by short-lived near-term events
+// (instruction completions, spin-exit checks) threaded between a few
+// long-lived timers (slice expiries, futex timeouts), so the queue stays
+// shallow and wide. A 4-ary layout halves the sift depth of a binary
+// heap, keeps the four children of a node on one cache line, and pays for
+// the extra comparisons only on the rare deep sift. Sift paths are
+// hole-based (one write per level instead of a swap's three).
 type Queue struct {
 	heap []*Event
 	seq  uint64
@@ -47,6 +65,10 @@ type Queue struct {
 	// allocation on the simulator's hot path to zero once warm.
 	free []*Event
 }
+
+// arity is the heap fan-out. Child i*arity+1 .. i*arity+arity, parent
+// (i-1)/arity.
+const arity = 4
 
 // maxFree bounds the free-list so a transient event burst does not pin
 // memory for the rest of the run.
@@ -116,65 +138,60 @@ func (q *Queue) dropCanceled() {
 	}
 }
 
-func (q *Queue) less(i, j int) bool {
-	a, b := q.heap[i], q.heap[j]
-	if a.At != b.At {
-		return a.At < b.At
-	}
-	return a.seq < b.seq
-}
-
+// push appends e and sifts it up with a hole: the displaced parents move
+// down one level each and e is written once at its final slot.
 func (q *Queue) push(e *Event) {
-	e.index = len(q.heap)
+	i := len(q.heap)
 	q.heap = append(q.heap, e)
-	q.up(e.index)
+	for i > 0 {
+		p := (i - 1) / arity
+		parent := q.heap[p]
+		if !e.before(parent) {
+			break
+		}
+		q.heap[i] = parent
+		parent.index = i
+		i = p
+	}
+	q.heap[i] = e
+	e.index = i
 }
 
+// pop removes the root and sifts the last event down with a hole,
+// selecting the smallest of up to arity children per level.
 func (q *Queue) pop() *Event {
+	top := q.heap[0]
 	n := len(q.heap) - 1
-	q.swap(0, n)
-	e := q.heap[n]
+	last := q.heap[n]
 	q.heap[n] = nil
 	q.heap = q.heap[:n]
 	if n > 0 {
-		q.down(0)
+		i := 0
+		for {
+			first := arity*i + 1
+			if first >= n {
+				break
+			}
+			smallest := first
+			end := first + arity
+			if end > n {
+				end = n
+			}
+			for c := first + 1; c < end; c++ {
+				if q.heap[c].before(q.heap[smallest]) {
+					smallest = c
+				}
+			}
+			if !q.heap[smallest].before(last) {
+				break
+			}
+			q.heap[i] = q.heap[smallest]
+			q.heap[i].index = i
+			i = smallest
+		}
+		q.heap[i] = last
+		last.index = i
 	}
-	e.index = -1
-	return e
-}
-
-func (q *Queue) swap(i, j int) {
-	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
-	q.heap[i].index = i
-	q.heap[j].index = j
-}
-
-func (q *Queue) up(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !q.less(i, parent) {
-			break
-		}
-		q.swap(i, parent)
-		i = parent
-	}
-}
-
-func (q *Queue) down(i int) {
-	n := len(q.heap)
-	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < n && q.less(l, smallest) {
-			smallest = l
-		}
-		if r < n && q.less(r, smallest) {
-			smallest = r
-		}
-		if smallest == i {
-			return
-		}
-		q.swap(i, smallest)
-		i = smallest
-	}
+	top.index = -1
+	return top
 }

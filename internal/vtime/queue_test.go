@@ -152,6 +152,131 @@ func TestQueueInterleavedScheduleAndPop(t *testing.T) {
 	}
 }
 
+// Property: under a random interleaving of pushes and pops (with heavy
+// time ties and occasional cancels), the popped sequence equals the
+// reference order — all live events sorted by (time, scheduling order) —
+// restricted to events scheduled before each pop.
+func TestQueuePopOrderMatchesReferenceSort(t *testing.T) {
+	type rec struct {
+		at  Time
+		seq int
+	}
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var q Queue
+		var handles []*Event
+		var ref []rec  // live scheduled events, in scheduling order
+		var got []rec  // pop order observed
+		var want []rec // reference order computed incrementally
+		now := Time(0)
+		seq := 0
+		for step := 0; step < 400; step++ {
+			switch r := rng.Intn(10); {
+			case r < 5 || len(ref) == 0:
+				// Schedule at or after the current time, with ties likely.
+				at := now + Time(rng.Intn(4))
+				rc := rec{at, seq}
+				handles = append(handles, q.Schedule(at, func() {}))
+				ref = append(ref, rc)
+				seq++
+			case r < 6 && len(handles) > 0:
+				// Cancel a random not-yet-popped event (may already be
+				// canceled or fired; both are no-ops).
+				i := rng.Intn(len(handles))
+				if h := handles[i]; h != nil {
+					h.Cancel()
+					// Remove from the reference if still pending.
+					for j, rc := range ref {
+						if rc.seq == i {
+							ref = append(ref[:j], ref[j+1:]...)
+							break
+						}
+					}
+					handles[i] = nil
+				}
+			default:
+				// Pop: must be the minimum (at, seq) of the live set.
+				sort.Slice(ref, func(a, b int) bool {
+					if ref[a].at != ref[b].at {
+						return ref[a].at < ref[b].at
+					}
+					return ref[a].seq < ref[b].seq
+				})
+				e := q.Pop()
+				if e == nil {
+					t.Fatalf("seed %d: queue empty with %d reference events live", seed, len(ref))
+				}
+				got = append(got, rec{e.At, -1})
+				want = append(want, ref[0])
+				if e.At != ref[0].at {
+					t.Fatalf("seed %d step %d: popped t=%d, reference t=%d", seed, step, e.At, ref[0].at)
+				}
+				if handles[ref[0].seq] == e {
+					handles[ref[0].seq] = nil
+				} else {
+					t.Fatalf("seed %d step %d: popped a different event than the reference (tie broken out of scheduling order)", seed, step)
+				}
+				ref = ref[1:]
+				now = e.At
+			}
+		}
+		_ = got
+		_ = want
+	}
+}
+
+// The free list must never hand a live (still-heaped) event back to
+// Schedule: recycling is only legal for popped events, and a pooled event
+// must come back with fresh identity.
+func TestQueueFreeListNeverResurrectsLiveEvent(t *testing.T) {
+	var q Queue
+	live := q.Schedule(10, func() {})
+	// Recycling an event still in the heap must be refused.
+	q.Recycle(live)
+	reused := q.Schedule(5, func() {})
+	if reused == live {
+		t.Fatal("Schedule reused an event that was still in the heap")
+	}
+	if e := q.Pop(); e != reused {
+		t.Fatalf("expected the t=5 event first, got t=%d", e.At)
+	}
+	if e := q.Pop(); e != live {
+		t.Fatalf("live event lost after bogus Recycle; got %v", e)
+	}
+	// Legal recycle: the popped event may be reused, but only once — a
+	// double Recycle must not produce two handles to one event.
+	q.Recycle(live)
+	q.Recycle(live) // no-op: already pooled
+	a := q.Schedule(1, func() {})
+	b := q.Schedule(2, func() {})
+	if a != live {
+		t.Fatal("expected Schedule to reuse the recycled event")
+	}
+	if b == a {
+		t.Fatal("double Recycle produced two handles to the same event")
+	}
+	// A canceled-then-collected event is recycled by the queue itself
+	// (dropCanceled); its old handle must not affect the reused event.
+	c := q.Schedule(3, func() {})
+	c.Cancel()
+	if e := q.Pop(); e != a {
+		t.Fatalf("expected the t=1 event, got t=%d", e.At)
+	}
+	if e := q.Pop(); e != b {
+		t.Fatalf("expected the t=2 event, got t=%d", e.At)
+	}
+	if e := q.Pop(); e != nil {
+		t.Fatalf("expected empty queue, got event at t=%d", e.At)
+	}
+	d := q.Schedule(4, func() {})
+	if d.Canceled() {
+		t.Fatal("recycled event inherited the canceled flag of its previous life")
+	}
+	if e := q.Pop(); e != d {
+		t.Fatal("reused event did not pop")
+	}
+}
+
 func BenchmarkQueueScheduleAndPop(b *testing.B) {
 	var q Queue
 	for i := 0; i < b.N; i++ {

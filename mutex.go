@@ -19,6 +19,22 @@ const (
 // runtime.
 const spinGoschedEvery = 64
 
+// Failed acquisition attempts back off exponentially (in spinPause
+// calls) between polls, bounded so a waiter never sleeps through a
+// release for long: doubling from spinBackoffMin caps at spinBackoffMax
+// within a leg and resets when a new leg starts.
+const (
+	spinBackoffMin = 1
+	spinBackoffMax = 128
+)
+
+// spinPause burns a few cycles without touching shared memory — the
+// portable stand-in for the PAUSE instruction. noinline keeps the call
+// (and thus the delay loop around it) from being optimized away.
+//
+//go:noinline
+func spinPause() {}
+
 // Mutex is the native-Go FlexGuard lock: a single-variable lock whose
 // waiters busy-wait while the NativeMonitor reports healthy scheduling and
 // block (on a channel semaphore, Go's futex analogue) the moment it
@@ -114,9 +130,18 @@ func (m *Mutex) Lock() {
 // It returns false when the monitor flips to oversubscribed or the leg's
 // budget is exhausted.
 func (m *Mutex) spin() bool {
+	backoff := spinBackoffMin
 	for i := 0; i < m.SpinBudget; i++ {
 		if m.state.Load() == mutexUnlocked && m.TryLock() {
 			return true
+		}
+		// Failed attempt: back off before re-polling so contending
+		// waiters stop hammering the lock's cache line at full rate.
+		for p := 0; p < backoff; p++ {
+			spinPause()
+		}
+		if backoff < spinBackoffMax {
+			backoff <<= 1
 		}
 		if i%spinGoschedEvery == spinGoschedEvery-1 {
 			runtime.Gosched()
