@@ -151,18 +151,26 @@ func runSweep(algs []string, plans []fault.NamedPlan, seeds, parallel int) int {
 }
 
 // runMutants proves the checker can fail: every registered mutant must
-// be caught, shrunk, and reproduced from its spec in one run.
+// be caught, shrunk, and reproduced from its spec in one run. The race
+// auditor must agree with the split: every mutant trips at least one
+// race verdict, and the stock algorithms stay race-clean on the same
+// seeds.
 func runMutants() int {
 	bad := 0
 	for _, mu := range fault.Mutants() {
-		caught := false
-		for s := uint64(1); s <= 20 && !caught; s++ {
-			c := harness.FuzzCfg{Mutant: mu.Name, Seed: s}
+		caught, raced := false, false
+		for s := uint64(1); s <= 20 && !(caught && raced); s++ {
+			c := harness.FuzzCfg{Mutant: mu.Name, Seed: s, Races: true}
 			r, err := harness.Fuzz(c)
 			if err != nil {
 				fatal(err)
 			}
-			if !r.Failed() {
+			if r.RaceTotal > 0 && !raced {
+				raced = true
+				fmt.Printf("%-18s race auditor: %d race(s), first %s\n",
+					mu.Name, r.RaceTotal, r.Races[0].Kind)
+			}
+			if !r.Failed() || caught {
 				continue
 			}
 			caught = true
@@ -177,11 +185,29 @@ func runMutants() int {
 			fmt.Printf("%-18s NOT CAUGHT — checker is blind to %q\n", mu.Name, mu.Breaks)
 			bad++
 		}
+		if !raced {
+			fmt.Printf("%-18s NO RACE — race auditor is blind to %q\n", mu.Name, mu.Breaks)
+			bad++
+		}
+	}
+	// The other half of the split: stock locks must not trip the auditor.
+	for _, alg := range []string{"blocking", "mcs", "flexguard"} {
+		for s := uint64(1); s <= 3; s++ {
+			r, err := harness.Fuzz(harness.FuzzCfg{Alg: alg, Seed: s, Races: true})
+			if err != nil {
+				fatal(err)
+			}
+			if r.RaceTotal > 0 {
+				fmt.Printf("%-18s FALSE POSITIVE: %d race(s) at seed %d: %s\n",
+					alg, r.RaceTotal, s, r.Races[0])
+				bad++
+			}
+		}
 	}
 	if bad > 0 {
 		return 1
 	}
-	fmt.Println("all mutants caught")
+	fmt.Println("all mutants caught and raced; stock algorithms race-clean")
 	return 0
 }
 

@@ -1,0 +1,123 @@
+// Command flexlint runs the repo's static-checker suite (see
+// internal/analysis): Word-access discipline, spin-loop hygiene,
+// Lock/Unlock pairing in annotated critical sections, and determinism
+// (no wall clock, no global rand, no unordered map iteration) across
+// the simulation-side packages.
+//
+// Usage:
+//
+//	flexlint ./...                 # whole module
+//	flexlint ./internal/locks ...  # specific package dirs
+//	flexlint -list                 # print the suite and audited scopes
+//
+// Exit status 1 when any finding is reported. Deliberate exceptions are
+// annotated in place: //flexlint:allow <pass> <reason>.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and audited package scopes")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			scope := "all packages"
+			if len(a.Packages) > 0 {
+				scope = strings.Join(a.Packages, ", ")
+			}
+			fmt.Printf("%-12s %s\n%14s(audits: %s)\n", a.Name, a.Doc, "", scope)
+		}
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fatal(err)
+	}
+
+	var paths []string
+	for _, arg := range args {
+		switch {
+		case arg == "./..." || arg == "...":
+			all, err := loader.ModulePackages()
+			if err != nil {
+				fatal(err)
+			}
+			paths = append(paths, all...)
+		case strings.HasPrefix(arg, loader.ModulePath):
+			paths = append(paths, arg)
+		default:
+			// A directory argument: derive the import path from the module.
+			abs, err := filepath.Abs(arg)
+			if err != nil {
+				fatal(err)
+			}
+			rel, err := filepath.Rel(loader.ModuleRoot, abs)
+			if err != nil || strings.HasPrefix(rel, "..") {
+				fatal(fmt.Errorf("flexlint: %s is outside module %s", arg, loader.ModulePath))
+			}
+			p := loader.ModulePath
+			if rel != "." {
+				p += "/" + filepath.ToSlash(rel)
+			}
+			paths = append(paths, p)
+		}
+	}
+
+	findings := 0
+	for _, path := range paths {
+		if !audited(path) {
+			continue
+		}
+		pkg, err := loader.LoadPath(path)
+		if err != nil {
+			fatal(err)
+		}
+		for _, d := range analysis.Check(pkg) {
+			rel, err := filepath.Rel(loader.ModuleRoot, d.Pos.Filename)
+			if err == nil {
+				d.Pos.Filename = rel
+			}
+			fmt.Println(d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "flexlint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// audited reports whether any analyzer applies to the package, so the
+// driver skips loading packages no pass would look at (native side,
+// examples, cmds without annotations — lockpair is annotation-driven
+// and only fires where //flexlint:critical-section appears, so
+// unannotated trees stay clean by construction either way). Packages
+// outside every scoped pass are still checked by unscoped passes.
+func audited(path string) bool {
+	for _, a := range analysis.Analyzers() {
+		if a.AppliesTo(path) {
+			return true
+		}
+	}
+	return false
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -7,6 +7,8 @@
 //
 //	simtrace -alg flexguard -cpus 8 -threads 16 -duration 5000000
 //	simtrace -alg flexguard -perfetto trace.json   # open in ui.perfetto.dev
+//	simtrace -mutant tas-noatomic -record run.jsonl
+//	simtrace -races run.jsonl                      # replay through the race auditor
 package main
 
 import (
@@ -14,7 +16,9 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/fault"
 	"repro/internal/harness"
+	"repro/internal/locks"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workloads/sharedmem"
@@ -31,8 +35,36 @@ func main() {
 		rawTrace = flag.Int("rawtrace", 0, "also dump this many raw scheduler trace events")
 		perfetto = flag.String("perfetto", "", "write the run's event trace as Perfetto/Chrome trace_event JSON to this file")
 		capacity = flag.Int("capacity", 1<<20, "ring-buffer capacity for the -perfetto trace (newest events kept)")
+		record   = flag.String("record", "", "write the run's mem+lock event streams as JSONL to this file (replayable with -races)")
+		races    = flag.String("races", "", "replay a -record trace file through the race auditor and print the verdicts (no simulation)")
+		mutant   = flag.String("mutant", "", "swap the lock for a fault mutant (see internal/fault), with its provoking plan applied")
 	)
 	flag.Parse()
+
+	if *races != "" {
+		n, err := replayRaces(*races, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simtrace:", err)
+			os.Exit(1)
+		}
+		if n > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	var mu *fault.Mutant
+	if *mutant != "" {
+		mm, ok := fault.MutantByName(*mutant)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "simtrace: unknown mutant %q (have %v)\n", *mutant, fault.MutantNames())
+			os.Exit(1)
+		}
+		mu = &mm
+		if mu.NeedsMonitor {
+			*alg = "flexguard" // the mutant reads the monitor's NPCS word
+		}
+	}
 
 	cfg := sim.Intel()
 	cfg.NumCPUs = *cpus
@@ -44,6 +76,12 @@ func main() {
 		os.Exit(1)
 	}
 	m := env.M
+	var rec *recorder
+	if *record != "" {
+		rec = &recorder{}
+		m.SetMemObserver(rec)
+		m.AddLockObserver(rec)
+	}
 	var tracer *sim.Tracer
 	switch {
 	case *perfetto != "":
@@ -77,10 +115,19 @@ func main() {
 		fmt.Printf("%12d sched_switch %-34s -> %s\n", m.Now(), name(prev), name(next))
 	})
 
+	newLock := env.NewLock
+	if mu != nil {
+		var npcs *sim.Word
+		if env.Mon != nil {
+			npcs = env.Mon.NPCS()
+		}
+		newLock = func(name string) locks.Lock { return mu.New(m, npcs, name) }
+		fault.Apply(m, env.Mon, mu.Plan, *seed)
+	}
 	sharedmem.Build(m, sharedmem.Options{
 		Threads:  *threads,
 		Deadline: sim.Time(*duration),
-		NewLock:  env.NewLock,
+		NewLock:  newLock,
 	})
 	quiesced := m.Run(sim.Time(*duration) * 5 / 4)
 
@@ -127,6 +174,23 @@ func main() {
 		}
 		fmt.Printf("\nwrote %s (%d events, %d evicted from the ring); open in ui.perfetto.dev\n",
 			*perfetto, len(tracer.Events()), tracer.Dropped)
+	}
+	if rec != nil {
+		f, err := os.Create(*record)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simtrace:", err)
+			os.Exit(1)
+		}
+		if err := rec.write(f, m, quiesced); err != nil {
+			fmt.Fprintln(os.Stderr, "simtrace:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "simtrace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nrecorded %d events to %s; audit with: simtrace -races %s\n",
+			len(rec.lines), *record, *record)
 	}
 	// A drain before the deadline with threads still parked is a hang;
 	// waiters stranded at shutdown are a benign end-of-run artifact.

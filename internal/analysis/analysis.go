@@ -1,0 +1,250 @@
+// Package analysis is a self-contained static-checker suite (flexlint)
+// for the simulator, lock and fault code, modeled on the go/analysis
+// driver pattern but built only on the standard library's go/ast,
+// go/parser and go/types — no external tooling, fully offline.
+//
+// Four passes encode the repo's core discipline:
+//
+//   - wordaccess: sim.Word reads in lock/fault code must go through the
+//     Proc op API (costed, serialized by the event loop); the free peek
+//     Word.V is legal only inside SpinOn conditions.
+//   - spinloop: busy-wait loops must use SpinOn/SpinOnMax, never
+//     hand-rolled polling (a free or costed read looping with nothing
+//     that yields to the scheduler).
+//   - lockpair: in functions annotated //flexlint:critical-section,
+//     every Lock has an Unlock on all return paths.
+//   - determinism: simulation-side packages must not read wall-clock
+//     time, draw from the global math/rand, or iterate maps (Go
+//     randomizes iteration order, which would leak into digests).
+//
+// Deliberate exceptions are annotated in place:
+//
+//	//flexlint:allow <pass> [reason]
+//
+// on the offending line or the line above. The annotation is an audit
+// trail: every free peek or map walk the tree ships is either provably
+// ordered or explained.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Packages restricts the pass to import paths with one of these
+	// prefixes (nil = every package).
+	Packages []string
+	Run      func(*Pass)
+}
+
+// AppliesTo reports whether the analyzer audits the given import path.
+func (a *Analyzer) AppliesTo(path string) bool {
+	if len(a.Packages) == 0 {
+		return true
+	}
+	for _, p := range a.Packages {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags  []Diagnostic
+	allows map[string]map[int]bool // filename -> line -> allowed for this pass
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos unless an allow annotation covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allowedAt(position) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// allowedAt checks for a //flexlint:allow annotation on the reported
+// line or the line above it.
+func (p *Pass) allowedAt(pos token.Position) bool {
+	lines := p.allows[pos.Filename]
+	return lines[pos.Line] || lines[pos.Line-1]
+}
+
+// buildAllows indexes the pass's allow annotations by file and line.
+func (p *Pass) buildAllows() {
+	p.allows = make(map[string]map[int]bool)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				passes, ok := parseAllow(c.Text)
+				if !ok || !passes[p.Analyzer.Name] {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				m := p.allows[pos.Filename]
+				if m == nil {
+					m = make(map[int]bool)
+					p.allows[pos.Filename] = m
+				}
+				m[pos.Line] = true
+			}
+		}
+	}
+}
+
+// parseAllow parses "//flexlint:allow pass1,pass2 optional reason".
+func parseAllow(comment string) (map[string]bool, bool) {
+	const prefix = "//flexlint:allow "
+	if !strings.HasPrefix(comment, prefix) {
+		return nil, false
+	}
+	fields := strings.Fields(strings.TrimPrefix(comment, prefix))
+	if len(fields) == 0 {
+		return nil, false
+	}
+	passes := make(map[string]bool)
+	for _, name := range strings.Split(fields[0], ",") {
+		passes[name] = true
+	}
+	return passes, true
+}
+
+// Analyzers returns the flexlint suite. The audited package sets encode
+// the repo's layering: lock/fault code is held to the Word-access and
+// spin disciplines; everything that can influence a digest is held to
+// the determinism discipline; lockpair applies wherever the annotation
+// appears.
+func Analyzers() []*Analyzer {
+	simSide := []string{
+		"repro/internal/sim", "repro/internal/locks", "repro/internal/core",
+		"repro/internal/fault", "repro/internal/harness", "repro/internal/vtime",
+		"repro/internal/check", "repro/internal/obs", "repro/internal/monitor",
+	}
+	return []*Analyzer{
+		{
+			Name:     "wordaccess",
+			Doc:      "sim.Word reads outside the Proc op API (Word.V is legal only in spin conditions)",
+			Packages: []string{"repro/internal/locks", "repro/internal/core", "repro/internal/fault"},
+			Run:      runWordAccess,
+		},
+		{
+			Name:     "spinloop",
+			Doc:      "hand-rolled busy-wait loops that should use SpinOn/SpinOnMax",
+			Packages: []string{"repro/internal/locks", "repro/internal/core", "repro/internal/fault"},
+			Run:      runSpinLoop,
+		},
+		{
+			Name: "lockpair",
+			Doc:  "Lock without Unlock on some return path in //flexlint:critical-section functions",
+			Run:  runLockPair,
+		},
+		{
+			Name:     "determinism",
+			Doc:      "wall-clock time, global math/rand, or map iteration in digest-relevant code",
+			Packages: simSide,
+			Run:      runDeterminism,
+		},
+	}
+}
+
+// RunAnalyzer applies one analyzer to one loaded package and returns its
+// findings sorted by position.
+func RunAnalyzer(a *Analyzer, pkg *Package) []Diagnostic {
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+	}
+	pass.buildAllows()
+	a.Run(pass)
+	sort.Slice(pass.diags, func(i, j int) bool {
+		a, b := pass.diags[i].Pos, pass.diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return pass.diags
+}
+
+// Check runs every applicable analyzer over the package.
+func Check(pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, a := range Analyzers() {
+		if !a.AppliesTo(pkg.Path) {
+			continue
+		}
+		out = append(out, RunAnalyzer(a, pkg)...)
+	}
+	return out
+}
+
+// ---- shared type helpers ----
+
+// isSimNamed reports whether t (after pointer indirection) is the named
+// type internal/sim.<name>.
+func isSimNamed(t types.Type, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "repro/internal/sim" || strings.HasSuffix(path, "/internal/sim")
+}
+
+// simMethodCall returns the method name when call is x.M(...) with x a
+// *sim.Word or *sim.Proc (per recv), else "".
+func simMethodCall(info *types.Info, call *ast.CallExpr, recv string) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || !isSimNamed(tv.Type, recv) {
+		return ""
+	}
+	return sel.Sel.Name
+}

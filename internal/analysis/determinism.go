@@ -1,0 +1,69 @@
+package analysis
+
+// The determinism pass: the simulation side of the repo guarantees that
+// a (config, seed) pair fully determines the run — the property every
+// digest, golden trace and replay spec rests on. Three leaks break it
+// silently:
+//
+//   - time.Now (wall-clock values entering virtual-time logic),
+//   - the global math/rand functions (shared, unseeded, and racy under
+//     -parallel; randomness must come through dist.NewRand(seed)),
+//   - ranging over a map (Go randomizes iteration order; if the loop
+//     feeds a digest, a trace, or an event emission, runs diverge).
+//
+// Map iteration has legitimate uses — collect-then-sort, commutative
+// aggregation — so benign sites carry //flexlint:allow determinism with
+// a reason, turning every remaining map walk into an audited exception.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+func runDeterminism(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if pkg, name := pkgFuncCall(pass.Info, n); pkg != "" {
+					switch {
+					case pkg == "time" && name == "Now":
+						pass.Reportf(n.Pos(),
+							"time.Now in simulation code; virtual time must come from the machine clock")
+					case pkg == "math/rand" || pkg == "math/rand/v2":
+						pass.Reportf(n.Pos(),
+							"global math/rand.%s in simulation code; use dist.NewRand(seed)", name)
+					}
+				}
+			case *ast.RangeStmt:
+				tv, ok := pass.Info.Types[n.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(),
+						"map iteration order is randomized; sort keys first or annotate why order cannot leak")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// pkgFuncCall returns (package path, function name) when call is a
+// direct call of a package-level function, else ("", "").
+func pkgFuncCall(info *types.Info, call *ast.CallExpr) (string, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pn.Imported().Path(), sel.Sel.Name
+}

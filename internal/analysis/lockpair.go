@@ -1,0 +1,193 @@
+package analysis
+
+// The lockpair pass: in functions annotated //flexlint:critical-section
+// (and the function literals they spawn), every call x.Lock(...) must
+// be matched by x.Unlock(...) — same receiver expression — on every
+// path to a return or to the end of the function. Deferred Unlocks
+// satisfy every path. The analysis is a small block-structured abstract
+// interpretation over the held-lock set; it is intentionally
+// approximate (no goto/label support, loops analyzed as zero-or-more),
+// which is exactly right for critical sections, where control flow
+// should be boring.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+const csDirective = "//flexlint:critical-section"
+
+func runLockPair(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hasDirective(fn.Doc, csDirective) {
+				continue
+			}
+			lp := &lockPair{pass: pass}
+			lp.checkFunc(fn.Body)
+		}
+	}
+}
+
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == directive {
+			return true
+		}
+	}
+	return false
+}
+
+type lockPair struct {
+	pass *Pass
+}
+
+// heldSet maps a receiver expression (rendered) to the position of its
+// Lock call.
+type heldSet map[string]ast.Node
+
+func (h heldSet) clone() heldSet {
+	c := make(heldSet, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+// checkFunc analyzes one function body; function literals found inside
+// are analyzed independently (each is its own execution context).
+func (lp *lockPair) checkFunc(body *ast.BlockStmt) {
+	held := make(heldSet)
+	deferred := make(map[string]bool)
+	terminated := lp.block(body.List, held, deferred)
+	if !terminated {
+		lp.checkExit(body.End(), held, deferred)
+	}
+}
+
+// checkExit reports every lock still held at an exit point. Iteration
+// order does not matter: Reportf positions are the Lock calls, and the
+// driver sorts diagnostics by position.
+func (lp *lockPair) checkExit(exit token.Pos, held heldSet, deferred map[string]bool) {
+	for recv, lockCall := range held { //flexlint:allow determinism diagnostics sorted by the driver
+		if deferred[recv] {
+			continue
+		}
+		lp.pass.Reportf(lockCall.Pos(),
+			"%s.Lock has no matching Unlock on the path exiting at line %d",
+			recv, lp.pass.Fset.Position(exit).Line)
+	}
+}
+
+// block interprets a statement list, mutating held; reports at each
+// return. Returns true when every path through the list terminates.
+func (lp *lockPair) block(stmts []ast.Stmt, held heldSet, deferred map[string]bool) bool {
+	for _, s := range stmts {
+		if lp.stmt(s, held, deferred) {
+			return true
+		}
+	}
+	return false
+}
+
+func (lp *lockPair) stmt(s ast.Stmt, held heldSet, deferred map[string]bool) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		lp.expr(s.X, held)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			lp.expr(rhs, held)
+		}
+	case *ast.DeferStmt:
+		if recv, name := lockCall(s.Call); name == "Unlock" {
+			deferred[recv] = true
+		}
+	case *ast.ReturnStmt:
+		lp.checkExit(s.Pos(), held, deferred)
+		return true
+	case *ast.BlockStmt:
+		return lp.block(s.List, held, deferred)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			lp.stmt(s.Init, held, deferred)
+		}
+		thenHeld := held.clone()
+		thenTerm := lp.block(s.Body.List, thenHeld, deferred)
+		elseHeld := held.clone()
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = lp.stmt(s.Else, elseHeld, deferred)
+		}
+		// Merge fall-through branches: a lock held on any surviving
+		// branch is held after the if.
+		for k := range held {
+			delete(held, k)
+		}
+		if !thenTerm {
+			for k, v := range thenHeld {
+				held[k] = v
+			}
+		}
+		if !elseTerm {
+			for k, v := range elseHeld {
+				held[k] = v
+			}
+		}
+		return thenTerm && elseTerm
+	case *ast.ForStmt:
+		bodyHeld := held.clone()
+		lp.block(s.Body.List, bodyHeld, deferred)
+	case *ast.RangeStmt:
+		bodyHeld := held.clone()
+		lp.block(s.Body.List, bodyHeld, deferred)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				caseHeld := held.clone()
+				lp.block(cc.Body, caseHeld, deferred)
+			}
+		}
+	case *ast.GoStmt:
+		lp.expr(s.Call.Fun, held)
+	}
+	return false
+}
+
+// expr handles Lock/Unlock calls and descends into function literals
+// (fresh contexts).
+func (lp *lockPair) expr(e ast.Expr, held heldSet) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			lp.checkFunc(n.Body)
+			return false
+		case *ast.CallExpr:
+			switch recv, name := lockCall(n); name {
+			case "Lock":
+				held[recv] = n
+			case "Unlock":
+				delete(held, recv)
+			}
+		}
+		return true
+	})
+}
+
+// lockCall returns (receiver, method) for x.Lock(...)/x.Unlock(...),
+// else ("", "").
+func lockCall(call *ast.CallExpr) (string, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	if name := sel.Sel.Name; name == "Lock" || name == "Unlock" {
+		return types.ExprString(sel.X), name
+	}
+	return "", ""
+}

@@ -1,0 +1,25 @@
+// Package fixture exercises the determinism pass: wall-clock reads,
+// global math/rand, and unordered map iteration.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want "time.Now in simulation code"
+}
+
+func globalRand() int {
+	return rand.Intn(6) // want "global math/rand.Intn"
+}
+
+func mapWalk(m map[string]int) int {
+	s := 0
+	for _, v := range m { // want "map iteration order is randomized"
+		s += v
+	}
+	return s
+}
+

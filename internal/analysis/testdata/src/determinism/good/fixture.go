@@ -1,0 +1,26 @@
+// Package fixture holds only deterministic idioms: seeded repo
+// randomness and an annotated collect-then-sort map walk.
+package fixture
+
+import (
+	"sort"
+
+	"repro/internal/dist"
+)
+
+// seeded randomness flows from the seed, never the global source.
+func seeded(seed uint64) int {
+	return dist.NewRand(seed).Intn(6)
+}
+
+// sortedWalk collects keys then sorts: order cannot leak, and the
+// annotation records the audit.
+func sortedWalk(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { //flexlint:allow determinism keys collected then sorted
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+

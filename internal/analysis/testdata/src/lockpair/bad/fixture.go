@@ -1,0 +1,31 @@
+// Package fixture exercises the lockpair pass: annotated critical
+// sections whose Lock leaks on some exit path.
+package fixture
+
+import "repro/internal/sim"
+
+type mutex struct{}
+
+func (*mutex) Lock(p *sim.Proc)   {}
+func (*mutex) Unlock(p *sim.Proc) {}
+
+// leakyEarlyReturn forgets the unlock on the early-return path.
+//
+//flexlint:critical-section
+func leakyEarlyReturn(p *sim.Proc, mu *mutex, w *sim.Word) {
+	mu.Lock(p) // want "mu.Lock has no matching Unlock"
+	if p.Load(w) == 0 {
+		return
+	}
+	mu.Unlock(p)
+}
+
+// leakyWorker spawns a worker that never releases.
+//
+//flexlint:critical-section
+func leakyWorker(m *sim.Machine, mu *mutex) {
+	m.Spawn("w", func(p *sim.Proc) {
+		mu.Lock(p) // want "mu.Lock has no matching Unlock"
+	})
+}
+

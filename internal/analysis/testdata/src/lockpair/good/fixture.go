@@ -1,0 +1,42 @@
+// Package fixture holds balanced critical sections: per-path unlocks, a
+// deferred unlock, and an unannotated function the pass must skip.
+package fixture
+
+import "repro/internal/sim"
+
+type mutex struct{}
+
+func (*mutex) Lock(p *sim.Proc)   {}
+func (*mutex) Unlock(p *sim.Proc) {}
+
+// balanced releases on every path.
+//
+//flexlint:critical-section
+func balanced(p *sim.Proc, mu *mutex, w *sim.Word) uint64 {
+	mu.Lock(p)
+	if p.Load(w) == 0 {
+		mu.Unlock(p)
+		return 0
+	}
+	v := p.Load(w)
+	mu.Unlock(p)
+	return v
+}
+
+// deferred satisfies every exit.
+//
+//flexlint:critical-section
+func deferred(p *sim.Proc, mu *mutex, w *sim.Word) uint64 {
+	mu.Lock(p)
+	defer mu.Unlock(p)
+	if p.Load(w) == 0 {
+		return 0
+	}
+	return p.Load(w)
+}
+
+// unannotated functions are not analyzed: the pass is opt-in.
+func unannotated(p *sim.Proc, mu *mutex) {
+	mu.Lock(p)
+}
+

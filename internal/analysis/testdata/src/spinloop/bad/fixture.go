@@ -1,0 +1,23 @@
+// Package fixture exercises the spinloop pass: loops that poll a Word
+// with neither a waiting primitive nor a costed RMW.
+package fixture
+
+import "repro/internal/sim"
+
+// pollLoad hand-rolls a busy-wait over a costed load.
+func pollLoad(p *sim.Proc, w *sim.Word) {
+	for p.Load(w) != 0 { // want "hand-rolled busy-wait"
+		p.Pause()
+	}
+}
+
+// pollPeek hand-rolls a busy-wait over the free peek.
+func pollPeek(p *sim.Proc, w *sim.Word) {
+	for {
+		if w.V() == 0 { // want "hand-rolled busy-wait"
+			return
+		}
+		p.Pause()
+	}
+}
+

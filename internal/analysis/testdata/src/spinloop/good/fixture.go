@@ -1,0 +1,29 @@
+// Package fixture holds only legal loops: TAS-style RMW polling, retry
+// loops around real waits, and SpinOn via a nested condition literal.
+package fixture
+
+import "repro/internal/sim"
+
+// tasStyle polls through a costed atomic RMW: the coherence model
+// prices every probe, so the loop is exempt.
+func tasStyle(p *sim.Proc, w *sim.Word) {
+	for p.Xchg(w, 1) != 0 {
+		p.Pause()
+	}
+}
+
+// retryWait loops around a proper blocking primitive.
+func retryWait(p *sim.Proc, w *sim.Word) {
+	for p.Load(w) != 0 {
+		p.FutexWait(w, 1)
+	}
+}
+
+// spinOn waits through the watcher machinery; the V peek lives in a
+// nested literal, which is not the loop's own polling.
+func spinOn(p *sim.Proc, w *sim.Word) {
+	for i := 0; i < 3; i++ {
+		p.SpinOn(func() bool { return w.V() == 0 }, w)
+	}
+}
+

@@ -1,0 +1,20 @@
+// Package fixture exercises the wordaccess pass: free Word.V peeks
+// outside spin conditions and kernel-side writes from lock code.
+package fixture
+
+import "repro/internal/sim"
+
+// peek reads a Word outside any spin condition — twice.
+func peek(p *sim.Proc, w *sim.Word) uint64 {
+	if w.V() == 0 { // want "free peek Word.V outside a spin condition"
+		return p.Load(w)
+	}
+	return w.V() // want "free peek Word.V outside a spin condition"
+}
+
+// kernelWrite uses the sched-hook API from lock code.
+func kernelWrite(m *sim.Machine, w *sim.Word) {
+	m.KernelStore(w, 1) // want "kernel-side write Machine.KernelStore"
+	m.KernelAdd(w, -1)  // want "kernel-side write Machine.KernelAdd"
+}
+

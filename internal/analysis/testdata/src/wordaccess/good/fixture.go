@@ -1,0 +1,29 @@
+// Package fixture holds only legal Word accesses: V peeks inside spin
+// conditions, costed Proc ops, and one annotated exception.
+package fixture
+
+import "repro/internal/sim"
+
+// waitZero spins with the free peek inside the condition closure — the
+// one legal place for Word.V.
+func waitZero(p *sim.Proc, w *sim.Word) {
+	p.SpinOn(func() bool { return w.V() == 0 }, w)
+}
+
+// waitBoth shows a multi-word watch set; literals nested anywhere in
+// the condition argument are part of it.
+func waitBoth(p *sim.Proc, a, b *sim.Word) {
+	p.SpinOnMax(func() bool { return a.V() == 0 && b.V() == 0 }, 100, a, b)
+}
+
+// annotated exceptions are audited, not flagged.
+func monitorPeek(w *sim.Word) uint64 {
+	//flexlint:allow wordaccess advisory read, never feeds a decision
+	return w.V()
+}
+
+// costed is the default way to read shared state.
+func costed(p *sim.Proc, w *sim.Word) uint64 {
+	return p.Load(w)
+}
+

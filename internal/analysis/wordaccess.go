@@ -1,0 +1,68 @@
+package analysis
+
+// The wordaccess pass: lock and fault code must touch sim.Word through
+// the Proc op API (Load/Store/CAS/Xchg/Add), which costs virtual time
+// and serializes through the event loop. The free peek Word.V exists
+// for exactly one purpose — spin conditions, where SpinOn re-evaluates
+// the closure from inside the event loop — so a V call is legal only
+// lexically inside a function literal passed to SpinOn/SpinOnMax/
+// SpinWhile. Kernel-side writes (KernelStore/KernelAdd) belong to
+// sched_switch hook code, never to lock algorithms.
+
+import (
+	"go/ast"
+)
+
+// spinTakers are the Proc methods whose first argument is a spin
+// condition closure.
+var spinTakers = map[string]bool{
+	"SpinOn": true, "SpinOnMax": true, "SpinWhile": true,
+}
+
+func runWordAccess(pass *Pass) {
+	for _, f := range pass.Files {
+		// Collect every function literal passed as a spin condition; V
+		// calls inside them (at any depth — conditions may call helpers,
+		// but literals nested in the condition are part of it) are legal.
+		condRanges := make([][2]int, 0)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name := simMethodCall(pass.Info, call, "Proc"); !spinTakers[name] || len(call.Args) == 0 {
+				return true
+			}
+			if lit, ok := call.Args[0].(*ast.FuncLit); ok {
+				condRanges = append(condRanges, [2]int{int(lit.Pos()), int(lit.End())})
+			}
+			return true
+		})
+		inCond := func(n ast.Node) bool {
+			p := int(n.Pos())
+			for _, r := range condRanges {
+				if r[0] <= p && p < r[1] {
+					return true
+				}
+			}
+			return false
+		}
+
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if simMethodCall(pass.Info, call, "Word") == "V" && !inCond(call) {
+				pass.Reportf(call.Pos(),
+					"free peek Word.V outside a spin condition; use Proc.Load (costed, serialized)")
+			}
+			switch name := simMethodCall(pass.Info, call, "Machine"); name {
+			case "KernelStore", "KernelAdd":
+				pass.Reportf(call.Pos(),
+					"kernel-side write Machine.%s in lock code; use the Proc op API", name)
+			}
+			return true
+		})
+	}
+}

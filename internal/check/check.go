@@ -242,20 +242,35 @@ func (c *Checker) LockEvent(at sim.Time, kind sim.TraceKind, lock, tid, arg int3
 	switch kind {
 	case sim.TraceAcquire:
 		if len(ls.holders) > 0 {
-			for other, since := range ls.holders {
-				c.violate(Violation{
-					Invariant: MutualExclusion, At: at, Lock: lock,
-					LockName: c.m.LockName(lock), Thread: tid,
-					Detail: fmt.Sprintf("acquired while thread %d holds it (since t=%d)", other, since),
-				})
-				break
+			// Report against the lowest-tid holder so the violation detail
+			// is stable when (pathologically) more than one thread holds
+			// the lock. Found by flexlint's determinism pass.
+			other := int32(-1)
+			for h := range ls.holders { //flexlint:allow determinism min reduction is order-independent
+				if other < 0 || h < other {
+					other = h
+				}
 			}
+			c.violate(Violation{
+				Invariant: MutualExclusion, At: at, Lock: lock,
+				LockName: c.m.LockName(lock), Thread: tid,
+				Detail: fmt.Sprintf("acquired while thread %d holds it (since t=%d)", other, ls.holders[other]),
+			})
 		}
 		ls.holders[tid] = at
 		ls.acquires++
 		delete(ls.waiting, tid)
 		delete(c.blockIntent, tid)
-		for wtid, w := range ls.waiting {
+		// Sorted so that two waiters crossing the starvation threshold on
+		// the same acquire report in a fixed order. Found by flexlint's
+		// determinism pass.
+		wtids := make([]int32, 0, len(ls.waiting))
+		for wtid := range ls.waiting { //flexlint:allow determinism keys collected then sorted
+			wtids = append(wtids, wtid)
+		}
+		sort.Slice(wtids, func(i, j int) bool { return wtids[i] < wtids[j] })
+		for _, wtid := range wtids {
+			w := ls.waiting[wtid]
 			w.passes++
 			if w.passes > c.o.StarvationK && !w.flagged {
 				w.flagged = true
@@ -313,7 +328,7 @@ func (c *Checker) Finish(quiesced sim.Time) []Violation {
 	// wake chains are not miscounted.
 	threads := c.m.Threads()
 	parkedTids := make([]int32, 0, len(c.parked))
-	for tid := range c.parked {
+	for tid := range c.parked { //flexlint:allow determinism keys collected then sorted
 		parkedTids = append(parkedTids, tid)
 	}
 	sort.Slice(parkedTids, func(i, j int) bool { return parkedTids[i] < parkedTids[j] })
@@ -341,7 +356,7 @@ func (c *Checker) Finish(quiesced sim.Time) []Violation {
 		})
 	}
 	lockIDs := make([]int32, 0, len(c.locks))
-	for id := range c.locks {
+	for id := range c.locks { //flexlint:allow determinism keys collected then sorted
 		lockIDs = append(lockIDs, id)
 	}
 	sort.Slice(lockIDs, func(i, j int) bool { return lockIDs[i] < lockIDs[j] })
@@ -354,7 +369,7 @@ func (c *Checker) Finish(quiesced sim.Time) []Violation {
 			continue
 		}
 		wtids := make([]int32, 0, len(ls.waiting))
-		for wtid := range ls.waiting {
+		for wtid := range ls.waiting { //flexlint:allow determinism keys collected then sorted
 			wtids = append(wtids, wtid)
 		}
 		sort.Slice(wtids, func(i, j int) bool { return wtids[i] < wtids[j] })

@@ -1,0 +1,527 @@
+package check
+
+// The race auditor: a FastTrack-style vector-clock detector adapted to
+// the simulator's sequentially-consistent, cooperatively-scheduled
+// world. The Go race detector is blind here — sim "threads" are
+// goroutines that never run concurrently, so every Word access is
+// data-race-free at the Go level no matter how broken the lock
+// protocol is. The auditor instead reconstructs happens-before in
+// *virtual* time from the Word-access stream (sim.MemObserver):
+//
+//   - program order: each thread's accesses in stream order;
+//   - reads-from: a load (plain load, atomic RMW, futex value check)
+//     observes the latest write to the word, which in a sequentially-
+//     consistent simulator is a legitimate synchronization edge, so
+//     loads acquire the word's release clock;
+//   - RMW chains: every successful atomic publishes the writer's clock;
+//   - spin exits: a SpinOn waiter that stops spinning has observed its
+//     watched words, acquiring their release clocks;
+//   - futex wakes: FUTEX_WAKE merges the waker's clock into the wakee
+//     (spurious fault-injected wakes carry no edge).
+//
+// Against that graph two verdicts are reported:
+//
+//   racy-overwrite — a plain (non-atomic) value-changing store to a
+//   word with a value-modifying write by another thread not ordered
+//   before it. The store can silently destroy that write under a
+//   different interleaving: the check-then-act bug class (tas-noatomic
+//   overwriting a winner's claim, fgNoWake's plain release clobbering
+//   the waiters' "blocked" state). Stores that do not change the value
+//   are exempt: overwriting a value with itself destroys nothing (the
+//   TAS unlock racing only against failed re-assertions is correct).
+//
+//   missed-signal — at run end, a scoped spinner stranded on a free,
+//   long-inactive lock whose watched words carry no unobserved
+//   modifying write: every signal that will ever arrive has already
+//   arrived, so the wait can never end. This is the dropped-handover
+//   bug class (mcs-nohandover), which no access-pair rule can catch
+//   because the buggy unlock's access set is a strict subset of the
+//   correct one.
+//
+// The auditor consumes serializable MemAccess records, so it runs
+// attached to a live machine (AttachRace) or offline over a recorded
+// trace (simtrace -races).
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// RaceKind names a race-auditor verdict.
+type RaceKind string
+
+// The race verdicts.
+const (
+	// RaceOverwrite: a plain store raced with another thread's
+	// value-modifying write (see package comment).
+	RaceOverwrite RaceKind = "racy-overwrite"
+	// RaceMissedSignal: a spinner stranded with no unobserved signal in
+	// flight on any watched word.
+	RaceMissedSignal RaceKind = "missed-signal"
+)
+
+// Race is one detected virtual-time data race. Thread/ThreadAt identify
+// the racing access (the store, or the stranded spinner and its wait
+// start); Other/OtherAt the conflicting one (the overwritten write, or
+// the last modifying write to the watched words). Other is -2 for
+// kernel-side writes, -1 when unknown.
+type Race struct {
+	Kind     RaceKind
+	At       sim.Time
+	Word     int32
+	WordName string
+	Thread   int32
+	ThreadAt sim.Time
+	Other    int32
+	OtherAt  sim.Time
+	Lock     int32 // lock the racing thread was operating on, -1 unknown
+	LockName string
+	Detail   string
+}
+
+func (r Race) String() string {
+	where := r.WordName
+	if where == "" {
+		where = fmt.Sprintf("word %d", r.Word)
+	}
+	lock := r.LockName
+	if lock == "" && r.Lock >= 0 {
+		lock = fmt.Sprintf("lock %d", r.Lock)
+	}
+	if lock != "" {
+		lock = " [" + lock + "]"
+	}
+	return fmt.Sprintf("[%s] t=%d %s%s thread %d (at t=%d) vs thread %d (at t=%d): %s",
+		r.Kind, r.At, where, lock, r.Thread, r.ThreadAt, r.Other, r.OtherAt, r.Detail)
+}
+
+// RaceOptions tunes the auditor. The zero value selects the defaults.
+type RaceOptions struct {
+	// StallBound gates the missed-signal verdict: the spinner's wait and
+	// the lock's inactivity must both exceed it, mirroring the
+	// stalled-waiter gate so in-flight handovers at the horizon are
+	// never miscounted. Default 1e6 ticks.
+	StallBound sim.Time
+	// MaxRaces caps stored races (Total keeps counting). Default 32.
+	MaxRaces int
+	// Registry, when set, receives a counter per verdict
+	// ("check.race.<kind>").
+	Registry *obs.Registry
+	// EmitEvents, when set (and the auditor is machine-attached), emits
+	// a TraceViolation instant with sim.ViolationDataRace per race.
+	EmitEvents bool
+}
+
+func (o *RaceOptions) fill() {
+	if o.StallBound <= 0 {
+		o.StallBound = 1_000_000
+	}
+	if o.MaxRaces <= 0 {
+		o.MaxRaces = 32
+	}
+}
+
+// MemAccess is the machine-independent form of one Word-access event:
+// sim.MemEvent with words flattened to their dense IDs, so a recorded
+// stream replays through the auditor without the machine that produced
+// it.
+type MemAccess struct {
+	At       sim.Time
+	Kind     sim.MemKind
+	TID      int32
+	Word     int32 // -1 for spin events
+	Name     string
+	Old, New uint64
+	Wrote    bool
+	Arg      int32
+	Rel      bool
+	Watch    []int32
+}
+
+// vclock is a vector clock indexed by slot (thread id + 2, so the
+// kernel pseudo-context -2 occupies slot 0). Missing entries are zero.
+type vclock []uint64
+
+func slot(tid int32) int { return int(tid) + 2 }
+
+func slotTID(s int) int32 { return int32(s) - 2 }
+
+func (v vclock) get(i int) uint64 {
+	if i < len(v) {
+		return v[i]
+	}
+	return 0
+}
+
+func (v *vclock) grow(n int) {
+	for len(*v) < n {
+		*v = append(*v, 0)
+	}
+}
+
+func (v *vclock) set(i int, x uint64) {
+	v.grow(i + 1)
+	(*v)[i] = x
+}
+
+func (v *vclock) tick(i int) {
+	v.grow(i + 1)
+	(*v)[i]++
+}
+
+func (v *vclock) join(o vclock) {
+	v.grow(len(o))
+	for i, x := range o {
+		if x > (*v)[i] {
+			(*v)[i] = x
+		}
+	}
+}
+
+// raceWord is the auditor's per-word view.
+type raceWord struct {
+	name string
+	// rel is the word's release clock: the join of every writer's clock
+	// at its write. Loads, successful RMWs and spin exits acquire it.
+	rel vclock
+	// mod[s] is slot s's epoch at its last value-modifying write;
+	// modAt[s] the virtual time of that write.
+	mod   vclock
+	modAt []sim.Time
+}
+
+// raceSpin is one live spin op (between MemSpinStart and MemSpinExit).
+type raceSpin struct {
+	watch []int32
+	since sim.Time
+}
+
+// raceLock is the auditor's per-lock view from the lock-event stream.
+type raceLock struct {
+	holders      map[int32]struct{}
+	lastActivity sim.Time
+}
+
+// RaceAuditor consumes the Word-access and lock-event streams and
+// reports virtual-time data races. Attach to a live machine with
+// AttachRace, or feed a recorded stream to Apply/LockEvent and call
+// Finish. All state is rebuilt purely from events; results are
+// deterministic (races are appended in stream order, end-of-run scans
+// iterate sorted).
+type RaceAuditor struct {
+	m *sim.Machine // nil in replay mode
+	o RaceOptions
+
+	clocks map[int32]*vclock
+	words  map[int32]*raceWord
+	// global is the join of every writer clock, acquired by unscoped
+	// spin exits (their conditions may read any word).
+	global vclock
+
+	spins     map[int32]*raceSpin
+	locks     map[int32]*raceLock
+	waitingOn map[int32]int32 // tid -> lock it last spun/blocked on
+	lastLock  map[int32]int32 // tid -> lock of its latest lock event
+	lockName  func(int32) string
+
+	races []Race
+	// Total counts all races, including ones beyond MaxRaces.
+	Total    int64
+	finished bool
+}
+
+// NewRaceAuditor builds a detached auditor for offline replay.
+func NewRaceAuditor(o RaceOptions) *RaceAuditor {
+	o.fill()
+	return &RaceAuditor{
+		o:         o,
+		clocks:    make(map[int32]*vclock),
+		words:     make(map[int32]*raceWord),
+		spins:     make(map[int32]*raceSpin),
+		locks:     make(map[int32]*raceLock),
+		waitingOn: make(map[int32]int32),
+		lastLock:  make(map[int32]int32),
+		lockName:  func(int32) string { return "" },
+	}
+}
+
+// AttachRace installs an auditor on m: it becomes the machine's
+// MemObserver and an additional LockObserver. Call before Run.
+func AttachRace(m *sim.Machine, o RaceOptions) *RaceAuditor {
+	a := NewRaceAuditor(o)
+	a.m = m
+	a.lockName = m.LockName
+	m.SetMemObserver(a)
+	m.AddLockObserver(a)
+	return a
+}
+
+// SetLockNames installs a lock-name resolver for replay mode (attached
+// auditors resolve through the machine).
+func (a *RaceAuditor) SetLockNames(names map[int32]string) {
+	a.lockName = func(id int32) string { return names[id] }
+}
+
+// Races returns the stored races (the full set after Finish).
+func (a *RaceAuditor) Races() []Race { return a.races }
+
+// MemEvent implements sim.MemObserver.
+func (a *RaceAuditor) MemEvent(ev sim.MemEvent) {
+	acc := MemAccess{
+		At: ev.At, Kind: ev.Kind, TID: ev.TID, Word: -1,
+		Old: ev.Old, New: ev.New, Wrote: ev.Wrote, Arg: ev.Arg, Rel: ev.Rel,
+	}
+	if ev.W != nil {
+		acc.Word = ev.W.ID()
+		acc.Name = ev.W.Name()
+	}
+	for _, w := range ev.Watch {
+		if w != nil {
+			acc.Watch = append(acc.Watch, w.ID())
+		}
+	}
+	a.Apply(acc)
+}
+
+func (a *RaceAuditor) clockOf(tid int32) *vclock {
+	c, ok := a.clocks[tid]
+	if !ok {
+		c = &vclock{}
+		a.clocks[tid] = c
+	}
+	return c
+}
+
+func (a *RaceAuditor) wordByID(id int32, name string) *raceWord {
+	w, ok := a.words[id]
+	if !ok {
+		w = &raceWord{}
+		a.words[id] = w
+	}
+	if w.name == "" {
+		w.name = name
+	}
+	return w
+}
+
+func (a *RaceAuditor) lockState(id int32) *raceLock {
+	l, ok := a.locks[id]
+	if !ok {
+		l = &raceLock{holders: make(map[int32]struct{})}
+		a.locks[id] = l
+	}
+	return l
+}
+
+// Apply feeds one Word-access record through the detector.
+func (a *RaceAuditor) Apply(acc MemAccess) {
+	switch acc.Kind {
+	case sim.MemLoad:
+		a.clockOf(acc.TID).join(a.wordByID(acc.Word, acc.Name).rel)
+	case sim.MemRMW, sim.MemKernel:
+		c := a.clockOf(acc.TID)
+		w := a.wordByID(acc.Word, acc.Name)
+		c.join(w.rel)
+		if acc.Wrote {
+			a.release(acc, c, w)
+		}
+	case sim.MemStore:
+		c := a.clockOf(acc.TID)
+		w := a.wordByID(acc.Word, acc.Name)
+		if acc.Rel {
+			// A release-annotated store is synchronization, not a plain
+			// write: like an RMW it joins the word's clock and is never a
+			// racy overwrite (FlexGuard's out-of-order drain deliberately
+			// lets a stale handover store cross a re-enqueue, §3.2.3).
+			c.join(w.rel)
+		} else if acc.Old != acc.New {
+			a.checkStore(acc, c, w)
+		}
+		a.release(acc, c, w)
+	case sim.MemSpinStart:
+		if s, ok := a.spins[acc.TID]; ok {
+			// A resumed leg of the same (preempted) spin: keep since.
+			s.watch = acc.Watch
+		} else {
+			a.spins[acc.TID] = &raceSpin{watch: acc.Watch, since: acc.At}
+		}
+	case sim.MemSpinExit:
+		c := a.clockOf(acc.TID)
+		if len(acc.Watch) == 0 {
+			c.join(a.global)
+		}
+		for _, id := range acc.Watch {
+			c.join(a.wordByID(id, "").rel)
+		}
+		delete(a.spins, acc.TID)
+	case sim.MemFutexWake:
+		a.clockOf(acc.Arg).join(*a.clockOf(acc.TID))
+	}
+}
+
+// release publishes the writer's clock into the word (and the global
+// clock), recording the epoch of a value-modifying write.
+func (a *RaceAuditor) release(acc MemAccess, c *vclock, w *raceWord) {
+	s := slot(acc.TID)
+	c.tick(s)
+	w.rel.join(*c)
+	a.global.join(*c)
+	if acc.Old != acc.New {
+		w.mod.set(s, c.get(s))
+		for len(w.modAt) < s+1 {
+			w.modAt = append(w.modAt, 0)
+		}
+		w.modAt[s] = acc.At
+	}
+}
+
+// checkStore flags a plain value-changing store whose word carries a
+// value-modifying write by another thread not ordered before the store.
+func (a *RaceAuditor) checkStore(acc MemAccess, c *vclock, w *raceWord) {
+	self := slot(acc.TID)
+	victim := -1
+	var victimAt sim.Time
+	for s, epoch := range w.mod {
+		if s == self || epoch == 0 || epoch <= c.get(s) {
+			continue
+		}
+		if victim < 0 || w.modAt[s] > victimAt {
+			victim = s
+			victimAt = w.modAt[s]
+		}
+	}
+	if victim < 0 {
+		return
+	}
+	lock, ok := a.lastLock[acc.TID]
+	if !ok {
+		lock = -1
+	}
+	a.flag(Race{
+		Kind: RaceOverwrite, At: acc.At, Word: acc.Word, WordName: w.name,
+		Thread: acc.TID, ThreadAt: acc.At,
+		Other: slotTID(victim), OtherAt: victimAt,
+		Lock: lock, LockName: a.lockName(lock),
+		Detail: fmt.Sprintf("plain store %d -> %d overwrites thread %d's unobserved write",
+			acc.Old, acc.New, slotTID(victim)),
+	})
+	// Treat the racing writes as observed so one sync gap is reported
+	// once, not once per subsequent store.
+	c.join(w.mod)
+}
+
+// flag records one race.
+func (a *RaceAuditor) flag(r Race) {
+	a.Total++
+	if a.o.Registry != nil {
+		a.o.Registry.Counter("check.race." + string(r.Kind)).Inc()
+	}
+	if len(a.races) < a.o.MaxRaces {
+		a.races = append(a.races, r)
+	}
+	if a.o.EmitEvents && a.m != nil {
+		a.m.KernelLockEvent(sim.TraceViolation, r.Lock, r.Thread, sim.ViolationDataRace)
+	}
+}
+
+// LockEvent implements sim.LockObserver: the auditor tracks holders,
+// waiters and per-lock activity to gate the missed-signal verdict and
+// to label races with the lock being operated on.
+func (a *RaceAuditor) LockEvent(at sim.Time, kind sim.TraceKind, lock, tid, arg int32) {
+	if !kind.IsLockEvent() || lock < 0 {
+		return
+	}
+	switch kind {
+	case sim.TraceViolation, sim.TraceMonitorStale, sim.TracePolicySwitch,
+		sim.TraceNPCSUp, sim.TraceNPCSDown:
+		return
+	}
+	l := a.lockState(lock)
+	l.lastActivity = at
+	a.lastLock[tid] = lock
+	switch kind {
+	case sim.TraceAcquire:
+		l.holders[tid] = struct{}{}
+		delete(a.waitingOn, tid)
+	case sim.TraceRelease:
+		delete(l.holders, tid)
+	case sim.TraceSpinStart, sim.TraceLockBlock:
+		if _, held := l.holders[tid]; !held {
+			a.waitingOn[tid] = lock
+		}
+	}
+}
+
+// Finish runs the end-of-run missed-signal scan. quiesced is the value
+// Run returned. Call exactly once; returns all stored races.
+func (a *RaceAuditor) Finish(quiesced sim.Time) []Race {
+	if a.finished {
+		return a.races
+	}
+	a.finished = true
+	tids := make([]int32, 0, len(a.spins))
+	for tid := range a.spins { //flexlint:allow determinism keys collected then sorted
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	for _, tid := range tids {
+		s := a.spins[tid]
+		if len(s.watch) == 0 {
+			continue // unscoped: no watch set to prove exhaustion over
+		}
+		lock, ok := a.waitingOn[tid]
+		if !ok {
+			continue // not spinning on a lock (workload-level spin)
+		}
+		l := a.locks[lock]
+		if l == nil || len(l.holders) > 0 {
+			continue // a live holder may still signal it
+		}
+		if quiesced-s.since <= a.o.StallBound || quiesced-l.lastActivity <= a.o.StallBound {
+			continue // possibly just a handover in flight at the horizon
+		}
+		// The race condition proper: no watched word carries a modifying
+		// write the spinner has not already observed — every signal that
+		// will ever arrive has arrived, and the spinner still waits.
+		c := a.clockOf(tid)
+		pending := false
+		primary := int32(-1)
+		var lastWriter int32 = -1
+		var lastAt sim.Time
+		for _, id := range s.watch {
+			w := a.wordByID(id, "")
+			for sl, epoch := range w.mod {
+				if epoch == 0 {
+					continue
+				}
+				if epoch > c.get(sl) {
+					pending = true
+				}
+				if w.modAt[sl] >= lastAt {
+					lastAt = w.modAt[sl]
+					lastWriter = slotTID(sl)
+					primary = id
+				}
+			}
+		}
+		if pending {
+			continue
+		}
+		if primary < 0 {
+			primary = s.watch[0]
+		}
+		w := a.wordByID(primary, "")
+		a.flag(Race{
+			Kind: RaceMissedSignal, At: quiesced, Word: primary, WordName: w.name,
+			Thread: tid, ThreadAt: s.since,
+			Other: lastWriter, OtherAt: lastAt,
+			Lock: lock, LockName: a.lockName(lock),
+			Detail: fmt.Sprintf("spinner stranded since t=%d on a lock inactive since t=%d; all watched-word writes observed — the wake signal was never written",
+				s.since, l.lastActivity),
+		})
+	}
+	return a.races
+}

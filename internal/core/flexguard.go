@@ -82,12 +82,16 @@ func (l *FlexGuard) String() string { return fmt.Sprintf("flexguard(%s)", l.name
 
 // modeSpin is the costed mode check at slow-path decision points.
 func (l *FlexGuard) modeSpin(p *sim.Proc) bool {
+	// The stale flag is monitor-maintained advice, not shared lock state:
+	// reading it free-of-cost matches the paper's uncosted mode check.
+	//flexlint:allow wordaccess stale is advisory monitor state, peek is deliberate
 	return p.Load(l.npcs) == 0 && l.stale.V() == 0
 }
 
 // spinOK is the uncosted predicate evaluated inside busy-wait loops:
 // keep spinning only while NPCS is zero and the signal is fresh.
 func (l *FlexGuard) spinOK() bool {
+	//flexlint:allow wordaccess helper is only called from spin conditions
 	return l.npcs.V() == 0 && l.stale.V() == 0
 }
 
@@ -148,7 +152,11 @@ func (l *FlexGuard) slowPath(p *sim.Proc) {
 		if l.modeSpin(p) {
 			enqueued = true
 			p.Store(qn.next, 0)
-			p.Store(qn.waiting, 1)
+			// Release-annotated: a stale handover store from a predecessor
+			// that drained out of order (§3.2.3) may cross this re-arm;
+			// both writes are atomics in the real implementation and either
+			// order is tolerated (phase 2's CAS still arbitrates).
+			p.StoreRel(qn.waiting, 1)
 			p.SetRegion(regTailXchg)
 			pred := p.Xchg(l.tail, self)
 			if pred == 0 {
@@ -282,5 +290,5 @@ func (l *FlexGuard) mcsExit(p *sim.Proc, qn *QNode) {
 	succ := int(p.Load(qn.next) - 1)
 	next := l.rt.node(succ)
 	p.LockEventArg(sim.TraceHandover, l.lid, int32(succ))
-	p.Store(next.waiting, 0)
+	p.StoreRel(next.waiting, 0)
 }

@@ -91,6 +91,7 @@ func NewRuntime(m *sim.Machine, mon *monitor.Monitor) *Runtime {
 			if t.Region != regP1Spin {
 				return false, nil
 			}
+			//flexlint:allow wordaccess kernel-side sched-hook read, Proc op API unavailable here
 			if n := rt.nodes[t.ID()]; n != nil && n.waiting.V() == 0 {
 				return true, t.MonitorHint
 			}
@@ -135,6 +136,7 @@ func (rt *Runtime) classify(t *sim.Thread) (bool, *sim.Word) {
 		// thread was running its spin loop: it is the MCS holder iff its
 		// waiting flag has been cleared.
 		if n := rt.nodes[t.ID()]; n != nil {
+			//flexlint:allow wordaccess kernel-side sched-hook read, Proc op API unavailable here
 			return n.waiting.V() == 0, t.MonitorHint
 		}
 	}

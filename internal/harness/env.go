@@ -11,6 +11,7 @@ import (
 	"io"
 	"sort"
 
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/locks"
 	"repro/internal/monitor"
@@ -44,8 +45,9 @@ type Env struct {
 	Shared *locks.Shared
 	Mon    *monitor.Monitor // nil unless a flexguard variant is in use
 	RT     *core.Runtime
-	Obs    *obs.LockObserver // nil unless EnvOptions.Observe was set
-	Tr     *sim.Tracer       // nil unless RunCfg.Trace was set
+	Obs    *obs.LockObserver  // nil unless EnvOptions.Observe was set
+	Tr     *sim.Tracer        // nil unless RunCfg.Trace was set
+	Race   *check.RaceAuditor // nil unless RunCfg.Races was set
 	Alg    string
 	info   locks.Info
 	nLocks int
@@ -168,6 +170,11 @@ type Result struct {
 	// variants; zero otherwise). PolicySwitches is their sum.
 	PolicySpinToBlock int64
 	PolicyBlockToSpin int64
+
+	// Race-auditor verdicts (RunCfg.Races): stored races plus the total
+	// beyond the storage cap.
+	Races     []check.Race
+	RaceTotal int64
 
 	// Lock-level telemetry, filled only when the env was built with
 	// Observe (all times in µs). SpinToBlock/BlockToSpin count waiters

@@ -33,6 +33,9 @@ type FuzzCfg struct {
 	Threads int
 	Horizon sim.Time
 	Check   check.Options
+	// Races attaches the race auditor (check.AttachRace) alongside the
+	// invariant checker; verdicts land in FuzzResult.Races.
+	Races bool
 }
 
 // FuzzResult is the outcome of one fuzz run.
@@ -53,6 +56,10 @@ type FuzzResult struct {
 	// Registry holds the obs counters for the run, including the
 	// check.violation.* counters.
 	Registry *obs.Registry
+	// Races holds the race auditor's verdicts (FuzzCfg.Races only);
+	// RaceTotal counts them beyond the storage cap.
+	Races     []check.Race
+	RaceTotal int64
 }
 
 // Failed reports whether any invariant was violated.
@@ -139,6 +146,14 @@ func Fuzz(c FuzzCfg) (FuzzResult, error) {
 		co.StallBound = horizon / 2
 	}
 	ck := check.Attach(e.M, co)
+	var ra *check.RaceAuditor
+	if c.Races {
+		ra = check.AttachRace(e.M, check.RaceOptions{
+			StallBound: co.StallBound,
+			Registry:   co.Registry,
+			EmitEvents: true,
+		})
+	}
 	fault.Apply(e.M, e.Mon, c.Plan, c.Seed)
 	if e.Mon != nil && c.Plan.DegradesMonitor() {
 		// Degraded-monitor plans arm the monitor's self-check: the
@@ -189,6 +204,10 @@ func Fuzz(c FuzzCfg) (FuzzResult, error) {
 		res.DeadlockDump = e.M.DeadlockReport()
 	}
 	res.Violations = ck.Finish(q)
+	if ra != nil {
+		res.Races = ra.Finish(q)
+		res.RaceTotal = ra.Total
+	}
 	if ok, a, b := w.Validate(e.M); !ok {
 		// Workload-level witness: the two cache lines of the critical
 		// section diverged — mutual exclusion was lost even if the event

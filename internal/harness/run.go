@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"repro/internal/check"
 	"repro/internal/locks"
 	"repro/internal/sim"
 	"repro/internal/workloads/dbindex"
@@ -34,6 +35,10 @@ type RunCfg struct {
 	// behavioural fingerprint the determinism and golden-trace suites
 	// compare across worker counts and scheduler refactors.
 	Trace bool
+	// Races attaches the race auditor (check.AttachRace); its verdicts
+	// land in Result.Races/RaceTotal. Attaching never perturbs the run:
+	// digests are byte-identical with and without it.
+	Races bool
 }
 
 // prepare builds the env; the workload's worker threads must be spawned
@@ -63,6 +68,9 @@ func prepare(c RunCfg) (*Env, sim.Time, error) {
 		// eviction, so it is exact over the whole stream.
 		e.Tr = e.M.AttachTracer(256)
 	}
+	if c.Races {
+		e.Race = check.AttachRace(e.M, check.RaceOptions{})
+	}
 	dur := c.Duration
 	if dur == 0 {
 		dur = 20_000_000
@@ -88,6 +96,10 @@ func finish(e *Env, c RunCfg, dur sim.Time) Result {
 	if e.Tr != nil {
 		r.TraceDigest = e.Tr.Digest()
 		r.TraceEvents = e.Tr.Seen
+	}
+	if e.Race != nil {
+		r.Races = e.Race.Finish(q)
+		r.RaceTotal = e.Race.Total
 	}
 	return r
 }

@@ -104,13 +104,13 @@ func (r *Registry) Snapshot() map[string]any {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.histograms))
-	for n, c := range r.counters {
+	for n, c := range r.counters { //flexlint:allow determinism map build is order-independent
 		out[n] = c.Value()
 	}
-	for n, g := range r.gauges {
+	for n, g := range r.gauges { //flexlint:allow determinism map build is order-independent
 		out[n] = g.Value()
 	}
-	for n, h := range r.histograms {
+	for n, h := range r.histograms { //flexlint:allow determinism map build is order-independent
 		out[n] = h.Snapshot()
 	}
 	return out
@@ -123,15 +123,15 @@ func (r *Registry) WriteText(w io.Writer) {
 	defer r.mu.Unlock()
 	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
 	kind := make(map[string]byte)
-	for n := range r.counters {
+	for n := range r.counters { //flexlint:allow determinism names collected then sorted
 		names = append(names, n)
 		kind[n] = 'c'
 	}
-	for n := range r.gauges {
+	for n := range r.gauges { //flexlint:allow determinism names collected then sorted
 		names = append(names, n)
 		kind[n] = 'g'
 	}
-	for n := range r.histograms {
+	for n := range r.histograms { //flexlint:allow determinism names collected then sorted
 		names = append(names, n)
 		kind[n] = 'h'
 	}

@@ -85,6 +85,8 @@ type Machine struct {
 	lockObs   []LockObserver
 	lockNames []string
 	fi        FaultInjector
+	mem       MemObserver
+	nextWord  int32
 
 	// spinners holds the live UNSCOPED spinners (SpinWhile with no watch
 	// set): their conditions may read any word, so every store
@@ -358,7 +360,7 @@ type BlockedWaiter struct {
 // dumps).
 func (m *Machine) BlockedWaiters() []BlockedWaiter {
 	var out []BlockedWaiter
-	for w, q := range m.futexQ {
+	for w, q := range m.futexQ { //flexlint:allow determinism result sorted by thread id below
 		for _, t := range q {
 			out = append(out, BlockedWaiter{Thread: t, Word: w})
 		}

@@ -125,9 +125,16 @@ func (m *Machine) applyOpEffect(t *Thread) {
 	switch req.kind {
 	case opLoad:
 		t.res = opRes{val: req.w.v}
+		if m.mem != nil {
+			m.memEvent(MemEvent{Kind: MemLoad, TID: tid(t), W: req.w, Old: req.w.v, New: req.w.v})
+		}
 	case opStore:
+		old := req.w.v
 		req.w.v = req.a
 		t.res = opRes{}
+		if m.mem != nil {
+			m.memEvent(MemEvent{Kind: MemStore, TID: tid(t), W: req.w, Old: old, New: req.a, Wrote: true, Rel: req.rel})
+		}
 		m.applyRegionAfter(t, req)
 		m.checkSpinners(req.w)
 	case opCAS:
@@ -139,6 +146,9 @@ func (m *Machine) applyOpEffect(t *Thread) {
 		if req.setReg {
 			t.Reg = old
 		}
+		if m.mem != nil {
+			m.memEvent(MemEvent{Kind: MemRMW, TID: tid(t), W: req.w, Old: old, New: req.w.v, Wrote: old == req.a})
+		}
 		m.applyRegionAfter(t, req)
 		m.checkSpinners(req.w)
 	case opXchg:
@@ -148,11 +158,18 @@ func (m *Machine) applyOpEffect(t *Thread) {
 		if req.setReg {
 			t.Reg = old
 		}
+		if m.mem != nil {
+			m.memEvent(MemEvent{Kind: MemRMW, TID: tid(t), W: req.w, Old: old, New: req.a, Wrote: true})
+		}
 		m.applyRegionAfter(t, req)
 		m.checkSpinners(req.w)
 	case opAdd:
+		old := req.w.v
 		req.w.v = uint64(int64(req.w.v) + int64(req.a))
 		t.res = opRes{val: req.w.v}
+		if m.mem != nil {
+			m.memEvent(MemEvent{Kind: MemRMW, TID: tid(t), W: req.w, Old: old, New: req.w.v, Wrote: true})
+		}
 		m.applyRegionAfter(t, req)
 		m.checkSpinners(req.w)
 	case opCSAdd:
@@ -162,7 +179,7 @@ func (m *Machine) applyOpEffect(t *Thread) {
 		}
 		t.res = opRes{}
 	case opFutexWake:
-		t.res = opRes{val: uint64(m.futexWake(req.w, int(req.a)))}
+		t.res = opRes{val: uint64(m.futexWake(req.w, int(req.a), tid(t)))}
 	case opFutexWait, opYield, opSleep:
 		// No memory effect; scheduling handled in instrDone.
 	}
@@ -273,6 +290,9 @@ func (m *Machine) registerSpinner(t *Thread) {
 	if !scoped {
 		m.spinners = append(m.spinners, t)
 	}
+	if m.mem != nil {
+		m.memEvent(MemEvent{Kind: MemSpinStart, TID: tid(t), Watch: t.req.watch})
+	}
 }
 
 // unregisterSpinner removes t from whichever lists registerSpinner put it
@@ -373,6 +393,13 @@ func (m *Machine) completeSpin(t *Thread, timeout bool) {
 		t.spinTimeEv.Cancel()
 		t.spinTimeEv = nil
 	}
+	if m.mem != nil {
+		var arg int32
+		if timeout {
+			arg = 1
+		}
+		m.memEvent(MemEvent{Kind: MemSpinExit, TID: tid(t), Arg: arg, Watch: t.req.watch})
+	}
 	t.res = opRes{timeout: timeout}
 	m.finishOp(t)
 }
@@ -413,6 +440,11 @@ func (m *Machine) accountSpin(t *Thread) {
 // expected value atomically and either return EAGAIN or block.
 func (m *Machine) futexWaitDone(t *Thread) {
 	req := &t.req
+	if m.mem != nil {
+		// The futex's atomic value check reads the word whether the
+		// thread blocks or bails with EAGAIN.
+		m.memEvent(MemEvent{Kind: MemLoad, TID: tid(t), W: req.w, Old: req.w.v, New: req.w.v})
+	}
 	if req.w.v != req.a {
 		t.res = opRes{ok: false}
 		m.finishOp(t)
@@ -464,7 +496,9 @@ func (m *Machine) spuriousWake(w *Word, t *Thread) {
 // threads become dispatchable after the wakeup-path latency, via their
 // pre-bound wake callback (a waiter is off the futex queue once a wake is
 // in flight, so at most one wake event per thread is ever pending).
-func (m *Machine) futexWake(w *Word, n int) int {
+// waker is the calling thread's id, carried on the Word-access stream as
+// the happens-before edge a real FUTEX_WAKE establishes.
+func (m *Machine) futexWake(w *Word, n int, waker int32) int {
 	q := m.futexQ[w]
 	woken := 0
 	for woken < n && len(q) > 0 {
@@ -472,6 +506,9 @@ func (m *Machine) futexWake(w *Word, n int) int {
 		q = q[1:]
 		wt.res = opRes{ok: true}
 		m.lockEvent(TraceWake, -1, tid(wt), -1)
+		if m.mem != nil {
+			m.memEvent(MemEvent{Kind: MemFutexWake, TID: waker, W: w, Arg: tid(wt)})
+		}
 		lat := m.cfg.Costs.WakeLatency
 		if m.fi != nil {
 			lat = m.fi.WakeDelay(wt, lat)

@@ -45,6 +45,10 @@ type opReq struct {
 	regionAfter    Region
 	hasRegionAfter bool
 	setReg         bool // store the result in Thread.Reg (the RCX idiom)
+	// rel marks an atomic release store (StoreRel): identical cost and
+	// effect to a plain store, but the MemEvent carries the annotation so
+	// race-detecting observers treat it as synchronization.
+	rel bool
 	// watch is a spin op's declared watch set (SpinOn): cond depends only
 	// on these words, so only stores to them re-evaluate the spinner. All
 	// nil means unscoped (SpinWhile): re-evaluated on every store.
@@ -144,6 +148,17 @@ func (p *Proc) Load(w *Word) uint64 {
 // Store writes w with cache-cost accounting.
 func (p *Proc) Store(w *Word, v uint64) {
 	p.do(opReq{kind: opStore, w: w, a: v})
+}
+
+// StoreRel writes w like Store but annotates the write as an atomic
+// release store (C11 store-release). The simulation is unaffected —
+// same cost, same effect, same event stream — but race-detecting
+// observers treat the write as synchronization rather than a plain
+// store. Lock code uses it where the algorithm deliberately tolerates
+// concurrent writes to the same word (e.g. FlexGuard's out-of-order MCS
+// drain, §3.2.3, where a stale handover store may cross a re-enqueue).
+func (p *Proc) StoreRel(w *Word, v uint64) {
+	p.do(opReq{kind: opStore, w: w, a: v, rel: true})
 }
 
 // StoreTo writes w and atomically enters region r with the store's effect

@@ -52,6 +52,9 @@ const (
 	ViolationStalledWaiter
 	ViolationDeadlock
 	ViolationConservation
+	// ViolationDataRace is appended after the original codes so existing
+	// trace values (and every committed digest) are unchanged.
+	ViolationDataRace
 )
 
 // ViolationCodeName resolves a TraceViolation argument to the invariant
@@ -70,6 +73,8 @@ func ViolationCodeName(code int32) string {
 		return "deadlock"
 	case ViolationConservation:
 		return "conservation"
+	case ViolationDataRace:
+		return "data-race"
 	default:
 		return "unknown"
 	}

@@ -55,6 +55,7 @@ type Word struct {
 	v    uint64
 	line *CacheLine
 	name string
+	id   int32 // dense per-machine allocation index (see Word.ID)
 
 	// watchers are the live scoped spinners (Proc.SpinOn) polling this
 	// word, in registration order. A store to the word re-evaluates only
@@ -69,9 +70,16 @@ func (w *Word) V() uint64 { return w.v }
 // Name returns the debug name given at allocation.
 func (w *Word) Name() string { return w.name }
 
+// ID returns the word's dense allocation index on its machine. IDs make
+// Word-access events serializable (trace recording and offline replay
+// through the race auditor key words by ID, not pointer).
+func (w *Word) ID() int32 { return w.id }
+
 // NewWord allocates a Word on its own cache line.
 func (m *Machine) NewWord(name string, init uint64) *Word {
-	return &Word{v: init, line: newLine(m.cfg.NumCPUs), name: name}
+	w := &Word{v: init, line: newLine(m.cfg.NumCPUs), name: name, id: m.nextWord}
+	m.nextWord++
+	return w
 }
 
 // NewWords allocates n Words that share a single cache line (for modeling
@@ -81,7 +89,8 @@ func (m *Machine) NewWords(name string, n int) []*Word {
 	line := newLine(m.cfg.NumCPUs)
 	ws := make([]*Word, n)
 	for i := range ws {
-		ws[i] = &Word{line: line, name: name}
+		ws[i] = &Word{line: line, name: name, id: m.nextWord}
+		m.nextWord++
 	}
 	return ws
 }
@@ -124,18 +133,26 @@ func (m *Machine) rmwCost(cpu int, w *Word, atomic bool) Time {
 // invalidating user-space copies and re-evaluating spin conditions. It
 // charges no thread cost: hook cost is charged via Costs.HookCost.
 func (m *Machine) KernelStore(w *Word, v uint64) {
+	old := w.v
 	w.v = v
 	w.line.owner = ownerKernel
 	w.line.clearSharers()
+	if m.mem != nil {
+		m.memEvent(MemEvent{Kind: MemKernel, TID: ownerKernel, W: w, Old: old, New: v, Wrote: true})
+	}
 	m.checkSpinners(w)
 }
 
 // KernelAdd adds delta to w from kernel-side code and returns the new
 // value. See KernelStore.
 func (m *Machine) KernelAdd(w *Word, delta int64) uint64 {
+	old := w.v
 	w.v = uint64(int64(w.v) + delta)
 	w.line.owner = ownerKernel
 	w.line.clearSharers()
+	if m.mem != nil {
+		m.memEvent(MemEvent{Kind: MemKernel, TID: ownerKernel, W: w, Old: old, New: w.v, Wrote: true})
+	}
 	m.checkSpinners(w)
 	return w.v
 }
