@@ -6,6 +6,7 @@
 //
 //	fairness -alg flexguard -scale 0.25
 //	fairness -alg malthusian -gap 10000
+//	fairness -alg all -window 500000 -report fairness.json
 package main
 
 import (
@@ -23,6 +24,8 @@ func main() {
 		scale    = flag.Float64("scale", 0.25, "machine scale factor")
 		gap      = flag.Int64("gap", 100, "ticks between critical sections")
 		duration = flag.Int64("duration", 30_000_000, "virtual ticks per run")
+		window   = flag.Int64("window", 0, "flight-recorder sampling window in virtual ticks (0 = off)")
+		report   = flag.String("report", "", "write a machine-readable run report (JSON) to this file")
 	)
 	flag.Parse()
 
@@ -35,6 +38,7 @@ func main() {
 	if *alg == "all" {
 		algs = harness.Algorithms
 	}
+	rep := harness.NewReport("fairness", cfg, 7, sim.Time(*window))
 	fmt.Printf("# fairness factor on %d contexts (0.5 = fair, 1.0 = unfair), CS gap %d ticks\n",
 		cfg.NumCPUs, *gap)
 	fmt.Printf("%-14s %12s %12s %12s\n", "alg", "0.5x", "1x", "2x")
@@ -45,14 +49,30 @@ func main() {
 			r, err := harness.RunSharedMem(harness.RunCfg{
 				Config: cfg, Alg: a, Threads: threads,
 				Duration: sim.Time(*duration), Seed: 7,
+				Window: sim.Time(*window),
 			}, sim.Time(*gap))
 			if err != nil {
 				fatal(err)
 			}
 			fmt.Printf(" %12.3f", r.Fairness)
+			rep.Add(fmt.Sprintf("fairness/%s/%gx-gap%d", a, ratio, *gap), r)
 		}
 		fmt.Println()
 	}
+	if *report != "" {
+		if err := rep.WriteFile(*report); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Println(harness.SummaryLine(
+		harness.KV{Key: "tool", Value: "fairness"},
+		harness.KV{Key: "alg", Value: *alg},
+		harness.KVf("cpus", "%d", cfg.NumCPUs),
+		harness.KVf("gap", "%d", *gap),
+		harness.KVf("duration", "%d", *duration),
+		harness.KVf("window", "%d", *window),
+		harness.KVf("cells", "%d", len(rep.Runs)),
+	))
 }
 
 func fatal(err error) {

@@ -21,6 +21,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/harness"
 	"repro/internal/profiling"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -32,6 +33,8 @@ func main() {
 		mutants    = flag.Bool("mutants", false, "run the mutation self-test instead of the sweep")
 		replay     = flag.String("replay", "", "replay one spec (as printed for a shrunk failure) and exit")
 		parallel   = flag.Int("parallel", 0, "sweep cells run on this many OS threads (0 = GOMAXPROCS)")
+		window     = flag.Int64("window", 0, "flight-recorder sampling window in virtual ticks (0 = off)")
+		report     = flag.String("report", "", "write a machine-readable sweep report (JSON) to this file")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -78,13 +81,14 @@ func main() {
 			plans = append(plans, fault.NamedPlan{Name: s, Plan: p})
 		}
 	}
-	exit(runSweep(algs, plans, *seeds, *parallel))
+	exit(runSweep(algs, plans, *seeds, *parallel, sim.Time(*window), *report))
 }
 
 // cellOutcome is one (alg, plan) cell of the sweep table.
 type cellOutcome struct {
 	ok   bool
 	spec string
+	ops  int64 // total ops across the cell's seeds
 }
 
 // runSweep is the campaign: every algorithm must hold every invariant
@@ -92,15 +96,17 @@ type cellOutcome struct {
 // runs its seeds, and shrinks its first failure, on its own isolated
 // machines); the table prints in order once all cells land. Failures
 // are shrunk and printed as replay specs.
-func runSweep(algs []string, plans []fault.NamedPlan, seeds, parallel int) int {
+func runSweep(algs []string, plans []fault.NamedPlan, seeds, parallel int, window sim.Time, reportPath string) int {
 	cells, errs := harness.ParallelMap(parallel, len(algs)*len(plans), func(i int) (cellOutcome, error) {
 		alg, np := algs[i/len(plans)], plans[i%len(plans)]
+		var out cellOutcome
 		for s := 0; s < seeds; s++ {
-			c := harness.FuzzCfg{Alg: alg, Seed: uint64(1000*s + 17), Plan: np.Plan}
+			c := harness.FuzzCfg{Alg: alg, Seed: uint64(1000*s + 17), Plan: np.Plan, Window: window}
 			r, err := harness.Fuzz(c)
 			if err != nil {
 				return cellOutcome{}, err
 			}
+			out.ops += r.Ops
 			if r.Failed() || r.Deadlocked || r.HitGrace {
 				min, res, err := harness.ShrinkFailure(c)
 				if err != nil {
@@ -110,10 +116,12 @@ func runSweep(algs []string, plans []fault.NamedPlan, seeds, parallel int) int {
 				if !res.Failed() {
 					spec = c.Replay() + "  (shrink lost it; original spec)"
 				}
-				return cellOutcome{spec: fmt.Sprintf("%s × %s: %s", alg, np.Name, spec)}, nil
+				out.spec = fmt.Sprintf("%s × %s: %s", alg, np.Name, spec)
+				return out, nil
 			}
 		}
-		return cellOutcome{ok: true}, nil
+		out.ok = true
+		return out, nil
 	})
 	if err := harness.FirstError(errs); err != nil {
 		fatal(err)
@@ -123,30 +131,54 @@ func runSweep(algs []string, plans []fault.NamedPlan, seeds, parallel int) int {
 		fmt.Printf(" %14s", np.Name)
 	}
 	fmt.Println()
+	rep := harness.NewToolReport("faultbench", window)
 	failures := 0
 	var specs []string
 	for i, alg := range algs {
 		fmt.Printf("%-16s", alg)
-		for j := range plans {
+		for j, np := range plans {
 			c := cells[i*len(plans)+j]
 			cell := "ok"
+			ok := 1.0
 			if !c.ok {
 				cell = "FAIL"
+				ok = 0
 				failures++
 				specs = append(specs, c.spec)
 			}
 			fmt.Printf(" %14s", cell)
+			rep.AddMetrics(fmt.Sprintf("fault/%s/%s", alg, np.Name), map[string]float64{
+				"ok":    ok,
+				"seeds": float64(seeds),
+				"ops":   float64(c.ops),
+			})
 		}
 		fmt.Println()
+	}
+	if reportPath != "" {
+		if err := rep.WriteFile(reportPath); err != nil {
+			fatal(err)
+		}
+	}
+	summary := func(fails int) {
+		fmt.Println(harness.SummaryLine(
+			harness.KV{Key: "tool", Value: "faultbench"},
+			harness.KVf("cells", "%d", len(algs)*len(plans)),
+			harness.KVf("failures", "%d", fails),
+			harness.KVf("seeds", "%d", seeds),
+			harness.KVf("window", "%d", window),
+		))
 	}
 	if failures > 0 {
 		fmt.Printf("\n%d failing cell(s); shrunk reproducers:\n", failures)
 		for _, s := range specs {
 			fmt.Println("  " + s)
 		}
+		summary(failures)
 		return 1
 	}
 	fmt.Printf("\nall %d cells clean (%d seeds each)\n", len(algs)*len(plans), seeds)
+	summary(0)
 	return 0
 }
 

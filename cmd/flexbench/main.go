@@ -9,6 +9,7 @@
 //	flexbench -experiment fig3a -scale 0.5 -duration 50000000 -seeds 3
 //	flexbench -experiment fig2a -algs blocking,mcs,flexguard
 //	flexbench -experiment fig2a -parallel 8
+//	flexbench -experiment fig2a -window 500000 -report fig2a.json
 //	flexbench -all
 //
 // Sweep cells fan out across -parallel OS threads (default GOMAXPROCS);
@@ -40,6 +41,8 @@ func main() {
 		algsFlag   = flag.String("algs", "", "comma-separated algorithm subset (default: the paper's ten)")
 		metrics    = flag.Bool("metrics", false, "collect per-lock telemetry and print it after each algorithm row")
 		parallel   = flag.Int("parallel", 0, "sweep cells run on this many OS threads (0 = GOMAXPROCS); per-cell results are identical at any setting")
+		window     = flag.Int64("window", 0, "flight-recorder sampling window in virtual ticks (0 = off); series land in the -report file")
+		report     = flag.String("report", "", "write a machine-readable run report (JSON) to this file")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -68,6 +71,10 @@ func main() {
 	if err != nil {
 		die(err)
 	}
+	// Cells are always collected (cheap: the Results are in memory
+	// anyway) so the Summary line can report the cell count; the file is
+	// only written when -report is set.
+	rep := harness.NewToolReport("flexbench", sim.Time(*window))
 	opts := harness.ExpOptions{
 		Scale:    *scale,
 		Duration: sim.Time(*duration),
@@ -75,12 +82,18 @@ func main() {
 		Algs:     algs,
 		Metrics:  *metrics,
 		Parallel: *parallel,
+		Window:   sim.Time(*window),
+		Report:   rep,
 	}
+	expName := *exp
 	switch {
 	case *all:
+		expName = "all"
 		for _, e := range harness.Experiments() {
 			fmt.Printf("==== %s: %s ====\n", e.ID, e.Description)
-			if err := e.Run(opts, os.Stdout); err != nil {
+			eo := opts
+			eo.ReportPrefix = e.ID
+			if err := e.Run(eo, os.Stdout); err != nil {
 				die(fmt.Errorf("%s: %w", e.ID, err))
 			}
 			fmt.Println()
@@ -91,7 +104,9 @@ func main() {
 			die(err)
 		}
 		fmt.Printf("==== %s: %s ====\n", e.ID, e.Description)
-		if err := e.Run(opts, os.Stdout); err != nil {
+		eo := opts
+		eo.ReportPrefix = e.ID
+		if err := e.Run(eo, os.Stdout); err != nil {
 			die(err)
 		}
 	default:
@@ -99,6 +114,20 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *report != "" {
+		if err := rep.WriteFile(*report); err != nil {
+			die(err)
+		}
+	}
+	fmt.Println(harness.SummaryLine(
+		harness.KV{Key: "tool", Value: "flexbench"},
+		harness.KV{Key: "exp", Value: expName},
+		harness.KVf("scale", "%g", *scale),
+		harness.KVf("duration", "%d", *duration),
+		harness.KVf("seeds", "%d", *seeds),
+		harness.KVf("window", "%d", *window),
+		harness.KVf("cells", "%d", len(rep.Runs)),
+	))
 }
 
 func fatal(err error) {

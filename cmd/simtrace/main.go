@@ -20,6 +20,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/locks"
 	"repro/internal/obs"
+	"repro/internal/obs/timeseries"
 	"repro/internal/sim"
 	"repro/internal/workloads/sharedmem"
 )
@@ -38,6 +39,8 @@ func main() {
 		record   = flag.String("record", "", "write the run's mem+lock event streams as JSONL to this file (replayable with -races)")
 		races    = flag.String("races", "", "replay a -record trace file through the race auditor and print the verdicts (no simulation)")
 		mutant   = flag.String("mutant", "", "swap the lock for a fault mutant (see internal/fault), with its provoking plan applied")
+		window   = flag.Int64("window", 0, "flight-recorder sampling window in virtual ticks (0 = off); with -perfetto, series render as counter tracks")
+		report   = flag.String("report", "", "write a machine-readable run report (JSON) to this file")
 	)
 	flag.Parse()
 
@@ -81,6 +84,13 @@ func main() {
 		rec = &recorder{}
 		m.SetMemObserver(rec)
 		m.AddLockObserver(rec)
+	}
+	var ts *timeseries.Sampler
+	if *window > 0 {
+		ts = timeseries.Attach(m, timeseries.Options{
+			Window:        sim.Time(*window),
+			ExpectWindows: int(sim.Time(*duration)*5/4/sim.Time(*window)) + 1,
+		})
 	}
 	var tracer *sim.Tracer
 	switch {
@@ -130,6 +140,11 @@ func main() {
 		NewLock:  newLock,
 	})
 	quiesced := m.Run(sim.Time(*duration) * 5 / 4)
+	var series *timeseries.Series
+	if ts != nil {
+		series = ts.Finish(quiesced)
+		fmt.Printf("flight recorder: %d windows of %d ticks\n", len(series.Points), series.Window)
+	}
 
 	fmt.Printf("\nsummary: %d context switches, %d involved a thread in a critical section\n",
 		switches, preemptInCS)
@@ -164,7 +179,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "simtrace:", err)
 			os.Exit(1)
 		}
-		if err := obs.WritePerfetto(f, m, tracer.Events()); err != nil {
+		var counters []obs.CounterTrack
+		if series != nil {
+			counters = series.CounterTracks()
+		}
+		if err := obs.WritePerfettoTrace(f, m, tracer.Events(), counters); err != nil {
 			fmt.Fprintln(os.Stderr, "simtrace:", err)
 			os.Exit(1)
 		}
@@ -191,6 +210,17 @@ func main() {
 		}
 		fmt.Printf("\nrecorded %d events to %s; audit with: simtrace -races %s\n",
 			len(rec.lines), *record, *record)
+	}
+	if *report != "" {
+		rep := harness.NewReport("simtrace", cfg, *seed, sim.Time(*window))
+		r := env.Collect(*threads, sim.Time(*duration))
+		r.Series = series
+		rep.Add(fmt.Sprintf("simtrace/%s/t%d", *alg, *threads), r)
+		if err := rep.WriteFile(*report); err != nil {
+			fmt.Fprintln(os.Stderr, "simtrace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote report %s\n", *report)
 	}
 	// A drain before the deadline with threads still parked is a hang;
 	// waiters stranded at shutdown are a benign end-of-run artifact.

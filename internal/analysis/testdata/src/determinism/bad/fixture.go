@@ -22,4 +22,3 @@ func mapWalk(m map[string]int) int {
 	}
 	return s
 }
-

@@ -23,4 +23,3 @@ func sortedWalk(m map[string]int) []string {
 	sort.Strings(keys)
 	return keys
 }
-

@@ -28,4 +28,3 @@ func leakyWorker(m *sim.Machine, mu *mutex) {
 		mu.Lock(p) // want "mu.Lock has no matching Unlock"
 	})
 }
-

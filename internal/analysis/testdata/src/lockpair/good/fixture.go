@@ -39,4 +39,3 @@ func deferred(p *sim.Proc, mu *mutex, w *sim.Word) uint64 {
 func unannotated(p *sim.Proc, mu *mutex) {
 	mu.Lock(p)
 }
-

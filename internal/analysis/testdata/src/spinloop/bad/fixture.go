@@ -20,4 +20,3 @@ func pollPeek(p *sim.Proc, w *sim.Word) {
 		p.Pause()
 	}
 }
-

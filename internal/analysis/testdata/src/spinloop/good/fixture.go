@@ -26,4 +26,3 @@ func spinOn(p *sim.Proc, w *sim.Word) {
 		p.SpinOn(func() bool { return w.V() == 0 }, w)
 	}
 }
-

@@ -17,4 +17,3 @@ func kernelWrite(m *sim.Machine, w *sim.Word) {
 	m.KernelStore(w, 1) // want "kernel-side write Machine.KernelStore"
 	m.KernelAdd(w, -1)  // want "kernel-side write Machine.KernelAdd"
 }
-

@@ -26,4 +26,3 @@ func monitorPeek(w *sim.Word) uint64 {
 func costed(p *sim.Proc, w *sim.Word) uint64 {
 	return p.Load(w)
 }
-

@@ -9,6 +9,8 @@ package harness
 // shows up here as a digest mismatch.
 
 import (
+	"bytes"
+	"encoding/json"
 	"reflect"
 	"runtime"
 	"testing"
@@ -18,6 +20,8 @@ import (
 
 // detCell builds the canonical determinism cell for one algorithm: the
 // sharedmem microbenchmark on a small machine, short horizon, traced.
+// (Also the golden-trace and sweep-bench cell — keep it lean; the
+// windowed variant below layers the flight recorder on top.)
 func detCell(alg string) RunCfg {
 	cfg := sim.Small(4)
 	return RunCfg{
@@ -127,5 +131,58 @@ func TestParallelPanicIsolation(t *testing.T) {
 	}
 	if err := FirstError(errs); err == nil {
 		t.Error("FirstError missed the panic")
+	}
+}
+
+// TestParallelDeterminismWindowed: the flight-recorder series is part
+// of the per-cell outcome and must be byte-identical (serialized JSON,
+// a stronger check than structural DeepEqual) whether cells run on 1,
+// 4 or 8 sweep workers, and independent of GOMAXPROCS.
+func TestParallelDeterminismWindowed(t *testing.T) {
+	algs := []string{"blocking", "mcs", "flexguard"}
+	sweep := func(workers int) [][]byte {
+		res, errs := ParallelMap(workers, len(algs), func(i int) (Result, error) {
+			c := detCell(algs[i])
+			c.Window = 50_000
+			return RunSharedMem(c, 100)
+		})
+		if err := FirstError(errs); err != nil {
+			t.Fatalf("windowed sweep at %d workers: %v", workers, err)
+		}
+		out := make([][]byte, len(res))
+		for i, r := range res {
+			if r.Series == nil || len(r.Series.Points) == 0 {
+				t.Fatalf("%s: windowed run recorded no series", algs[i])
+			}
+			b, err := json.Marshal(r.Series)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = b
+		}
+		return out
+	}
+	base := sweep(1)
+	for _, workers := range []int{4, 8} {
+		got := sweep(workers)
+		for i, alg := range algs {
+			if !bytes.Equal(got[i], base[i]) {
+				t.Errorf("%s: series bytes diverged at %d workers:\n got %s\nwant %s",
+					alg, workers, got[i], base[i])
+			}
+		}
+	}
+	orig := runtime.GOMAXPROCS(0)
+	if orig == 1 {
+		t.Log("GOMAXPROCS already 1; cross-setting check is vacuous")
+		return
+	}
+	runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(orig)
+	solo := sweep(4)
+	for i, alg := range algs {
+		if !bytes.Equal(solo[i], base[i]) {
+			t.Errorf("%s: series bytes depend on GOMAXPROCS", alg)
+		}
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/locks"
 	"repro/internal/monitor"
 	"repro/internal/obs"
+	"repro/internal/obs/timeseries"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -45,9 +46,10 @@ type Env struct {
 	Shared *locks.Shared
 	Mon    *monitor.Monitor // nil unless a flexguard variant is in use
 	RT     *core.Runtime
-	Obs    *obs.LockObserver  // nil unless EnvOptions.Observe was set
-	Tr     *sim.Tracer        // nil unless RunCfg.Trace was set
-	Race   *check.RaceAuditor // nil unless RunCfg.Races was set
+	Obs    *obs.LockObserver   // nil unless EnvOptions.Observe was set
+	Tr     *sim.Tracer         // nil unless RunCfg.Trace was set
+	Race   *check.RaceAuditor  // nil unless RunCfg.Races was set
+	TS     *timeseries.Sampler // nil unless RunCfg.Window was set
 	Alg    string
 	info   locks.Info
 	nLocks int
@@ -189,6 +191,11 @@ type Result struct {
 	SpinToBlock int64
 	BlockToSpin int64
 	PerLock     []obs.LockSummary
+
+	// Series is the flight-recorder recording (RunCfg.Window > 0 only).
+	// Fully deterministic, so the determinism suite compares it by
+	// DeepEqual along with every other field.
+	Series *timeseries.Series
 }
 
 // PolicySwitches returns the total number of monitor policy flips.

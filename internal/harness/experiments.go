@@ -34,6 +34,28 @@ type ExpOptions struct {
 	// (flexbench -parallel). Values below 1 mean GOMAXPROCS. Per-cell
 	// results are identical at any setting; only wall-clock changes.
 	Parallel int
+	// Window attaches the flight recorder to every run with this
+	// sampling window in ticks (flexbench -window); 0 = off.
+	Window sim.Time
+	// Report, when non-nil, collects every grid cell as a RunReport
+	// named "<ReportPrefix>/<alg>/<cell>" (flexbench -report). Cells are
+	// added after each grid completes, in row-major order, from the one
+	// goroutine printing the figure — no locking needed.
+	Report *Report
+	// ReportPrefix namespaces this experiment's runs in the report,
+	// conventionally the experiment ID.
+	ReportPrefix string
+}
+
+// report records one cell into o.Report, if reporting is on.
+func (o ExpOptions) report(name string, r Result) {
+	if o.Report == nil {
+		return
+	}
+	if o.ReportPrefix != "" {
+		name = o.ReportPrefix + "/" + name
+	}
+	o.Report.Add(name, r)
 }
 
 func (o ExpOptions) withDefaults() ExpOptions {
@@ -211,6 +233,7 @@ func fig2(machine string, normalize bool, o ExpOptions, w io.Writer) error {
 			return RunSharedMem(RunCfg{
 				Config: cfg, Alg: o.Algs[r], Threads: threads[c],
 				Duration: o.Duration, Seed: seed, Observe: o.Metrics,
+				Window: o.Window,
 			}, 100)
 		})
 		if err != nil {
@@ -239,6 +262,7 @@ func fig2(machine string, normalize bool, o ExpOptions, w io.Writer) error {
 				v = r.MeanLatUS / baseline[t]
 			}
 			cell(w, v, r.Crashed)
+			o.report(fmt.Sprintf("%s/t%d", alg, t), r)
 		}
 		fmt.Fprintln(w)
 		maybeMetrics(o, w, alg, grid[row][len(threads)-1])
@@ -274,7 +298,7 @@ func runApp(machine string, concurrent bool, runner func(RunCfg) (Result, error)
 				sweep, "throughput (Mops/s)")
 		}
 		grid, err := runGrid(o.Parallel, len(o.Algs), len(sweep), func(row, col int) (Result, error) {
-			c := RunCfg{Config: cfg, Alg: o.Algs[row], Duration: o.Duration, Observe: o.Metrics}
+			c := RunCfg{Config: cfg, Alg: o.Algs[row], Duration: o.Duration, Observe: o.Metrics, Window: o.Window}
 			if concurrent {
 				c.Threads, c.Spinners = workers, sweep[col]
 			} else {
@@ -297,6 +321,11 @@ func runApp(machine string, concurrent bool, runner func(RunCfg) (Result, error)
 			for col := range sweep {
 				r := grid[row][col]
 				cell(w, r.OpsPerSec/1e6, r.Crashed)
+				if concurrent {
+					o.report(fmt.Sprintf("%s/s%d", alg, sweep[col]), r)
+				} else {
+					o.report(fmt.Sprintf("%s/t%d", alg, sweep[col]), r)
+				}
 			}
 			fmt.Fprintln(w)
 			maybeMetrics(o, w, alg, grid[row][len(sweep)-1])
@@ -323,18 +352,24 @@ func runFig5a(o ExpOptions, w io.Writer) error {
 	fmt.Fprintf(w, "# runnable threads over time, %d threads on %d contexts\n", threads, cfg.NumCPUs)
 	fmt.Fprintf(w, "# 40 samples across the run; the paper's Figure 5a\n")
 	algs := []string{"mcs", "blocking", "flexguard"}
-	envs, errs := ParallelMap(o.Parallel, len(algs), func(i int) (*Env, error) {
-		e, _, err := RunSharedMemEnv(RunCfg{
+	type envRes struct {
+		e *Env
+		r Result
+	}
+	envs, errs := ParallelMap(o.Parallel, len(algs), func(i int) (envRes, error) {
+		e, r, err := RunSharedMemEnv(RunCfg{
 			Config: cfg, Alg: algs[i], Threads: threads,
 			Duration: o.Duration, Seed: 7, RecordRunnable: true,
+			Window: o.Window,
 		}, 100)
-		return e, err
+		return envRes{e, r}, err
 	})
 	if err := FirstError(errs); err != nil {
 		return err
 	}
 	for i, alg := range algs {
-		tl := envs[i].M.RunnableTimeline()
+		o.report(fmt.Sprintf("%s/t%d", alg, threads), envs[i].r)
+		tl := envs[i].e.M.RunnableTimeline()
 		samples := tl.Sample(0, o.Duration, 40)
 		min, max, _ := tl.MinMax(o.Duration/10, o.Duration)
 		fmt.Fprintf(w, "%-10s min=%3d max=%3d mean=%6.1f series=%v\n",
@@ -368,7 +403,7 @@ func runFig5b(o ExpOptions, w io.Writer) error {
 		return averageRuns(o, func(seed uint64) (Result, error) {
 			return RunSharedMem(RunCfg{
 				Config: cfg, Alg: o.Algs[row], Threads: threads,
-				Duration: o.Duration, Seed: seed,
+				Duration: o.Duration, Seed: seed, Window: o.Window,
 			}, g)
 		})
 	})
@@ -379,6 +414,8 @@ func runFig5b(o ExpOptions, w io.Writer) error {
 		fmt.Fprintf(w, "%-14s", alg)
 		for col := range grid[row] {
 			cell(w, grid[row][col].Fairness, grid[row][col].Crashed)
+			s, g := subs[col/len(gaps)], gaps[col%len(gaps)]
+			o.report(fmt.Sprintf("%s/%s-gap%d", alg, s.name, g), grid[row][col])
 		}
 		fmt.Fprintln(w)
 	}
@@ -397,6 +434,7 @@ func runFig5c(o ExpOptions, w io.Writer) error {
 			return RunSharedMem(RunCfg{
 				Config: cfg, Alg: o.Algs[row], Threads: threads[col],
 				Duration: o.Duration, Seed: seed, Observe: o.Metrics,
+				Window: o.Window,
 			}, 100)
 		})
 	})
@@ -409,6 +447,7 @@ func runFig5c(o ExpOptions, w io.Writer) error {
 		fmt.Fprintf(w, "%-14s", alg)
 		for col := range threads {
 			cell(w, float64(grid[row][col].SpinIters)/1e6, grid[row][col].Crashed)
+			o.report(fmt.Sprintf("%s/t%d", alg, threads[col]), grid[row][col])
 		}
 		fmt.Fprintln(w)
 		maybeMetrics(o, w, alg, grid[row][len(threads)-1])
@@ -438,6 +477,17 @@ func runOverhead(o ExpOptions, w io.Writer) error {
 	}
 	off := stats.Summarize(offs).Mean
 	on := stats.Summarize(ons).Mean
+	if o.Report != nil {
+		prefix := o.ReportPrefix
+		if prefix == "" {
+			prefix = "overhead"
+		}
+		o.Report.AddMetrics(prefix+"/hackbench", map[string]float64{
+			"runtime_off_ticks": off,
+			"runtime_on_ticks":  on,
+			"overhead_pct":      (on - off) / off * 100,
+		})
+	}
 	fmt.Fprintf(w, "# Hackbench (%d groups × %d pairs × %d msgs, %d threads) on %d contexts\n",
 		opts.Groups, opts.Pairs, opts.Messages, 2*opts.Groups*opts.Pairs, cfg.NumCPUs)
 	fmt.Fprintf(w, "monitor off: %12.0f ticks (%.3f ms)\n", off, off/sim.TicksPerMicrosecond/1000)
@@ -469,6 +519,8 @@ func runAblationPerLock(o ExpOptions, w io.Writer) error {
 	for i, name := range []string{"system-wide counter", "per-lock counters "} {
 		fmt.Fprintf(w, "%s: %8.3f Mops/s\n", name, res[i].OpsPerSec/1e6)
 	}
+	o.report("system-wide", res[0])
+	o.report("per-lock", res[1])
 	return nil
 }
 
@@ -494,6 +546,8 @@ func runAblationMCSExit(o ExpOptions, w io.Writer) error {
 	for i, name := range []string{"shipped mcs_exit (spin only)     ", "ablation: blocking-aware mcs_exit"} {
 		fmt.Fprintf(w, "%s: mean CS time %8.2f µs\n", name, res[i].MeanLatUS)
 	}
+	o.report("spin-exit", res[0])
+	o.report("blocking-mcs-exit", res[1])
 	return nil
 }
 

@@ -17,6 +17,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/locks"
 	"repro/internal/obs"
+	"repro/internal/obs/timeseries"
 	"repro/internal/sim"
 	"repro/internal/workloads/sharedmem"
 )
@@ -36,6 +37,10 @@ type FuzzCfg struct {
 	// Races attaches the race auditor (check.AttachRace) alongside the
 	// invariant checker; verdicts land in FuzzResult.Races.
 	Races bool
+	// Window attaches the flight recorder (series in FuzzResult.Series).
+	// Observational only — not part of the replay grammar, and runs are
+	// byte-identical with or without it.
+	Window sim.Time
 }
 
 // FuzzResult is the outcome of one fuzz run.
@@ -60,6 +65,8 @@ type FuzzResult struct {
 	// RaceTotal counts them beyond the storage cap.
 	Races     []check.Race
 	RaceTotal int64
+	// Series is the flight-recorder recording (FuzzCfg.Window only).
+	Series *timeseries.Series
 }
 
 // Failed reports whether any invariant was violated.
@@ -189,6 +196,14 @@ func Fuzz(c FuzzCfg) (FuzzResult, error) {
 		grace += horizon + sim.Time(threads)*(4*c.Plan.WakeDelay+100_000)
 	}
 
+	var ts *timeseries.Sampler
+	if c.Window > 0 {
+		ts = timeseries.Attach(e.M, timeseries.Options{
+			Window:        c.Window,
+			ExpectWindows: int(grace/c.Window) + 1,
+		})
+	}
+
 	q := e.M.Run(grace)
 	res := FuzzResult{
 		Quiesced: q,
@@ -207,6 +222,9 @@ func Fuzz(c FuzzCfg) (FuzzResult, error) {
 	if ra != nil {
 		res.Races = ra.Finish(q)
 		res.RaceTotal = ra.Total
+	}
+	if ts != nil {
+		res.Series = ts.Finish(q)
 	}
 	if ok, a, b := w.Validate(e.M); !ok {
 		// Workload-level witness: the two cache lines of the critical

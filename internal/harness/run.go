@@ -3,6 +3,7 @@ package harness
 import (
 	"repro/internal/check"
 	"repro/internal/locks"
+	"repro/internal/obs/timeseries"
 	"repro/internal/sim"
 	"repro/internal/workloads/dbindex"
 	"repro/internal/workloads/dedup"
@@ -39,6 +40,11 @@ type RunCfg struct {
 	// land in Result.Races/RaceTotal. Attaching never perturbs the run:
 	// digests are byte-identical with and without it.
 	Races bool
+	// Window, when positive, attaches the flight recorder with this
+	// sampling window (ticks); the windowed series land in
+	// Result.Series. Like the other observers it never perturbs the
+	// run: trace digests are byte-identical with and without it.
+	Window sim.Time
 }
 
 // prepare builds the env; the workload's worker threads must be spawned
@@ -75,6 +81,15 @@ func prepare(c RunCfg) (*Env, sim.Time, error) {
 	if dur == 0 {
 		dur = 20_000_000
 	}
+	if c.Window > 0 {
+		// The run horizon is dur+dur/4 (see finish); size the series
+		// preallocation to cover it so steady-state sampling is
+		// allocation-free.
+		e.TS = timeseries.Attach(e.M, timeseries.Options{
+			Window:        c.Window,
+			ExpectWindows: int((dur+dur/4)/c.Window) + 1,
+		})
+	}
 	return e, dur, nil
 }
 
@@ -100,6 +115,9 @@ func finish(e *Env, c RunCfg, dur sim.Time) Result {
 	if e.Race != nil {
 		r.Races = e.Race.Finish(q)
 		r.RaceTotal = e.Race.Total
+	}
+	if e.TS != nil {
+		r.Series = e.TS.Finish(q)
 	}
 	return r
 }

@@ -35,6 +35,11 @@ func NewHistogram() *Histogram {
 	return h
 }
 
+// BucketIndex maps a sample to its bucket (see NumBuckets for the
+// layout). Exported for value-type histograms that share the bucket
+// scheme, e.g. the flight recorder's per-window latency histograms.
+func BucketIndex(v int64) int { return bucketIndex(v) }
+
 // bucketIndex maps a sample to its bucket.
 func bucketIndex(v int64) int {
 	if v <= 0 {
@@ -133,26 +138,35 @@ func (s HistogramSnapshot) Mean() float64 {
 	return float64(s.Sum) / float64(s.Count)
 }
 
-// Quantile estimates the p-quantile (0..1) as the upper bound of the
-// bucket holding the p-th sample, clamped to the observed Min/Max. The
-// estimate is never below the true quantile's bucket lower bound, so the
-// relative error is bounded by one log2 bucket: estimate/true < 2.
+// Quantile estimates the p-quantile (0..1) by locating the bucket that
+// holds the p-th sample and interpolating linearly within it, assuming
+// the bucket's samples are spread uniformly over its value range; the
+// result is clamped to the observed Min/Max (so p=0 and p=1 are exact).
+// The estimate always stays inside the true quantile's log2 bucket, so
+// the relative error remains bounded by one bucket (estimate/true < 2,
+// true/estimate < 2); interpolation removes the former systematic
+// upper-bound bias, which overestimated by up to 2×.
 func (s HistogramSnapshot) Quantile(p float64) int64 {
 	if s.Count == 0 {
 		return 0
 	}
-	if p < 0 {
-		p = 0
+	if p <= 0 {
+		return s.Min
 	}
-	if p > 1 {
-		p = 1
+	if p >= 1 {
+		return s.Max
 	}
 	rank := int64(p * float64(s.Count-1))
 	var cum int64
 	for i, c := range s.Buckets {
 		cum += c
 		if cum > rank {
-			v := BucketUpper(i)
+			lo, hi := BucketLower(i), BucketUpper(i)
+			// Place the bucket's c samples at the midpoints of c equal
+			// sub-ranges: sample j (0-based within the bucket) sits at
+			// lo + span*(j+0.5)/c.
+			pos := rank - (cum - c)
+			v := lo + int64(float64(hi-lo)*(float64(pos)+0.5)/float64(c))
 			if v > s.Max {
 				v = s.Max
 			}

@@ -23,6 +23,7 @@ import (
 const (
 	perfettoPidSched = 0
 	perfettoPidLocks = 1
+	perfettoPidTelem = 2
 )
 
 // usec is a microsecond timestamp serialized with exactly three
@@ -66,11 +67,34 @@ func lockName(n lockNamer, id int32) string {
 	return fmt.Sprintf("lock%d", id)
 }
 
+// CounterPoint is one sample of a counter track, in virtual time.
+type CounterPoint struct {
+	Ts    sim.Time
+	Value int64
+}
+
+// CounterTrack is a named Perfetto counter ("C" phase) series, e.g. one
+// flight-recorder metric sampled per window. Values are integral so the
+// export stays byte-stable.
+type CounterTrack struct {
+	Name   string
+	Points []CounterPoint
+}
+
 // WritePerfetto exports events as trace_event JSON. names resolves lock
 // ids (pass the *sim.Machine; nil falls back to "lock<id>"). Events
 // must be in time order, as produced by Tracer.Events(). Output is
 // deterministic: same events, same bytes.
 func WritePerfetto(w io.Writer, names lockNamer, events []sim.TraceEvent) error {
+	return WritePerfettoTrace(w, names, events, nil)
+}
+
+// WritePerfettoTrace is WritePerfetto plus counter tracks: each track
+// renders as a "C" counter series under synthetic pid 2 "telemetry", in
+// the order given (which must be deterministic — the flight recorder's
+// track order is fixed). With no counters the output is byte-identical
+// to WritePerfetto.
+func WritePerfettoTrace(w io.Writer, names lockNamer, events []sim.TraceEvent, counters []CounterTrack) error {
 	bw := bufio.NewWriter(w)
 
 	var out []perfettoEvent
@@ -87,6 +111,9 @@ func WritePerfetto(w io.Writer, names lockNamer, events []sim.TraceEvent) error 
 	}
 	meta(perfettoPidSched, 0, "process_name", "scheduler")
 	meta(perfettoPidLocks, 0, "process_name", "locks")
+	if len(counters) > 0 {
+		meta(perfettoPidTelem, 0, "process_name", "telemetry")
+	}
 
 	// Collect the thread ids that appear so each gets a thread_name
 	// metadata record in both processes.
@@ -179,6 +206,22 @@ func WritePerfetto(w io.Writer, names lockNamer, events []sim.TraceEvent) error 
 				args["successor"] = e.Next
 			}
 			instant(perfettoPidLocks, e.Prev, e.At, e.Kind.String(), "lock", args)
+		}
+	}
+
+	// Counter tracks follow the event stream; Perfetto orders by ts, so
+	// interleaving here is unnecessary and would cost a sort.
+	for _, tr := range counters {
+		for _, pt := range tr.Points {
+			out = append(out, perfettoEvent{
+				Name: tr.Name,
+				Ph:   "C",
+				Ts:   ticksToUsec(pt.Ts),
+				Pid:  perfettoPidTelem,
+				Tid:  0,
+				Cat:  "telemetry",
+				Args: map[string]any{"value": pt.Value},
+			})
 		}
 	}
 

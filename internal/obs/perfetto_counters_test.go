@@ -1,0 +1,165 @@
+// Counter-track schema and golden tests for the Perfetto export with a
+// flight-recorder series attached. External test package: timeseries
+// imports obs, so an in-package test could not import it.
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/locks"
+	"repro/internal/obs"
+	"repro/internal/obs/timeseries"
+	"repro/internal/sim"
+)
+
+var updateCounterGolden = flag.Bool("update-counters", false, "rewrite the counter-track golden file")
+
+// renderWithCounters runs the same fixed-seed contended-lock scenario
+// as the plain perfetto golden, with the flight recorder attached, and
+// renders events plus counter tracks.
+func renderWithCounters(t *testing.T) []byte {
+	t.Helper()
+	cfg := sim.Small(2)
+	cfg.Seed = 7
+	m := sim.New(cfg)
+	tr := m.AttachTracer(1 << 16)
+	ts := timeseries.Attach(m, timeseries.Options{Window: 1_000, ExpectWindows: 32})
+	l := locks.NewBlocking(m, "golden")
+	for i := 0; i < 3; i++ {
+		m.Spawn("w", func(p *sim.Proc) {
+			for k := 0; k < 4; k++ {
+				l.Lock(p)
+				p.Compute(500)
+				l.Unlock(p)
+				p.Compute(200)
+			}
+		})
+	}
+	q := m.Run(10_000_000)
+	series := ts.Finish(q)
+	if len(series.Points) < 2 {
+		t.Fatalf("golden run produced only %d windows", len(series.Points))
+	}
+	var buf bytes.Buffer
+	if err := obs.WritePerfettoTrace(&buf, m, tr.Events(), series.CounterTracks()); err != nil {
+		t.Fatalf("WritePerfettoTrace: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestPerfettoCounterGolden: the counter-track export is byte-stable
+// and matches the checked-in golden. Refresh with:
+// go test ./internal/obs -run CounterGolden -update-counters
+func TestPerfettoCounterGolden(t *testing.T) {
+	got := renderWithCounters(t)
+	golden := filepath.Join("testdata", "perfetto_counters_golden.json")
+	if *updateCounterGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-counters to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("counter-track output differs from golden (len %d vs %d); rerun with -update-counters if the change is intended",
+			len(got), len(want))
+	}
+	if again := renderWithCounters(t); !bytes.Equal(got, again) {
+		t.Fatal("two identical runs produced different counter-track output")
+	}
+}
+
+// TestPerfettoCounterSchema: counter events are valid trace_event
+// counters — phase "C", the telemetry pid, numeric args.value — and the
+// telemetry process is named by metadata exactly when counters exist.
+func TestPerfettoCounterSchema(t *testing.T) {
+	raw := renderWithCounters(t)
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	counters := 0
+	tracks := map[string]bool{}
+	telemMeta := false
+	for i, e := range doc.TraceEvents {
+		ph, _ := e["ph"].(string)
+		pid, _ := e["pid"].(float64)
+		switch ph {
+		case "M", "X", "i", "C":
+		default:
+			t.Fatalf("event %d: unknown phase %q", i, ph)
+		}
+		if pid != 0 && pid != 1 && pid != 2 {
+			t.Fatalf("event %d: pid %v not a known synthetic process", i, pid)
+		}
+		if ph == "M" && pid == 2 {
+			args, ok := e["args"].(map[string]any)
+			if !ok || args["name"] != "telemetry" {
+				t.Fatalf("pid-2 metadata should name the telemetry process: %v", e)
+			}
+			telemMeta = true
+		}
+		if ph != "C" {
+			if pid == 2 && ph != "M" {
+				t.Fatalf("event %d: non-counter event on the telemetry pid: %v", i, e)
+			}
+			continue
+		}
+		counters++
+		if pid != 2 {
+			t.Fatalf("counter event %d not on the telemetry pid: %v", i, e)
+		}
+		name, _ := e["name"].(string)
+		if name == "" {
+			t.Fatalf("counter event %d unnamed: %v", i, e)
+		}
+		tracks[name] = true
+		args, ok := e["args"].(map[string]any)
+		if !ok {
+			t.Fatalf("counter event %d has no args: %v", i, e)
+		}
+		if _, ok := args["value"].(float64); !ok {
+			t.Fatalf("counter event %d args.value not numeric: %v", i, e)
+		}
+		if ts, _ := e["ts"].(float64); ts < 0 {
+			t.Fatalf("counter event %d: negative ts: %v", i, e)
+		}
+	}
+	if counters == 0 {
+		t.Fatal("no counter events exported")
+	}
+	if !telemMeta {
+		t.Fatal("telemetry process metadata missing despite counters present")
+	}
+	// One track per series metric.
+	for _, name := range []string{
+		"acquires/win", "ops/win", "acquire-lat-p99", "spinning",
+		"spin-preempted", "blocked", "runq-depth", "steals/win", "npcs",
+	} {
+		if !tracks[name] {
+			t.Errorf("missing counter track %q (have %v)", name, tracks)
+		}
+	}
+
+	// Without counters the telemetry process must not appear at all —
+	// that keeps the pre-series golden byte-identical.
+	var plain bytes.Buffer
+	if err := obs.WritePerfettoTrace(&plain, nil, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(plain.Bytes(), []byte("telemetry")) {
+		t.Fatal("counter-less export mentions the telemetry process")
+	}
+}

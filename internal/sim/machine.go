@@ -228,6 +228,34 @@ func (m *Machine) KernelLockEvent(kind TraceKind, lock, tid, arg int32) {
 	m.lockEvent(kind, lock, tid, arg)
 }
 
+// Schedule arranges for fn to run in kernel context at virtual time at
+// (>= the current clock). It is the hook for kernel-side instrumentation
+// with its own clock — e.g. the flight recorder's window sampler — and
+// deliberately shares the machine's one event queue: a scheduled event
+// bounds the fast-forward inline-batching horizon through PeekTime
+// exactly like any other event, so batched instruction chains can never
+// run past it. fn must not call Proc methods, draw from the machine
+// RNG, or emit trace events; a passive (read-only) fn leaves the event
+// stream and digest of the run unchanged. Events at or after the Run
+// horizon never fire.
+func (m *Machine) Schedule(at Time, fn func()) {
+	if at < m.clock {
+		panic("sim: Schedule in the past")
+	}
+	m.eq.Schedule(at, fn)
+}
+
+// RunqDepths appends the current depth of every runqueue shard (one
+// entry per hardware context, in context order) to dst and returns it.
+// Kernel-side telemetry helper: passing a reused buffer keeps sampling
+// allocation-free.
+func (m *Machine) RunqDepths(dst []int32) []int32 {
+	for _, c := range m.cpus {
+		dst = append(dst, int32(len(c.q)-c.qhead))
+	}
+	return dst
+}
+
 // Spawn creates a simulated thread executing body and makes it runnable at
 // the current time. Must not be called after Run returns.
 func (m *Machine) Spawn(name string, body func(p *Proc)) *Thread {
