@@ -238,11 +238,16 @@ func (m *Machine) KernelLockEvent(kind TraceKind, lock, tid, arg int32) {
 // RNG, or emit trace events; a passive (read-only) fn leaves the event
 // stream and digest of the run unchanged. Events at or after the Run
 // horizon never fire.
+//
+// Scheduled events are weak: they never keep the machine alive. When
+// only weak events remain in the queue, Run drains exactly as it would
+// with an empty queue, so the quiesce time, deadlock detection, and
+// hang detection are independent of attached telemetry.
 func (m *Machine) Schedule(at Time, fn func()) {
 	if at < m.clock {
 		panic("sim: Schedule in the past")
 	}
-	m.eq.Schedule(at, fn)
+	m.eq.ScheduleWeak(at, fn)
 }
 
 // RunqDepths appends the current depth of every runqueue shard (one
@@ -327,6 +332,14 @@ func (m *Machine) Run(until Time) Time {
 	m.running = true
 	m.horizon = until
 	for {
+		if m.eq.StrongLen() == 0 {
+			// Nothing left but weak (instrumentation) events, if that.
+			// They must never keep the machine alive: drain here, with
+			// the clock still at the last real event, so the quiesce
+			// time and deadlock detection match an uninstrumented run.
+			m.drained = true
+			break
+		}
 		ev := m.eq.Pop()
 		if ev == nil {
 			m.drained = true

@@ -626,6 +626,55 @@ func TestQuiesceTimeReported(t *testing.T) {
 	}
 }
 
+// attachTick installs a self-rescheduling weak tick every period ticks,
+// the shape of the flight recorder's window sampler.
+func attachTick(m *Machine, period Time) {
+	var tick func()
+	tick = func() { m.Schedule(m.Now()+period, tick) }
+	m.Schedule(period, tick)
+}
+
+// TestWeakEventsDoNotBlockDrain: Machine.Schedule events are passive
+// instrumentation and must never keep the machine alive. A
+// self-rescheduling sampler tick would otherwise pin the event queue
+// non-empty forever, turning every early quiesce into a full run to the
+// horizon — and silently defeating deadlock detection.
+func TestWeakEventsDoNotBlockDrain(t *testing.T) {
+	run := func(tick bool) Time {
+		m := small(1)
+		m.Spawn("w", func(p *Proc) { p.Compute(500) })
+		if tick {
+			attachTick(m, 1_000)
+		}
+		return m.Run(1_000_000)
+	}
+	plain := run(false)
+	if plain >= 1_000_000 {
+		t.Fatalf("workload ran to the horizon (quiesced %d); want early drain", plain)
+	}
+	if ticked := run(true); ticked != plain {
+		t.Fatalf("sampler tick moved the quiesce time: %d with tick, %d without", ticked, plain)
+	}
+}
+
+// TestWeakEventsDoNotMaskDeadlock: a deadlocked run with a sampler
+// attached must still drain before the horizon and report Deadlocked.
+func TestWeakEventsDoNotMaskDeadlock(t *testing.T) {
+	m := small(1)
+	w := m.NewWord("w", 1)
+	m.Spawn("stuck", func(p *Proc) {
+		p.FutexWait(w, 1) // nobody will ever wake this
+	})
+	attachTick(m, 1_000)
+	q := m.Run(1_000_000)
+	if q >= 1_000_000 {
+		t.Fatalf("deadlocked run reached the horizon (quiesced %d)", q)
+	}
+	if !m.Deadlocked() {
+		t.Fatal("Deadlocked() = false for a blocked thread under a sampler tick")
+	}
+}
+
 func TestLatencyReservoir(t *testing.T) {
 	m := small(1)
 	var th *Thread

@@ -21,15 +21,26 @@ type Event struct {
 	index    int // heap index, -1 if popped/canceled
 	canceled bool
 	pooled   bool
-	Fn       func()
+	// weak marks a passive instrumentation event (ScheduleWeak): it
+	// fires like any other event but does not count toward StrongLen,
+	// so the simulator can tell "work remains" from "only telemetry
+	// remains". Weak events must not be canceled — Cancel's live-count
+	// bookkeeping ignores them.
+	weak bool
+	q    *Queue // owner, for Cancel's live-strong accounting
+	Fn   func()
 }
 
 // Cancel marks the event so that it will not fire. Canceling an already
 // fired or canceled event is a no-op. The event is removed lazily when it
 // reaches the head of the queue.
 func (e *Event) Cancel() {
-	if e != nil {
-		e.canceled = true
+	if e == nil || e.canceled {
+		return
+	}
+	e.canceled = true
+	if e.index != -1 && !e.weak && e.q != nil {
+		e.q.strong--
 	}
 }
 
@@ -60,6 +71,10 @@ func (e *Event) before(o *Event) bool {
 type Queue struct {
 	heap []*Event
 	seq  uint64
+	// strong counts live (not canceled, not fired) non-weak events in
+	// the heap. When it reaches zero only telemetry remains; the
+	// simulator treats that as a drained queue.
+	strong int
 	// free is the event free-list: fired or collected-after-cancel events
 	// recycled by Recycle and reused by Schedule, cutting the per-step
 	// allocation on the simulator's hot path to zero once warm.
@@ -78,18 +93,36 @@ const maxFree = 1024
 // that have not yet been removed.
 func (q *Queue) Len() int { return len(q.heap) }
 
+// StrongLen returns the number of live non-weak events: pending work
+// that should keep a simulation running. Canceled events and weak
+// (instrumentation) events do not count.
+func (q *Queue) StrongLen() int { return q.strong }
+
 // Schedule adds fn to run at time at and returns a handle that can be used
 // to cancel it. Scheduling in the past is permitted (the simulator guards
 // against it separately); such events fire before any later ones.
 func (q *Queue) Schedule(at Time, fn func()) *Event {
+	q.strong++
+	return q.schedule(at, fn, false)
+}
+
+// ScheduleWeak is Schedule for passive instrumentation: the event fires
+// normally (and bounds PeekTime-based fast-forwarding like any other),
+// but does not count toward StrongLen, so it never makes the queue look
+// like it still has work. Weak events must not be canceled.
+func (q *Queue) ScheduleWeak(at Time, fn func()) *Event {
+	return q.schedule(at, fn, true)
+}
+
+func (q *Queue) schedule(at Time, fn func(), weak bool) *Event {
 	var e *Event
 	if n := len(q.free); n > 0 {
 		e = q.free[n-1]
 		q.free[n-1] = nil
 		q.free = q.free[:n-1]
-		*e = Event{At: at, seq: q.seq, Fn: fn}
+		*e = Event{At: at, seq: q.seq, weak: weak, q: q, Fn: fn}
 	} else {
-		e = &Event{At: at, seq: q.seq, Fn: fn}
+		e = &Event{At: at, seq: q.seq, weak: weak, q: q, Fn: fn}
 	}
 	q.seq++
 	q.push(e)
@@ -129,7 +162,11 @@ func (q *Queue) Pop() *Event {
 	if len(q.heap) == 0 {
 		return nil
 	}
-	return q.pop()
+	e := q.pop()
+	if !e.weak {
+		q.strong--
+	}
+	return e
 }
 
 func (q *Queue) dropCanceled() {

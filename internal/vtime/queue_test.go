@@ -277,6 +277,67 @@ func TestQueueFreeListNeverResurrectsLiveEvent(t *testing.T) {
 	}
 }
 
+// TestStrongLenWeakEvents: StrongLen counts only live non-weak events —
+// the signal the simulator uses to tell pending work from telemetry.
+func TestStrongLenWeakEvents(t *testing.T) {
+	var q Queue
+	if q.StrongLen() != 0 {
+		t.Fatalf("empty queue StrongLen = %d", q.StrongLen())
+	}
+	var fired []int
+	q.ScheduleWeak(5, func() { fired = append(fired, 5) })
+	q.Schedule(10, func() { fired = append(fired, 10) })
+	if q.StrongLen() != 1 || q.Len() != 2 {
+		t.Fatalf("StrongLen = %d, Len = %d; want 1, 2", q.StrongLen(), q.Len())
+	}
+	// Weak events still fire in time order like any other.
+	q.Pop().Fn()
+	if q.StrongLen() != 1 {
+		t.Fatalf("popping weak event changed StrongLen to %d", q.StrongLen())
+	}
+	q.Pop().Fn()
+	if q.StrongLen() != 0 || q.Len() != 0 {
+		t.Fatalf("after draining: StrongLen = %d, Len = %d", q.StrongLen(), q.Len())
+	}
+	if len(fired) != 2 || fired[0] != 5 || fired[1] != 10 {
+		t.Fatalf("fired order %v, want [5 10]", fired)
+	}
+}
+
+// TestStrongLenCancel: canceling a live strong event releases its count
+// immediately (not lazily at removal); double-cancel and cancel-after-
+// fire do not double-release.
+func TestStrongLenCancel(t *testing.T) {
+	var q Queue
+	a := q.Schedule(1, func() {})
+	b := q.Schedule(2, func() {})
+	a.Cancel()
+	if q.StrongLen() != 1 {
+		t.Fatalf("after cancel: StrongLen = %d, want 1", q.StrongLen())
+	}
+	a.Cancel()
+	if q.StrongLen() != 1 {
+		t.Fatalf("double cancel decremented twice: StrongLen = %d", q.StrongLen())
+	}
+	if e := q.Pop(); e != b {
+		t.Fatal("Pop skipped the live event")
+	}
+	b.Cancel() // after fire: must not go negative
+	if q.StrongLen() != 0 {
+		t.Fatalf("cancel after fire changed StrongLen to %d", q.StrongLen())
+	}
+	// The free-list must not leak weakness between lives.
+	q.Recycle(b)
+	c := q.Schedule(3, func() {})
+	if q.StrongLen() != 1 {
+		t.Fatalf("recycled event miscounted: StrongLen = %d", q.StrongLen())
+	}
+	c.Cancel()
+	if q.StrongLen() != 0 {
+		t.Fatalf("StrongLen = %d after canceling reused event", q.StrongLen())
+	}
+}
+
 func BenchmarkQueueScheduleAndPop(b *testing.B) {
 	var q Queue
 	for i := 0; i < b.N; i++ {
