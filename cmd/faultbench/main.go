@@ -5,11 +5,14 @@
 //
 //	faultbench                                   # default sweep
 //	faultbench -algs flexguard,mcs -plans chaos  # narrow it
+//	faultbench -crash                            # thread-crash campaign
 //	faultbench -mutants                          # checker self-test
 //	faultbench -replay "seed=1 mutant=tas-noatomic cpus=3 threads=2 horizon=375308 plan=none"
 //
 // Exit status: 0 when every stock algorithm held every invariant (and,
-// with -mutants, every mutant was caught); 1 otherwise.
+// with -mutants, every mutant was caught; with -crash, every cell ended
+// in recovery or a deterministic orphaned-lock verdict and the robust
+// locks recovered from every holder crash); 1 otherwise.
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/check"
 	"repro/internal/fault"
 	"repro/internal/harness"
 	"repro/internal/profiling"
@@ -30,6 +34,7 @@ func main() {
 		plansFlag  = flag.String("plans", "", "comma-separated fault-plan presets or specs (default: all presets)")
 		seeds      = flag.Int("seeds", 3, "seeds per (alg, plan) cell")
 		quick      = flag.Bool("quick", false, "1 seed, core algorithms only (CI smoke)")
+		crash      = flag.Bool("crash", false, "run the thread-crash campaign (fault.CrashPlans sweep, crash-aware verdicts)")
 		mutants    = flag.Bool("mutants", false, "run the mutation self-test instead of the sweep")
 		replay     = flag.String("replay", "", "replay one spec (as printed for a shrunk failure) and exit")
 		parallel   = flag.Int("parallel", 0, "sweep cells run on this many OS threads (0 = GOMAXPROCS)")
@@ -58,6 +63,20 @@ func main() {
 		exit(runReplay(*replay))
 	case *mutants:
 		exit(runMutants())
+	}
+
+	if *crash {
+		algs := harness.CrashAlgorithms()
+		if *quick {
+			algs = []string{"blocking", "mcs", "mcstp", "flexguard", "robust/blocking", "robust/mcs"}
+			*seeds = 1
+		}
+		if *algsFlag != "" {
+			if algs, err = harness.ParseAlgs(*algsFlag); err != nil {
+				fatal(err)
+			}
+		}
+		exit(runCrash(algs, *seeds, *parallel, *report))
 	}
 
 	algs := harness.Algorithms
@@ -182,6 +201,152 @@ func runSweep(algs []string, plans []fault.NamedPlan, seeds, parallel int, windo
 	return 0
 }
 
+// crashVerdict classifies one crash-campaign run. Severity order
+// matters: a cell reports the worst verdict among its seeds.
+const (
+	crashClean   = iota // no kill fired (the plan's trigger never armed)
+	crashRecover        // killed threads, survivors finished, zero verdicts
+	crashOrphan         // deterministic orphaned-lock verdict, nothing else
+	crashFail           // any other violation, or a hang with no verdict
+)
+
+var crashVerdictNames = [...]string{"clean", "recover", "orphan", "FAIL"}
+
+// classifyCrash maps one fuzz result onto the campaign's verdict scale.
+// Every stock lock must land at recover or orphan (or clean if the plan
+// cannot trigger on it): a hang or a non-orphan violation is a FAIL.
+func classifyCrash(r harness.FuzzResult) int {
+	orphaned := false
+	for _, v := range r.Violations {
+		if v.Invariant != check.OrphanedLock {
+			return crashFail
+		}
+		orphaned = true
+	}
+	if orphaned {
+		return crashOrphan
+	}
+	if r.Deadlocked || r.HitGrace {
+		// Stranded threads with no verdict: the checker missed a hang.
+		return crashFail
+	}
+	if r.Crashes > 0 {
+		return crashRecover
+	}
+	return crashClean
+}
+
+// crashCell is one (alg, plan) cell of the crash campaign.
+type crashCell struct {
+	verdict int
+	spec    string // replay spec of the worst seed
+	crashes int64
+	abandon int64
+}
+
+// runCrash is the crash campaign: kill threads while they hold, queue
+// on, or park under every lock, and demand that every cell ends in
+// recovery or a clean orphaned-lock verdict — never a hang and never a
+// mutual-exclusion loss. The robust wrappers and flexguard additionally
+// must *recover* from every crash-while-holding cell.
+func runCrash(algs []string, seeds, parallel int, reportPath string) int {
+	plans := fault.CrashPlans()
+	cells, errs := harness.ParallelMap(parallel, len(algs)*len(plans), func(i int) (crashCell, error) {
+		alg, np := algs[i/len(plans)], plans[i%len(plans)]
+		var out crashCell
+		for s := 0; s < seeds; s++ {
+			c := harness.FuzzCfg{Alg: alg, Seed: uint64(1000*s + 29), Plan: np.Plan}
+			r, err := harness.Fuzz(c)
+			if err != nil {
+				return crashCell{}, err
+			}
+			out.crashes += r.Crashes
+			out.abandon += r.Abandoned
+			if v := classifyCrash(r); v > out.verdict {
+				out.verdict = v
+				out.spec = c.Replay()
+			}
+		}
+		return out, nil
+	})
+	if err := harness.FirstError(errs); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-16s", "alg\\plan")
+	for _, np := range plans {
+		fmt.Printf(" %14s", np.Name)
+	}
+	fmt.Println()
+	rep := harness.NewToolReport("faultbench-crash", 0)
+	bad := 0
+	var specs []string
+	for i, alg := range algs {
+		fmt.Printf("%-16s", alg)
+		for j, np := range plans {
+			c := cells[i*len(plans)+j]
+			fail := c.verdict == crashFail
+			if mustRecover(alg, np.Name) && c.verdict != crashRecover {
+				fail = true
+			}
+			cell := crashVerdictNames[c.verdict]
+			if fail {
+				cell = "FAIL(" + crashVerdictNames[c.verdict] + ")"
+				bad++
+				specs = append(specs, fmt.Sprintf("%s × %s: %s", alg, np.Name, c.spec))
+			}
+			fmt.Printf(" %14s", cell)
+			rep.AddMetrics(fmt.Sprintf("crash/%s/%s", alg, np.Name), map[string]float64{
+				"verdict":   float64(c.verdict),
+				"ok":        b2f(!fail),
+				"crashes":   float64(c.crashes),
+				"abandoned": float64(c.abandon),
+			})
+		}
+		fmt.Println()
+	}
+	if reportPath != "" {
+		if err := rep.WriteFile(reportPath); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Println(harness.SummaryLine(
+		harness.KV{Key: "tool", Value: "faultbench-crash"},
+		harness.KVf("cells", "%d", len(algs)*len(plans)),
+		harness.KVf("failures", "%d", bad),
+		harness.KVf("seeds", "%d", seeds),
+	))
+	if bad > 0 {
+		fmt.Printf("\n%d failing cell(s); reproducers:\n", bad)
+		for _, s := range specs {
+			fmt.Println("  " + s)
+		}
+		return 1
+	}
+	fmt.Printf("\nall %d cells recovered or orphaned cleanly (%d seeds each)\n", len(algs)*len(plans), seeds)
+	return 0
+}
+
+// mustRecover names the cells where an orphan verdict is itself a
+// failure: the robust wrappers and flexguard exist to survive a holder
+// crash, so crash-while-holding must end in recovery.
+func mustRecover(alg, plan string) bool {
+	if plan != "crash-hold" {
+		return false
+	}
+	switch alg {
+	case "robust/blocking", "flexguard", "flexguard-ext":
+		return true
+	}
+	return false
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // runMutants proves the checker can fail: every registered mutant must
 // be caught, shrunk, and reproduced from its spec in one run. The race
 // auditor must agree with the split: every mutant trips at least one
@@ -190,7 +355,7 @@ func runSweep(algs []string, plans []fault.NamedPlan, seeds, parallel int, windo
 func runMutants() int {
 	bad := 0
 	for _, mu := range fault.Mutants() {
-		caught, raced := false, false
+		caught, raced := false, mu.LivenessOnly
 		for s := uint64(1); s <= 20 && !(caught && raced); s++ {
 			c := harness.FuzzCfg{Mutant: mu.Name, Seed: s, Races: true}
 			r, err := harness.Fuzz(c)

@@ -47,6 +47,12 @@ const (
 	Deadlock Invariant = "deadlock"
 	// Conservation: per lock, acquisitions == releases + live holders.
 	Conservation Invariant = "conservation"
+	// OrphanedLock: a crashed thread left the lock unusable — dead
+	// holder never released, or a dead participant left live waiters
+	// stranded with nobody to hand over. This is the *clean* crash
+	// verdict: a lock under a crash plan must either recover or orphan
+	// deterministically, never hang without attribution.
+	OrphanedLock Invariant = "orphaned-lock"
 )
 
 // Code returns the sim.Violation* code carried on TraceViolation events.
@@ -64,6 +70,8 @@ func (i Invariant) Code() int32 {
 		return sim.ViolationDeadlock
 	case Conservation:
 		return sim.ViolationConservation
+	case OrphanedLock:
+		return sim.ViolationOrphanedLock
 	default:
 		return 0
 	}
@@ -140,6 +148,17 @@ type lockState struct {
 	acquires     int64
 	releases     int64
 	lastActivity sim.Time
+	// lastProgress: last time ownership changed (acquire, release,
+	// handover, owner-death repair, recovery, abandon). Spinning waiters
+	// refresh lastActivity forever; this is the signal that the lock
+	// itself stopped moving.
+	lastProgress sim.Time
+	// ownerDied: the kernel robust walk flagged this lock's holder dead
+	// and no claimer has recovered it yet.
+	ownerDied bool
+	// crashPart: a thread that later crashed participated in this lock
+	// (basis for attributing stranded waiters to the crash).
+	crashPart bool
 }
 
 // Checker consumes lock events and verifies invariants online. It is a
@@ -157,6 +176,11 @@ type Checker struct {
 	// (-2 when the park was not lock-related).
 	parked     map[int32]int32
 	parkedAt   map[int32]sim.Time
+	// dead marks threads that crashed (TraceCrash); touched maps each
+	// thread to the locks it has emitted events on, so a crash can be
+	// attributed to the locks the corpse was involved with.
+	dead       map[int32]bool
+	touched    map[int32]map[int32]bool
 	violations []Violation
 	// Total counts all violations, including ones beyond MaxViolations.
 	Total    int64
@@ -173,6 +197,8 @@ func Attach(m *sim.Machine, o Options) *Checker {
 		blockIntent: make(map[int32]int32),
 		parked:      make(map[int32]int32),
 		parkedAt:    make(map[int32]sim.Time),
+		dead:        make(map[int32]bool),
+		touched:     make(map[int32]map[int32]bool),
 	}
 	m.AddLockObserver(c)
 	return c
@@ -214,6 +240,9 @@ func (c *Checker) LockEvent(at sim.Time, kind sim.TraceKind, lock, tid, arg int3
 	case sim.TraceViolation, sim.TraceMonitorStale,
 		sim.TracePolicySwitch, sim.TraceNPCSUp, sim.TraceNPCSDown:
 		return // policy / self-emitted events carry no lock state
+	case sim.TraceCrash:
+		c.crashed(tid)
+		return
 	case sim.TraceBlock:
 		// Scheduler-level park: bind it to the lock last named in a
 		// TraceLockBlock by this thread (if any).
@@ -235,10 +264,25 @@ func (c *Checker) LockEvent(at sim.Time, kind sim.TraceKind, lock, tid, arg int3
 		return
 	}
 	// A thread emitting a lock event is on-CPU: it cannot be parked.
+	// (Kernel-emitted crash events name a dead thread instead; those are
+	// never in parked — crashed() cleared them.)
 	delete(c.parked, tid)
 	delete(c.parkedAt, tid)
 	ls := c.lock(lock)
 	ls.lastActivity = at
+	switch kind {
+	case sim.TraceAcquire, sim.TraceRelease, sim.TraceHandover,
+		sim.TraceOwnerDead, sim.TraceRecover, sim.TraceAbandon:
+		ls.lastProgress = at
+	}
+	if !c.dead[tid] {
+		tl := c.touched[tid]
+		if tl == nil {
+			tl = make(map[int32]bool)
+			c.touched[tid] = tl
+		}
+		tl[lock] = true
+	}
 	switch kind {
 	case sim.TraceAcquire:
 		if len(ls.holders) > 0 {
@@ -303,7 +347,62 @@ func (c *Checker) LockEvent(at sim.Time, kind sim.TraceKind, lock, tid, arg int3
 		if _, ok := ls.waiting[tid]; !ok {
 			ls.waiting[tid] = &waiterState{since: at}
 		}
+	case sim.TraceOwnerDead:
+		// Kernel robust walk: the dead holder's ownership ends here.
+		// Counting it as a release keeps conservation balanced through
+		// the recovery; if the thread died inside an acquire window
+		// before its Acquire event, there is nothing to balance.
+		ls.crashPart = true
+		ls.ownerDied = true
+		if _, ok := ls.holders[tid]; ok {
+			delete(ls.holders, tid)
+			ls.releases++
+		}
+	case sim.TraceRecover:
+		// A claimer took over the owner-died lock (EOWNERDEAD); its own
+		// Acquire event follows.
+		ls.ownerDied = false
+	case sim.TraceAbandon:
+		// A dead or stale waiter's queue node was unlinked; it is no
+		// longer waiting (a live removed waiter re-enters from scratch
+		// and re-announces itself).
+		if arg >= 0 {
+			delete(ls.waiting, arg)
+		}
 	}
+}
+
+// crashed processes a TraceCrash: remember the corpse, clear its
+// transient waiter state everywhere, and attribute the crash to every
+// lock it participated in. Dead holders deliberately stay in holders —
+// a lock held by a corpse is the orphan candidate Finish looks for.
+func (c *Checker) crashed(tid int32) {
+	c.dead[tid] = true
+	if c.o.Registry != nil {
+		c.o.Registry.Counter("check.crashes").Inc()
+	}
+	delete(c.parked, tid)
+	delete(c.parkedAt, tid)
+	delete(c.blockIntent, tid)
+	for lk := range c.touched[tid] { //flexlint:allow determinism set propagation is order-independent
+		ls := c.locks[lk]
+		ls.crashPart = true
+		delete(ls.waiting, tid)
+	}
+}
+
+// liveHolders counts holders that have not crashed. A dead thread still
+// "holds" for conservation purposes, but it will never wake anyone —
+// liveness exemptions must not credit it (the bug this replaces: a dead
+// holder masked real stalls).
+func (c *Checker) liveHolders(ls *lockState) int {
+	n := 0
+	for h := range ls.holders { //flexlint:allow determinism count is order-independent
+		if !c.dead[h] {
+			n++
+		}
+	}
+	return n
 }
 
 // Finish runs the end-of-run checks. quiesced is the value Run returned
@@ -315,7 +414,45 @@ func (c *Checker) Finish(quiesced sim.Time) []Violation {
 	}
 	c.finished = true
 	drained := c.m.Deadlocked()
-	if drained {
+	threads := c.m.Threads()
+	lockIDs := make([]int32, 0, len(c.locks))
+	for id := range c.locks { //flexlint:allow determinism keys collected then sorted
+		lockIDs = append(lockIDs, id)
+	}
+	sort.Slice(lockIDs, func(i, j int) bool { return lockIDs[i] < lockIDs[j] })
+
+	// Crash triage first: classify locks wedged by a dead participant so
+	// each reports one structured orphaned-lock verdict instead of a
+	// spray of deadlock / lost-wakeup / stalled noise. Crash-free runs
+	// have an empty dead set and skip all of this.
+	orphaned := make(map[int32]bool)
+	if len(c.dead) > 0 {
+		for _, id := range lockIDs {
+			ls := c.locks[id]
+			if dh := len(ls.holders) - c.liveHolders(ls); dh > 0 {
+				orphaned[id] = true
+				c.violate(Violation{
+					Invariant: OrphanedLock, At: quiesced, Lock: id,
+					LockName: c.m.LockName(id), Thread: -1,
+					Detail: fmt.Sprintf("%d dead holder(s) never released the lock", dh),
+				})
+				continue
+			}
+			if c.liveHolders(ls) > 0 || !ls.crashPart {
+				continue
+			}
+			if c.strandedOn(id, ls, quiesced, drained, threads) {
+				orphaned[id] = true
+				c.violate(Violation{
+					Invariant: OrphanedLock, At: quiesced, Lock: id,
+					LockName: c.m.LockName(id), Thread: -1,
+					Detail: "crashed participant left live waiters stranded with no holder",
+				})
+			}
+		}
+	}
+
+	if drained && !c.crashExplainsDrain(orphaned) {
 		c.violate(Violation{
 			Invariant: Deadlock, At: quiesced, Lock: -1, Thread: -1,
 			Detail: c.m.DeadlockReport(),
@@ -326,7 +463,6 @@ func (c *Checker) Finish(quiesced sim.Time) []Violation {
 	// is lost; if the run hit its horizon instead, require the park and
 	// the lock's inactivity to both exceed the stall bound so in-flight
 	// wake chains are not miscounted.
-	threads := c.m.Threads()
 	parkedTids := make([]int32, 0, len(c.parked))
 	for tid := range c.parked { //flexlint:allow determinism keys collected then sorted
 		parkedTids = append(parkedTids, tid)
@@ -340,8 +476,11 @@ func (c *Checker) Finish(quiesced sim.Time) []Violation {
 		if lockID < 0 {
 			continue // parked on something that is not a lock (barrier etc.)
 		}
+		if orphaned[lockID] {
+			continue // already reported as the orphaned-lock verdict
+		}
 		ls := c.lock(lockID)
-		if len(ls.holders) > 0 {
+		if c.liveHolders(ls) > 0 {
 			continue // a live holder may still wake it; deadlock check covers the rest
 		}
 		if !drained {
@@ -355,17 +494,12 @@ func (c *Checker) Finish(quiesced sim.Time) []Violation {
 			Detail: fmt.Sprintf("parked at t=%d, lock free since t=%d, nobody left to wake it", c.parkedAt[tid], ls.lastActivity),
 		})
 	}
-	lockIDs := make([]int32, 0, len(c.locks))
-	for id := range c.locks { //flexlint:allow determinism keys collected then sorted
-		lockIDs = append(lockIDs, id)
-	}
-	sort.Slice(lockIDs, func(i, j int) bool { return lockIDs[i] < lockIDs[j] })
 	// Stalled waiters: non-parked waiters (spinners) stuck on a free,
 	// inactive lock. Only meaningful when the run hit its horizon — a
 	// quiesced machine has no spinners by construction.
 	for _, id := range lockIDs {
 		ls := c.locks[id]
-		if len(ls.holders) > 0 {
+		if orphaned[id] || c.liveHolders(ls) > 0 {
 			continue
 		}
 		wtids := make([]int32, 0, len(ls.waiting))
@@ -378,7 +512,8 @@ func (c *Checker) Finish(quiesced sim.Time) []Violation {
 			if _, isParked := c.parked[wtid]; isParked {
 				continue
 			}
-			if int(wtid) >= len(threads) || threads[wtid].State() == sim.StateDone {
+			if int(wtid) >= len(threads) || threads[wtid].State() == sim.StateDone ||
+				threads[wtid].State() == sim.StateDead {
 				continue
 			}
 			if quiesced-w.since > c.o.StallBound && quiesced-ls.lastActivity > c.o.StallBound {
@@ -390,7 +525,9 @@ func (c *Checker) Finish(quiesced sim.Time) []Violation {
 			}
 		}
 	}
-	// Conservation: acquisitions == releases + live holders, per lock.
+	// Conservation: acquisitions == releases + holders left, per lock.
+	// Dead holders still count as holders here — a kernel-recovered lock
+	// balanced its books through the TraceOwnerDead release instead.
 	for _, id := range lockIDs {
 		ls := c.locks[id]
 		if ls.acquires != ls.releases+int64(len(ls.holders)) {
@@ -402,4 +539,50 @@ func (c *Checker) Finish(quiesced sim.Time) []Violation {
 		}
 	}
 	return c.violations
+}
+
+// strandedOn reports whether some live thread is durably stuck on lock
+// id: parked on it, or in its waiter set, past the point where progress
+// could still be in flight (any leftover wait is terminal once the
+// machine drained; horizon-ended runs apply the stall bound).
+func (c *Checker) strandedOn(id int32, ls *lockState, quiesced sim.Time, drained bool, threads []*sim.Thread) bool {
+	for tid, lk := range c.parked { //flexlint:allow determinism existence test is order-independent
+		if lk != id || int(tid) >= len(threads) || threads[tid].State() != sim.StateBlocked {
+			continue
+		}
+		if drained || quiesced-c.parkedAt[tid] > c.o.StallBound {
+			return true
+		}
+	}
+	for wtid, w := range ls.waiting { //flexlint:allow determinism existence test is order-independent
+		if int(wtid) >= len(threads) {
+			continue
+		}
+		if st := threads[wtid].State(); st == sim.StateDone || st == sim.StateDead {
+			continue
+		}
+		if drained || (quiesced-w.since > c.o.StallBound && quiesced-ls.lastProgress > c.o.StallBound) {
+			return true
+		}
+	}
+	return false
+}
+
+// crashExplainsDrain reports whether every thread still blocked at the
+// drain is parked on a lock already reported orphaned — in which case
+// the drain is the orphan's consequence, not a separate deadlock.
+func (c *Checker) crashExplainsDrain(orphaned map[int32]bool) bool {
+	if len(orphaned) == 0 {
+		return false
+	}
+	for _, th := range c.m.Threads() {
+		if th.State() != sim.StateBlocked {
+			continue
+		}
+		lk, ok := c.parked[int32(th.ID())]
+		if !ok || lk < 0 || !orphaned[lk] {
+			return false
+		}
+	}
+	return true
 }

@@ -1,0 +1,201 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// hasKind reports whether vs contains a violation of invariant in.
+func hasKind(vs []Violation, in Invariant) bool {
+	for _, v := range vs {
+		if v.Invariant == in {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCheckerOwnerDeadBalancesConservation: a holder crashes, the
+// kernel robust walk emits TraceOwnerDead, a waiter recovers. The books
+// balance and no verdict fires.
+func TestCheckerOwnerDeadBalancesConservation(t *testing.T) {
+	m, c, lid := newChecker(t, Options{})
+	m.KernelLockEvent(sim.TraceAcquire, lid, 0, -1)
+	m.KernelLockEvent(sim.TraceLockBlock, lid, 1, -1)
+	m.KernelLockEvent(sim.TraceCrash, -1, 0, -1)
+	m.KernelLockEvent(sim.TraceOwnerDead, lid, 0, -1)
+	m.KernelLockEvent(sim.TraceRecover, lid, 1, -1)
+	m.KernelLockEvent(sim.TraceAcquire, lid, 1, -1)
+	m.KernelLockEvent(sim.TraceRelease, lid, 1, -1)
+	if vs := c.Finish(m.Now()); len(vs) != 0 {
+		t.Fatalf("recovered crash flagged: %v", kinds(vs))
+	}
+}
+
+// TestCheckerOrphanDeadHolder: a holder crashes and nothing recovers
+// the lock — one orphaned-lock verdict, not a conservation error.
+func TestCheckerOrphanDeadHolder(t *testing.T) {
+	reg := obs.NewRegistry()
+	m, c, lid := newChecker(t, Options{Registry: reg})
+	m.KernelLockEvent(sim.TraceAcquire, lid, 0, -1)
+	m.KernelLockEvent(sim.TraceCrash, -1, 0, -1)
+	vs := c.Finish(m.Now())
+	if len(vs) != 1 || vs[0].Invariant != OrphanedLock {
+		t.Fatalf("want one orphaned-lock verdict, got %v", kinds(vs))
+	}
+	if got := reg.Counter("check.crashes").Value(); got != 1 {
+		t.Fatalf("check.crashes = %d, want 1", got)
+	}
+}
+
+// TestCheckerCrashedWaiterIsClean: a waiter crashing in the queue while
+// the holder proceeds normally is not a violation of anything.
+func TestCheckerCrashedWaiterIsClean(t *testing.T) {
+	m, c, lid := newChecker(t, Options{})
+	m.KernelLockEvent(sim.TraceAcquire, lid, 0, -1)
+	m.KernelLockEvent(sim.TraceSpinStart, lid, 1, -1)
+	m.KernelLockEvent(sim.TraceCrash, -1, 1, -1)
+	m.KernelLockEvent(sim.TraceRelease, lid, 0, -1)
+	if vs := c.Finish(m.Now()); len(vs) != 0 {
+		t.Fatalf("crashed waiter flagged: %v", kinds(vs))
+	}
+}
+
+// TestCheckerDeadHolderDoesNotMaskStall is the regression test for the
+// holder-liveness fix: the lost-wakeup exemption "a live holder may
+// still wake it" used to credit dead holders, silently passing runs
+// where a corpse held the lock and a live waiter was parked forever.
+// The dead set must turn that into a verdict.
+func TestCheckerDeadHolderDoesNotMaskStall(t *testing.T) {
+	m := sim.New(sim.Small(2))
+	c := Attach(m, Options{StallBound: 100_000})
+	lid := m.RegisterLockName("L")
+	w := m.NewWord("L.v", 0)
+	holder := m.Spawn("holder", func(p *sim.Proc) {
+		p.LockEvent(sim.TraceAcquire, lid)
+		p.Compute(100_000_000) // killed in here, still "holding"
+		p.LockEvent(sim.TraceRelease, lid)
+	})
+	m.Spawn("waiter", func(p *sim.Proc) {
+		p.Compute(10_000)
+		p.LockEvent(sim.TraceLockBlock, lid)
+		p.FutexWait(w, 0) // no one will ever wake this
+	})
+	m.Spawn("busy", func(p *sim.Proc) { // keep the run horizon-bound
+		for {
+			p.Compute(10_000)
+		}
+	})
+	m.KillAt(50_000, holder)
+	quiesced := m.Run(5_000_000)
+	vs := c.Finish(quiesced)
+	if !hasKind(vs, OrphanedLock) {
+		t.Fatalf("dead holder + stranded waiter produced no orphan verdict: %v", kinds(vs))
+	}
+	if hasKind(vs, LostWakeup) || hasKind(vs, Deadlock) {
+		t.Fatalf("orphan not suppressing secondary verdicts: %v", kinds(vs))
+	}
+}
+
+// TestCheckerLiveHolderStillExempts: the fix must not regress the
+// exemption itself — with a live holder, a long park is not a lost
+// wakeup.
+func TestCheckerLiveHolderStillExempts(t *testing.T) {
+	m := sim.New(sim.Small(2))
+	c := Attach(m, Options{StallBound: 100_000})
+	lid := m.RegisterLockName("L")
+	w := m.NewWord("L.v", 0)
+	m.Spawn("holder", func(p *sim.Proc) {
+		p.LockEvent(sim.TraceAcquire, lid)
+		for { // holds the lock to the horizon, legitimately
+			p.Compute(10_000)
+		}
+	})
+	m.Spawn("waiter", func(p *sim.Proc) {
+		p.Compute(10_000)
+		p.LockEvent(sim.TraceLockBlock, lid)
+		p.FutexWait(w, 0)
+	})
+	quiesced := m.Run(5_000_000)
+	if vs := c.Finish(quiesced); len(vs) != 0 {
+		t.Fatalf("live long holder flagged: %v", kinds(vs))
+	}
+}
+
+// TestCheckerStrandedSpinnersOrphan: a crash participant leaves live
+// spinners waiting on a free lock — orphaned-lock, with the stalled-
+// waiter noise suppressed.
+func TestCheckerStrandedSpinnersOrphan(t *testing.T) {
+	m := sim.New(sim.Small(2))
+	c := Attach(m, Options{StallBound: 100_000})
+	lid := m.RegisterLockName("L")
+	w := m.NewWord("L.v", 0)
+	victim := m.Spawn("victim", func(p *sim.Proc) {
+		p.LockEvent(sim.TraceSpinStart, lid)
+		p.SpinOn(func() bool { return w.V() == 0 }, w)
+	})
+	m.Spawn("spinner", func(p *sim.Proc) {
+		p.Compute(5_000)
+		p.LockEvent(sim.TraceSpinStart, lid)
+		p.SpinOn(func() bool { return w.V() == 0 }, w)
+	})
+	m.Spawn("busy", func(p *sim.Proc) {
+		for {
+			p.Compute(10_000)
+		}
+	})
+	m.KillAt(20_000, victim)
+	quiesced := m.Run(5_000_000)
+	vs := c.Finish(quiesced)
+	if !hasKind(vs, OrphanedLock) {
+		t.Fatalf("stranded spinners after a crash produced no orphan verdict: %v", kinds(vs))
+	}
+	if hasKind(vs, StalledWaiter) {
+		t.Fatalf("orphan not suppressing stalled-waiter: %v", kinds(vs))
+	}
+}
+
+// TestCheckerDeadlockSuppressedByOrphan: when the machine drains solely
+// because every blocked thread is parked on an orphaned lock, the drain
+// is the orphan's consequence — one orphan verdict, no deadlock verdict.
+func TestCheckerDeadlockSuppressedByOrphan(t *testing.T) {
+	m := sim.New(sim.Small(2))
+	c := Attach(m, Options{})
+	lid := m.RegisterLockName("L")
+	w := m.NewWord("L.v", 0)
+	holder := m.Spawn("holder", func(p *sim.Proc) {
+		p.LockEvent(sim.TraceAcquire, lid)
+		p.Compute(100_000_000)
+		p.LockEvent(sim.TraceRelease, lid)
+	})
+	m.Spawn("waiter", func(p *sim.Proc) {
+		p.Compute(10_000)
+		p.LockEvent(sim.TraceLockBlock, lid)
+		p.FutexWait(w, 0)
+	})
+	m.KillAt(50_000, holder)
+	quiesced := m.Run(500_000_000)
+	vs := c.Finish(quiesced)
+	if !hasKind(vs, OrphanedLock) {
+		t.Fatalf("no orphan verdict: %v", kinds(vs))
+	}
+	if hasKind(vs, Deadlock) {
+		t.Fatalf("drain caused by the orphan still reported as deadlock: %v", kinds(vs))
+	}
+}
+
+// TestCheckerAbandonClearsWaiter: a kernel abandon event removes the
+// dead waiter from the lock's waiter set so it cannot stall anything.
+func TestCheckerAbandonClearsWaiter(t *testing.T) {
+	m, c, lid := newChecker(t, Options{})
+	m.KernelLockEvent(sim.TraceAcquire, lid, 0, -1)
+	m.KernelLockEvent(sim.TraceSpinStart, lid, 1, -1)
+	m.KernelLockEvent(sim.TraceCrash, -1, 1, -1)
+	m.KernelLockEvent(sim.TraceAbandon, lid, 1, 1)
+	m.KernelLockEvent(sim.TraceRelease, lid, 0, -1)
+	if vs := c.Finish(m.Now()); len(vs) != 0 {
+		t.Fatalf("abandoned waiter flagged: %v", kinds(vs))
+	}
+}

@@ -98,6 +98,7 @@ func (l *FlexGuard) spinOK() bool {
 // Lock acquires the FlexGuard lock (Listing 2, flexguard_lock).
 func (l *FlexGuard) Lock(p *sim.Proc) {
 	p.Thread().MonitorHint = l.npcs
+	l.rt.enter(p.ID(), l)
 	// Fast path: try to steal the single-variable lock if free.
 	if p.Load(l.val) == Unlocked {
 		p.SetRegion(regFastCAS)
@@ -132,7 +133,9 @@ func (l *FlexGuard) Unlock(p *sim.Proc) {
 	p.DecCS()
 	// The release store; the label transition to RegionNone is atomic with
 	// the store's effect (the at_store label sits right after the XCHG).
-	if p.XchgTo(l.val, Unlocked, sim.RegionNone) == LockedWithBlockedWaiters {
+	released := p.XchgTo(l.val, Unlocked, sim.RegionNone)
+	l.rt.exit(p.ID(), l)
+	if released == LockedWithBlockedWaiters {
 		if p.FutexWake(l.val, 1) > 0 { // wake one of the blocked waiters
 			p.LockEvent(sim.TraceLockWake, l.lid)
 		}
@@ -188,17 +191,25 @@ func (l *FlexGuard) slowPath(p *sim.Proc) {
 		}
 		// Phase 2: acquire the single-variable lock.
 		state := l.p2CAS(p, mcsHolder)
+		if state == OwnerDied {
+			state = l.claim(p)
+		}
 		restart := false
 		for state != Unlocked {
 			if l.modeSpin(p) {
-				// Busy-waiting mode: spin until the lock looks free or the
-				// mode changes, then retry the CAS.
+				// Busy-waiting mode: spin until the lock looks free (or
+				// claimable after a holder crash) or the mode changes,
+				// then retry the CAS.
 				l.p2SpinRegion(p, mcsHolder)
 				p.LockEvent(sim.TraceSpinStart, l.lid)
 				p.SpinOn(func() bool {
-					return l.val.V() != Unlocked && l.spinOK()
+					v := l.val.V()
+					return v != Unlocked && v != OwnerDied && l.spinOK()
 				}, l.val, l.npcs, l.stale)
 				state = l.p2CAS(p, mcsHolder)
+				if state == OwnerDied {
+					state = l.claim(p)
+				}
 				continue
 			}
 			// Blocking mode.
@@ -211,6 +222,9 @@ func (l *FlexGuard) slowPath(p *sim.Proc) {
 			if state != LockedWithBlockedWaiters {
 				p.SetRegion(regP2Swap)
 				state = p.Xchg(l.val, LockedWithBlockedWaiters)
+				if state == OwnerDied {
+					state = l.claimedBySwap(p)
+				}
 			}
 			if state != Unlocked {
 				p.SetRegion(sim.RegionNone)
@@ -218,6 +232,9 @@ func (l *FlexGuard) slowPath(p *sim.Proc) {
 				p.FutexWait(l.val, LockedWithBlockedWaiters)
 				p.SetRegion(regP2Swap)
 				state = p.Xchg(l.val, LockedWithBlockedWaiters)
+				if state == OwnerDied {
+					state = l.claimedBySwap(p)
+				}
 				if state != Unlocked && l.modeSpin(p) {
 					// Back to spin mode: restart the slow path (use MCS).
 					p.SetRegion(sim.RegionNone)

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestRecoverFromDeadHolderBlocked: the holder crashes mid-CS while a
+// waiter is futex-parked. The kill hook flags the word OwnerDied and
+// wakes the waiter, which claims the lock on the EOWNERDEAD path and
+// keeps going.
+func TestRecoverFromDeadHolderBlocked(t *testing.T) {
+	e := newEnv(2, 3)
+	tr := e.m.AttachTracer(1 << 14)
+	l := e.rt.NewLock("L")
+	recovered := false
+	holder := e.m.Spawn("holder", func(p *sim.Proc) {
+		l.Lock(p)
+		p.Compute(2_000_000) // killed in here, lock held
+		l.Unlock(p)
+	})
+	e.m.Spawn("waiter", func(p *sim.Proc) {
+		p.Compute(10_000)
+		l.Lock(p)
+		recovered = true
+		p.Compute(1_000)
+		l.Unlock(p)
+	})
+	e.m.KillAt(500_000, holder)
+	e.m.Run(10_000_000)
+	if !recovered {
+		t.Fatal("waiter never recovered the dead holder's lock")
+	}
+	if e.rt.OwnerDeaths != 1 || e.rt.Recoveries != 1 {
+		t.Fatalf("OwnerDeaths = %d, Recoveries = %d, want 1, 1",
+			e.rt.OwnerDeaths, e.rt.Recoveries)
+	}
+	if n := tr.Count(sim.TraceOwnerDead); n != 1 {
+		t.Fatalf("TraceOwnerDead events = %d, want 1", n)
+	}
+	if n := tr.Count(sim.TraceRecover); n != 1 {
+		t.Fatalf("TraceRecover events = %d, want 1", n)
+	}
+}
+
+// TestRecoverFromDeadHolderSpinners: the holder crashes while several
+// waiters busy-wait. The monitor counts the dead holder's critical
+// section preempted forever, so the spinners escalate to blocking mode
+// and one of them claims the OwnerDied word on the futex path; the lock
+// then keeps serving all survivors.
+func TestRecoverFromDeadHolderSpinners(t *testing.T) {
+	e := newEnv(4, 5)
+	l := e.rt.NewLock("L")
+	ctr := e.m.NewWord("ctr", 0)
+	var holder *sim.Thread
+	holder = e.m.Spawn("holder", func(p *sim.Proc) {
+		l.Lock(p)
+		p.Compute(5_000_000)
+		l.Unlock(p)
+	})
+	done := make([]uint64, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		e.m.Spawn("waiter", func(p *sim.Proc) {
+			p.Compute(sim.Time(10_000 * (i + 1)))
+			for k := 0; k < 50; k++ {
+				l.Lock(p)
+				v := p.Load(ctr)
+				p.Compute(100)
+				p.Store(ctr, v+1)
+				l.Unlock(p)
+				done[i]++
+			}
+		})
+	}
+	e.m.KillAt(200_000, holder)
+	e.m.Run(50_000_000)
+	var want uint64
+	for _, d := range done {
+		want += d
+	}
+	if want != 150 {
+		t.Fatalf("survivors completed %d CSs, want 150", want)
+	}
+	if got := ctr.V(); got != want {
+		t.Fatalf("lost updates after recovery: counter=%d, want %d", got, want)
+	}
+	if e.rt.Recoveries == 0 {
+		t.Fatal("no EOWNERDEAD claim recorded")
+	}
+	if got := e.mon.NPCS().V(); got == 0 {
+		t.Fatal("dead holder's preempted CS was counted back down")
+	}
+}
+
+// TestDeadWaiterDoesNotStopTheLock: a thread crashes while spinning in
+// the Phase-1 MCS queue. The survivors keep acquiring: the monitor's
+// next-waiter recheck promotes the corpse to preempted-in-CS if it was
+// handed the baton, and the queue drains around it in blocking mode.
+func TestDeadWaiterDoesNotStopTheLock(t *testing.T) {
+	e := newEnv(1, 9) // one CPU: queue forms, victim spins preempted
+	l := e.rt.NewLock("L")
+	ctr := e.m.NewWord("ctr", 0)
+	victim := e.m.Spawn("victim", func(p *sim.Proc) {
+		p.Compute(5_000)
+		l.Lock(p)
+		p.Compute(100)
+		l.Unlock(p)
+	})
+	deadline := sim.Time(30_000_000)
+	done := make([]uint64, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		e.m.Spawn("worker", func(p *sim.Proc) {
+			for p.Now() < deadline {
+				l.Lock(p)
+				v := p.Load(ctr)
+				p.Compute(100)
+				p.Store(ctr, v+1)
+				l.Unlock(p)
+				done[i]++
+				p.Compute(50)
+			}
+		})
+	}
+	e.m.KillAt(50_000, victim)
+	e.m.Run(45_000_000)
+	var want uint64
+	for _, d := range done {
+		want += d
+	}
+	if want == 0 {
+		t.Fatal("survivors made no progress past the dead waiter")
+	}
+	if got := ctr.V(); got != want {
+		t.Fatalf("lost updates: counter=%d, want %d", got, want)
+	}
+}
+
+// TestNoCrashNoRecoveryState: without a kill, the recovery layer stays
+// completely inert — no owner-died flags, no claims, and the engaged
+// stacks drain back to empty.
+func TestNoCrashNoRecoveryState(t *testing.T) {
+	e := newEnv(2, 11)
+	l := e.rt.NewLock("L")
+	got, want := exerciseMutex(e, l, 6, 10_000_000)
+	if got != want || want == 0 {
+		t.Fatalf("mutex broken: %d vs %d", got, want)
+	}
+	if e.rt.OwnerDeaths != 0 || e.rt.Recoveries != 0 {
+		t.Fatalf("recovery state touched on a crash-free run: %d/%d",
+			e.rt.OwnerDeaths, e.rt.Recoveries)
+	}
+	for id, st := range e.rt.engaged {
+		if len(st) != 0 {
+			t.Fatalf("thread %d left %d engaged entries", id, len(st))
+		}
+	}
+}

@@ -20,6 +20,10 @@ const (
 	// LockedWithBlockedWaiters: at least one thread is blocking; the
 	// holder must futex_wake when releasing.
 	LockedWithBlockedWaiters = 2
+	// OwnerDied: the kernel's robust walk found the holder dead
+	// (FUTEX_OWNER_DIED). The next acquirer claims the lock on the
+	// EOWNERDEAD path. Crash-free runs never see this value.
+	OwnerDied = 3
 )
 
 // Label regions of the FlexGuard lock and unlock functions. These are the
@@ -54,6 +58,10 @@ const (
 	// regUnlock: unlock() entry up to the release XCHG (the
 	// unlock..at_store range); unconditionally in CS.
 	regUnlock
+	// regClaim: the EOWNERDEAD claim CAS window (appended after the
+	// original regions so existing values are unchanged); in CS iff
+	// Reg == OwnerDied (the CAS took over the dead owner's lock).
+	regClaim
 )
 
 // QNode is a thread's global MCS queue node. As in the Shuffle lock, each
@@ -71,13 +79,30 @@ type Runtime struct {
 	m     *sim.Machine
 	mon   *monitor.Monitor
 	nodes []*QNode
+
+	// engaged is the per-thread stack of FlexGuard locks the thread is
+	// currently inside (pushed at Lock entry, popped at the end of
+	// Unlock). It is the simulator analogue of the robust-futex list:
+	// plain Go bookkeeping, read only by the kernel kill hook, so it
+	// costs crash-free runs nothing.
+	engaged [][]*FlexGuard
+
+	// Diagnostics, readable after the run.
+	OwnerDeaths int64 // locks flagged OwnerDied by the kill hook
+	Recoveries  int64 // EOWNERDEAD claims by surviving waiters
 }
 
 // NewRuntime builds the FlexGuard runtime for machine m using the given
 // Preemption Monitor, and registers the lock-family classifier that maps
 // label regions and register values to "in critical section".
 func NewRuntime(m *sim.Machine, mon *monitor.Monitor) *Runtime {
-	rt := &Runtime{m: m, mon: mon, nodes: make([]*QNode, m.Config().MaxThreads)}
+	rt := &Runtime{
+		m:       m,
+		mon:     mon,
+		nodes:   make([]*QNode, m.Config().MaxThreads),
+		engaged: make([][]*FlexGuard, m.Config().MaxThreads),
+	}
+	m.RegisterKillHook(rt.threadDied)
 	mon.RegisterClassifier(rt.classify)
 	// Next-waiter preemption (§3.2.2): a thread preempted while waiting in
 	// the Phase-1 queue may be handed the MCS lock while off-CPU. The
@@ -127,8 +152,14 @@ func (rt *Runtime) classify(t *sim.Thread) (bool, *sim.Word) {
 	switch t.Region {
 	case regMCSHolder, regAcquired, regUnlock:
 		return true, t.MonitorHint
-	case regFastCAS, regP2CAS, regP2Swap:
+	case regFastCAS, regP2CAS:
 		return t.Reg == Unlocked, t.MonitorHint
+	case regP2Swap:
+		// The swap acquired the lock if the previous value was Unlocked
+		// — or OwnerDied, the crash-only takeover of a dead owner.
+		return t.Reg == Unlocked || t.Reg == OwnerDied, t.MonitorHint
+	case regClaim:
+		return t.Reg == OwnerDied, t.MonitorHint
 	case regTailXchg:
 		return t.Reg == 0, t.MonitorHint
 	case regP1Spin:

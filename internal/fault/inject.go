@@ -16,9 +16,17 @@ type Injector struct {
 	plan Plan
 	rng  *dist.Rand
 
+	// Crash-role tracking, fed by the lock-event stream when the plan
+	// kills threads: which threads currently hold a lock and which are
+	// waiting for one. This works for every lock in the registry with
+	// zero lock-code changes — the same events the checker consumes.
+	holding map[int32]int
+	waiting map[int32]bool
+
 	// Diagnostics, readable after the run.
 	ForcedPreempts int64
 	SpuriousWakes  int64
+	Crashes        int64
 }
 
 // Apply wires plan into machine m (and, when mon is non-nil and the
@@ -31,6 +39,11 @@ func Apply(m *sim.Machine, mon *monitor.Monitor, plan Plan, seed uint64) *Inject
 	inj := &Injector{plan: plan, rng: dist.NewRand(seed ^ 0xfa17_5eed_c0de)}
 	if plan.PerturbsSim() {
 		m.SetFaultInjector(inj)
+	}
+	if plan.Crashes() {
+		inj.holding = make(map[int32]int)
+		inj.waiting = make(map[int32]bool)
+		m.AddLockObserver(inj)
 	}
 	if mon != nil && plan.DegradesMonitor() {
 		mon.Degrade(&monitor.Degradation{
@@ -94,4 +107,73 @@ func (i *Injector) SpuriousWakeDelay(t *sim.Thread) sim.Time {
 	}
 	// Spread arrivals so storms do not land in lockstep.
 	return after + sim.Time(i.rng.Intn(int(after)))
+}
+
+// crashBudget is the total kills this plan may perform.
+func (i *Injector) crashBudget() int64 {
+	if i.plan.CrashMax > 0 {
+		return int64(i.plan.CrashMax)
+	}
+	return 1
+}
+
+// CrashAtBoundary implements sim.CrashInjector: the most specific
+// matching probability wins (holder > label window > queue waiter).
+// With the kill budget exhausted (or no crash probabilities set) it
+// returns without drawing, so non-crash plans keep their random streams
+// byte-identical to before the crash model existed.
+func (i *Injector) CrashAtBoundary(t *sim.Thread) bool {
+	if !i.plan.Crashes() || i.Crashes >= i.crashBudget() {
+		return false
+	}
+	var p float64
+	id := int32(t.ID())
+	if i.holding[id] > 0 || t.CSCounter > 0 {
+		p = i.plan.CrashHoldProb
+	}
+	if t.Region != sim.RegionNone && i.plan.CrashWindowProb > p {
+		p = i.plan.CrashWindowProb
+	}
+	if i.waiting[id] && i.plan.CrashQueueProb > p {
+		p = i.plan.CrashQueueProb
+	}
+	if p <= 0 || i.rng.Float64() >= p {
+		return false
+	}
+	i.Crashes++
+	return true
+}
+
+// CrashParkedDelay implements sim.CrashInjector: a just-parked futex
+// waiter is killed in place after the delay.
+func (i *Injector) CrashParkedDelay(t *sim.Thread) sim.Time {
+	pr := i.plan.CrashParkedProb
+	if pr <= 0 || i.Crashes >= i.crashBudget() || i.rng.Float64() >= pr {
+		return 0
+	}
+	i.Crashes++
+	after := i.plan.CrashParkedAfter
+	if after <= 0 {
+		after = 5_000
+	}
+	return after + sim.Time(i.rng.Intn(int(after)))
+}
+
+// LockEvent implements sim.LockObserver, maintaining the holder/waiter
+// role sets the crash predicates target. Attached only for crash plans.
+func (i *Injector) LockEvent(at sim.Time, kind sim.TraceKind, lock, tid, arg int32) {
+	switch kind {
+	case sim.TraceAcquire:
+		i.holding[tid]++
+		delete(i.waiting, tid)
+	case sim.TraceRelease:
+		if i.holding[tid] > 0 {
+			i.holding[tid]--
+		}
+	case sim.TraceSpinStart, sim.TraceLockBlock:
+		i.waiting[tid] = true
+	case sim.TraceCrash:
+		delete(i.holding, tid)
+		delete(i.waiting, tid)
+	}
 }

@@ -20,6 +20,9 @@ type Mutant struct {
 	// NeedsMonitor marks mutants that read the NPCS word (they must run
 	// in a flexguard-style env with the Preemption Monitor attached).
 	NeedsMonitor bool
+	// LivenessOnly marks mutants whose bug strands threads without any
+	// racy memory access — the race auditor is expected to stay silent.
+	LivenessOnly bool
 	// Plan provokes the bug (zero = any contended schedule does).
 	Plan Plan
 	// New constructs an instance; npcs is the monitor's counter word
@@ -60,6 +63,18 @@ func Mutants() []Mutant {
 					npcs: npcs,
 					lid:  m.RegisterLockName(name),
 				}
+			},
+		},
+		{
+			Name:         "robust-norecover",
+			Doc:          "robust futex lock detached from the kernel robust list: a dead holder's word is never flagged OWNER_DIED and its waiters stay parked forever",
+			Breaks:       "orphaned-lock",
+			LivenessOnly: true,
+			// Kill the holder at its first in-CS boundary; with recovery
+			// unwired the crash must surface as an orphaned-lock verdict.
+			Plan: Plan{CrashHoldProb: 1},
+			New: func(m *sim.Machine, _ *sim.Word, name string) locks.Lock {
+				return locks.NewRobustBlocking(m, nil, name)
 			},
 		},
 	}

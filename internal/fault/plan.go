@@ -53,6 +53,18 @@ type Plan struct {
 	StuckEnabled   bool    // pin NPCS to StuckNPCS
 	StuckNPCS      uint64
 
+	// Crash faults: thread kills at concurrency points (Machine.Kill).
+	// A crashed thread's shared words stay frozen mid-protocol, so these
+	// plans exercise the robust-recovery paths. CrashMax bounds the total
+	// kills per run (0 means 1 when any crash probability is set);
+	// values above 1 are multi-crash storms.
+	CrashHoldProb    float64  // crash at a boundary while holding a lock
+	CrashWindowProb  float64  // crash inside a lock label window (the Listing-2/3 handover windows)
+	CrashQueueProb   float64  // crash at a boundary while waiting (spinning/enqueued) for a lock
+	CrashParkedProb  float64  // crash a waiter just parked on a futex
+	CrashParkedAfter sim.Time // delay before a parked crash fires (default 5000 when zero)
+	CrashMax         int      // kill budget per run
+
 	// Horizon, when nonzero, overrides the run's virtual-time horizon —
 	// shrinking shortens it.
 	Horizon sim.Time
@@ -64,7 +76,13 @@ func (p Plan) IsZero() bool { return p == Plan{} }
 // PerturbsSim reports whether the plan needs a sim.FaultInjector.
 func (p Plan) PerturbsSim() bool {
 	return p.SliceJitterPct > 0 || p.PreemptAnyProb > 0 || p.PreemptWindowProb > 0 ||
-		p.PreemptCSProb > 0 || p.WakeDelay > 0 || p.SpuriousWakeProb > 0
+		p.PreemptCSProb > 0 || p.WakeDelay > 0 || p.SpuriousWakeProb > 0 || p.Crashes()
+}
+
+// Crashes reports whether the plan kills threads (arms the crash seams).
+func (p Plan) Crashes() bool {
+	return p.CrashHoldProb > 0 || p.CrashWindowProb > 0 || p.CrashQueueProb > 0 ||
+		p.CrashParkedProb > 0
 }
 
 // DegradesMonitor reports whether the plan degrades the Preemption
@@ -112,6 +130,24 @@ func (p Plan) String() string {
 	}
 	if p.StuckEnabled {
 		add("stuck", strconv.FormatUint(p.StuckNPCS, 10))
+	}
+	if p.CrashHoldProb > 0 {
+		add("crash-hold", f(p.CrashHoldProb))
+	}
+	if p.CrashWindowProb > 0 {
+		add("crash-window", f(p.CrashWindowProb))
+	}
+	if p.CrashQueueProb > 0 {
+		add("crash-queue", f(p.CrashQueueProb))
+	}
+	if p.CrashParkedProb > 0 {
+		add("crash-parked", f(p.CrashParkedProb))
+	}
+	if p.CrashParkedAfter > 0 {
+		add("crash-parked-after", strconv.FormatInt(int64(p.CrashParkedAfter), 10))
+	}
+	if p.CrashMax > 0 {
+		add("crash-max", strconv.Itoa(p.CrashMax))
 	}
 	if p.Horizon > 0 {
 		add("horizon", strconv.FormatInt(int64(p.Horizon), 10))
@@ -172,6 +208,22 @@ func ParsePlan(s string) (Plan, error) {
 			n, err = strconv.ParseUint(v, 10, 64)
 			p.StuckEnabled = true
 			p.StuckNPCS = n
+		case "crash-hold":
+			p.CrashHoldProb, err = pf()
+		case "crash-window":
+			p.CrashWindowProb, err = pf()
+		case "crash-queue":
+			p.CrashQueueProb, err = pf()
+		case "crash-parked":
+			p.CrashParkedProb, err = pf()
+		case "crash-parked-after":
+			var n int64
+			n, err = pi()
+			p.CrashParkedAfter = sim.Time(n)
+		case "crash-max":
+			var n int64
+			n, err = pi()
+			p.CrashMax = int(n)
 		case "horizon":
 			var n int64
 			n, err = pi()
@@ -214,6 +266,21 @@ func Plans() []NamedPlan {
 	}
 }
 
+// CrashPlans returns the crash-campaign presets, in sweep order. They
+// are kept out of Plans() deliberately: the default sweep requires zero
+// violations, while crash cells legitimately end in orphaned-lock
+// verdicts — faultbench -crash applies the crash-aware classification.
+func CrashPlans() []NamedPlan {
+	return []NamedPlan{
+		{"crash-hold", Plan{CrashHoldProb: 1}, "kill the holder at its first in-CS boundary"},
+		{"crash-queue", Plan{CrashQueueProb: 0.2}, "kill a waiter while spinning/enqueued on a lock"},
+		{"crash-parked", Plan{CrashParkedProb: 0.5}, "kill a waiter parked on the futex"},
+		{"crash-handover", Plan{CrashWindowProb: 0.3}, "kill inside lock label windows (the Listing-2/3 handover windows)"},
+		{"crash-storm", Plan{CrashHoldProb: 0.05, CrashQueueProb: 0.05, CrashParkedProb: 0.2, CrashMax: 3},
+			"multiple crashes across holder/waiter/parked roles"},
+	}
+}
+
 // DegradedPlans returns the monitor-degradation subset of the presets.
 func DegradedPlans() []NamedPlan {
 	var out []NamedPlan
@@ -225,9 +292,14 @@ func DegradedPlans() []NamedPlan {
 	return out
 }
 
-// PlanByName resolves a preset.
+// PlanByName resolves a preset (campaign presets and crash presets).
 func PlanByName(name string) (Plan, bool) {
 	for _, np := range Plans() {
+		if np.Name == name {
+			return np.Plan, true
+		}
+	}
+	for _, np := range CrashPlans() {
 		if np.Name == name {
 			return np.Plan, true
 		}
@@ -320,6 +392,11 @@ func reductions(p Plan) []Plan {
 		func(c *Plan) { c.DropSwitchProb = 0 },
 		func(c *Plan) { c.DetachAfter = 0 },
 		func(c *Plan) { c.StuckEnabled = false; c.StuckNPCS = 0 },
+		func(c *Plan) { c.CrashHoldProb = 0 },
+		func(c *Plan) { c.CrashWindowProb = 0 },
+		func(c *Plan) { c.CrashQueueProb = 0 },
+		func(c *Plan) { c.CrashParkedProb = 0; c.CrashParkedAfter = 0 },
+		func(c *Plan) { c.CrashMax = 0 }, // back to the single-kill default budget
 	} {
 		c := p
 		zero(&c)
@@ -353,6 +430,23 @@ func reductions(p Plan) []Plan {
 	c = p
 	c.DetachAfter = p.DetachAfter / 2
 	add(c)
+	c = p
+	c.CrashHoldProb = trimF(p.CrashHoldProb)
+	add(c)
+	c = p
+	c.CrashWindowProb = trimF(p.CrashWindowProb)
+	add(c)
+	c = p
+	c.CrashQueueProb = trimF(p.CrashQueueProb)
+	add(c)
+	c = p
+	c.CrashParkedProb = trimF(p.CrashParkedProb)
+	add(c)
+	c = p
+	if p.CrashMax > 1 {
+		c.CrashMax = p.CrashMax / 2
+		add(c)
+	}
 	return out
 }
 

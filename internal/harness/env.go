@@ -31,6 +31,17 @@ var Algorithms = []string{
 // the main figures.
 var AllAlgorithms = append([]string{"tas", "tatas", "ticket", "clh", "backoff"}, Algorithms...)
 
+// RobustAlgorithms are the robust-futex wrappers (locks.RobustVariants),
+// swept only by the crash campaign (faultbench -crash).
+var RobustAlgorithms = []string{"robust/blocking", "robust/mcs"}
+
+// CrashAlgorithms is the crash-campaign set: every registry lock, the
+// flexguard variants, and the robust wrappers.
+func CrashAlgorithms() []string {
+	out := append([]string{}, AllAlgorithms...)
+	return append(out, RobustAlgorithms...)
+}
+
 // sliceExtGrant is the one-shot timeslice extension granted by the
 // patched scheduler (§2.4) for the *-ext variants, ≈9 µs.
 const sliceExtGrant = sim.Time(20_000)

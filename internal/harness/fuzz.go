@@ -58,6 +58,11 @@ type FuzzResult struct {
 	Threads int
 	Horizon sim.Time
 	Ops     int64
+	// Crashes counts the threads the plan killed; Abandoned counts the
+	// dead waiters lock-side repair unlinked from queues. Both also land
+	// in the registry ("fault.crashes", "locks.abandoned").
+	Crashes   int64
+	Abandoned int64
 	// Registry holds the obs counters for the run, including the
 	// check.violation.* counters.
 	Registry *obs.Registry
@@ -161,7 +166,7 @@ func Fuzz(c FuzzCfg) (FuzzResult, error) {
 			EmitEvents: true,
 		})
 	}
-	fault.Apply(e.M, e.Mon, c.Plan, c.Seed)
+	inj := fault.Apply(e.M, e.Mon, c.Plan, c.Seed)
 	if e.Mon != nil && c.Plan.DegradesMonitor() {
 		// Degraded-monitor plans arm the monitor's self-check: the
 		// graceful-degradation acceptance criterion is exactly that this
@@ -226,7 +231,19 @@ func Fuzz(c FuzzCfg) (FuzzResult, error) {
 	if ts != nil {
 		res.Series = ts.Finish(q)
 	}
-	if ok, a, b := w.Validate(e.M); !ok {
+	if inj != nil {
+		res.Crashes = inj.Crashes
+		co.Registry.Counter("fault.crashes").Add(inj.Crashes)
+	}
+	res.Abandoned = e.Shared.Abandons
+	co.Registry.Counter("locks.abandoned").Add(e.Shared.Abandons)
+	validate := func() (bool, uint64, uint64) { return w.Validate(e.M) }
+	if res.Crashes > 0 {
+		// A killed holder may have died between the two line stores;
+		// tolerate exactly that much divergence, nothing more.
+		validate = func() (bool, uint64, uint64) { return w.ValidateCrashed(e.M, res.Crashes) }
+	}
+	if ok, a, b := validate(); !ok {
 		// Workload-level witness: the two cache lines of the critical
 		// section diverged — mutual exclusion was lost even if the event
 		// stream looked clean.

@@ -149,6 +149,39 @@ func TestFuzzReplayRoundTrip(t *testing.T) {
 	}
 }
 
+// TestReplayGrammarRoundTrip: parse → render → parse is the identity for
+// every key the grammar documents, crash-plan keys included. The specs
+// here mirror the README's grammar section.
+func TestReplayGrammarRoundTrip(t *testing.T) {
+	specs := []string{
+		"alg=flexguard seed=31 plan=none",
+		"alg=mcstp seed=7 cpus=4 threads=9 horizon=2500000 plan=crash-queue=0.2",
+		"alg=robust/blocking seed=29 plan=crash-hold=1",
+		"alg=robust/mcs seed=3 plan=crash-hold=0.05,crash-queue=0.05,crash-parked=0.2,crash-max=3",
+		"alg=blocking seed=5 plan=crash-parked=0.5,crash-parked-after=12000",
+		"seed=1 mutant=robust-norecover cpus=3 threads=2 horizon=400000 plan=crash-hold=1",
+		"alg=flexguard seed=11 plan=crash-window=0.3,wake-delay=3000",
+	}
+	for _, spec := range specs {
+		c, err := ParseReplay(spec)
+		if err != nil {
+			t.Fatalf("parse %q: %v", spec, err)
+		}
+		rendered := c.Replay()
+		c2, err := ParseReplay(rendered)
+		if err != nil {
+			t.Fatalf("re-parse %q (rendered from %q): %v", rendered, spec, err)
+		}
+		if c2 != c {
+			t.Fatalf("round-trip changed config:\n  spec     %q\n  rendered %q\n  %+v vs %+v",
+				spec, rendered, c, c2)
+		}
+		if c2.Replay() != rendered {
+			t.Fatalf("render not a fixed point: %q then %q", rendered, c2.Replay())
+		}
+	}
+}
+
 // FuzzSchedules is the native fuzz target: go's mutator explores
 // (algorithm, seed, fault-plan bits); the invariant checker is the
 // oracle. The corpus seeds cover each preset family. Run with

@@ -22,10 +22,18 @@ type Lock interface {
 }
 
 // Shared holds per-machine state shared across lock instances of the
-// algorithms that use one global queue node per thread (Shuffle lock).
+// algorithms that use one global queue node per thread (Shuffle lock),
+// plus the robust-futex registry and cross-lock counters.
 type Shared struct {
 	m            *sim.Machine
 	shuffleNodes []*shuffleNode
+	robust       *RobustRegistry
+
+	// Abandons counts queue-node abandonments: stale waiters removed by
+	// MCS-TP's time-published heuristic plus dead waiters unlinked by
+	// the robust queue repair. Plain Go bookkeeping (no sim cost or
+	// events), surfaced by the harness as the locks.abandoned counter.
+	Abandons int64
 }
 
 // NewShared creates the shared state for machine m.
@@ -35,6 +43,16 @@ func NewShared(m *sim.Machine) *Shared {
 
 // Machine returns the machine this shared state belongs to.
 func (s *Shared) Machine() *sim.Machine { return s.m }
+
+// Robust returns the machine's robust-futex registry, creating it (and
+// registering its kill hook) on first use.
+func (s *Shared) Robust() *RobustRegistry {
+	if s.robust == nil {
+		s.robust = NewRobustRegistry(s.m)
+		s.robust.abandons = &s.Abandons
+	}
+	return s.robust
+}
 
 // Factory builds one lock instance.
 type Factory func(s *Shared, name string) Lock
@@ -66,7 +84,11 @@ func Registry() []Info {
 		{Name: "backoff", New: func(s *Shared, n string) Lock { return NewBackoff(s.m, n) }},
 		{Name: "mcs", New: func(s *Shared, n string) Lock { return NewMCS(s.m, n) }, PerThreadPerLockNode: true},
 		{Name: "clh", New: func(s *Shared, n string) Lock { return NewCLH(s.m, n) }, PerThreadPerLockNode: true},
-		{Name: "mcstp", New: func(s *Shared, n string) Lock { return NewMCSTP(s.m, n) }, PerThreadPerLockNode: true},
+		{Name: "mcstp", New: func(s *Shared, n string) Lock {
+			l := NewMCSTP(s.m, n)
+			l.abandons = &s.Abandons
+			return l
+		}, PerThreadPerLockNode: true},
 		{Name: "malthusian", New: func(s *Shared, n string) Lock { return NewMalthusian(s.m, n) }, PerThreadPerLockNode: true},
 		{Name: "shuffle", New: func(s *Shared, n string) Lock { return NewShuffle(s, n) }},
 		{Name: "uscl", New: func(s *Shared, n string) Lock { return NewUSCL(s.m, n) }, MaxLocks: 4096},
@@ -74,9 +96,28 @@ func Registry() []Info {
 	}
 }
 
-// Lookup returns the registry entry for name.
+// RobustVariants lists the robust recovery variants. They resolve
+// through Lookup under "robust/..." names but stay out of Registry() so
+// the baseline sweeps and committed goldens are unchanged.
+func RobustVariants() []Info {
+	return []Info{
+		{Name: "robust/blocking", New: func(s *Shared, n string) Lock {
+			return NewRobustBlocking(s.m, s.Robust(), n)
+		}},
+		{Name: "robust/mcs", New: func(s *Shared, n string) Lock {
+			return NewRobustMCS(s.m, s.Robust(), n)
+		}, PerThreadPerLockNode: true},
+	}
+}
+
+// Lookup returns the registry entry for name (robust variants included).
 func Lookup(name string) (Info, error) {
 	for _, in := range Registry() {
+		if in.Name == name {
+			return in, nil
+		}
+	}
+	for _, in := range RobustVariants() {
 		if in.Name == name {
 			return in, nil
 		}

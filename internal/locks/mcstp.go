@@ -41,6 +41,19 @@ type MCSTP struct {
 	holderTime *sim.Word // holder-published acquisition timestamp (0 = free)
 	nodes      map[int]*tpNode
 	lid        int32
+
+	// abandons, when set, counts holder-side waiter removals (tpRemoved)
+	// into Shared.Abandons. holderYields counts waiter yields taken on a
+	// stale holder timestamp. Both are plain Go bookkeeping outside the
+	// simulated ops, so the counters never perturb traces.
+	abandons     *int64
+	holderYields int64
+}
+
+func (l *MCSTP) countAbandon() {
+	if l.abandons != nil {
+		*l.abandons++
+	}
 }
 
 // NewMCSTP returns an MCS-TP lock.
@@ -110,6 +123,7 @@ func (l *MCSTP) waitGranted(p *sim.Proc, qn *tpNode) bool {
 		// suggests the lock holder is off-CPU — yield to create an
 		// opportunity for it to be rescheduled.
 		if ht := p.Load(l.holderTime); ht != 0 && p.Now()-sim.Time(ht) > tpStaleHolder {
+			l.holderYields++
 			p.Yield()
 		}
 	}
@@ -141,12 +155,14 @@ func (l *MCSTP) Unlock(p *sim.Proc) {
 			// It is the queue tail: try to close the queue entirely.
 			if p.CAS(l.tail, cur, 0) == cur {
 				p.Store(n.status, tpRemoved)
+				l.countAbandon()
 				return
 			}
 			p.SpinOn(func() bool { return n.next.V() == 0 }, n.next)
 			nxt = p.Load(n.next)
 		}
 		p.Store(n.status, tpRemoved)
+		l.countAbandon()
 		cur = nxt
 	}
 }

@@ -1,0 +1,193 @@
+package sim
+
+import "testing"
+
+// TestKillRunningThread crashes a thread mid-compute: it transitions to
+// StateDead, never runs again, and the rest of the machine keeps going.
+func TestKillRunningThread(t *testing.T) {
+	m := small(1)
+	var after int64
+	victim := m.Spawn("victim", func(p *Proc) {
+		for {
+			p.Compute(100)
+			after++
+		}
+	})
+	m.KillAt(50_000, victim)
+	m.Run(1_000_000)
+	if victim.State() != StateDead {
+		t.Fatalf("victim state = %v, want dead", victim.State())
+	}
+	if after == 0 {
+		t.Fatal("victim never ran before the kill")
+	}
+}
+
+// TestKillLeavesWordsFrozen: a thread killed between two protocol stores
+// leaves shared memory exactly as it was mid-protocol.
+func TestKillLeavesWordsFrozen(t *testing.T) {
+	m := small(1)
+	w := m.NewWord("w", 0)
+	victim := m.Spawn("victim", func(p *Proc) {
+		p.Store(w, 1)
+		p.Compute(100_000) // killed in here
+		p.Store(w, 2)
+	})
+	m.KillAt(10_000, victim)
+	m.Run(1_000_000)
+	if w.V() != 1 {
+		t.Fatalf("word = %d, want 1 (frozen mid-protocol)", w.V())
+	}
+}
+
+// TestKillBlockedThread: killing a futex waiter removes it from the wait
+// queue, so the machine drains without a deadlock verdict.
+func TestKillBlockedThread(t *testing.T) {
+	m := small(1)
+	w := m.NewWord("w", 0)
+	victim := m.Spawn("victim", func(p *Proc) {
+		p.FutexWait(w, 0) // never woken
+	})
+	m.KillAt(20_000, victim)
+	m.Run(1_000_000)
+	if victim.State() != StateDead {
+		t.Fatalf("victim state = %v, want dead", victim.State())
+	}
+	if m.FutexWaiters(w) != 0 {
+		t.Fatalf("dead thread still on the futex queue")
+	}
+	if m.Deadlocked() {
+		t.Fatal("dead waiter reported as deadlock")
+	}
+}
+
+// TestKillSpinningThread: killing a registered spinner unregisters it —
+// later stores to the watched word must not touch the corpse.
+func TestKillSpinningThread(t *testing.T) {
+	m := small(2)
+	w := m.NewWord("w", 0)
+	victim := m.Spawn("victim", func(p *Proc) {
+		p.SpinOn(func() bool { return w.V() == 0 }, w)
+	})
+	m.Spawn("storer", func(p *Proc) {
+		p.Compute(60_000)
+		p.Store(w, 1) // fires checkSpinners after the kill
+	})
+	m.KillAt(30_000, victim)
+	m.Run(1_000_000)
+	if victim.State() != StateDead {
+		t.Fatalf("victim state = %v, want dead", victim.State())
+	}
+	if w.V() != 1 {
+		t.Fatalf("storer never completed: w=%d", w.V())
+	}
+}
+
+// TestKillRunnableThread: killing a thread waiting on a runqueue shard
+// removes it; the survivors keep the machine consistent.
+func TestKillRunnableThread(t *testing.T) {
+	m := small(1)
+	ctr := m.NewWord("ctr", 0)
+	for i := 0; i < 3; i++ {
+		m.Spawn("w", func(p *Proc) {
+			for {
+				p.Add(ctr, 1)
+				p.Compute(500)
+			}
+		})
+	}
+	// With 3 threads on 1 CPU at least one is runnable (queued) at any
+	// instant past startup. Kill whichever is queued at the firing time.
+	m.eq.Schedule(100_000, func() {
+		for _, th := range m.threads {
+			if th.state == StateRunnable {
+				m.Kill(th)
+				return
+			}
+		}
+		t.Error("no runnable thread to kill at t=100k")
+	})
+	before := int64(0)
+	m.eq.Schedule(100_001, func() { before = int64(ctr.V()) })
+	m.Run(1_000_000)
+	dead := 0
+	for _, th := range m.Threads() {
+		if th.State() == StateDead {
+			dead++
+		}
+	}
+	if dead != 1 {
+		t.Fatalf("dead threads = %d, want 1", dead)
+	}
+	if int64(ctr.V()) <= before {
+		t.Fatalf("survivors made no progress after the kill: %d -> %d", before, ctr.V())
+	}
+}
+
+// TestKillHookAndTraceCrash: Kill emits a TraceCrash event and runs the
+// registered kill hooks (the robust-walk seam) with the dead thread.
+func TestKillHookAndTraceCrash(t *testing.T) {
+	m := small(1)
+	tr := m.AttachTracer(1 << 12)
+	var hooked []int
+	m.RegisterKillHook(func(dead *Thread) { hooked = append(hooked, dead.ID()) })
+	victim := m.Spawn("victim", func(p *Proc) {
+		for {
+			p.Compute(100)
+		}
+	})
+	m.KillAt(40_000, victim)
+	m.Run(200_000)
+	if len(hooked) != 1 || hooked[0] != victim.ID() {
+		t.Fatalf("kill hooks saw %v, want [%d]", hooked, victim.ID())
+	}
+	if n := tr.Count(TraceCrash); n != 1 {
+		t.Fatalf("TraceCrash events = %d, want 1", n)
+	}
+}
+
+// TestKillIdempotent: killing an already-dead thread is a no-op.
+func TestKillIdempotent(t *testing.T) {
+	m := small(1)
+	hooks := 0
+	m.RegisterKillHook(func(*Thread) { hooks++ })
+	victim := m.Spawn("victim", func(p *Proc) {
+		for {
+			p.Compute(100)
+		}
+	})
+	m.KillAt(10_000, victim)
+	m.KillAt(20_000, victim)
+	m.Run(100_000)
+	if hooks != 1 {
+		t.Fatalf("kill hooks ran %d times, want 1", hooks)
+	}
+}
+
+// TestKillParkedKernelWake: after a blocked waiter is killed, a kernel
+// futex wake (the robust-recovery path) wakes the next live waiter.
+func TestKillParkedKernelWake(t *testing.T) {
+	m := small(2)
+	w := m.NewWord("w", 0)
+	woken := false
+	first := m.Spawn("first", func(p *Proc) {
+		p.FutexWait(w, 0)
+	})
+	second := m.Spawn("second", func(p *Proc) {
+		p.Compute(5_000) // park after first
+		p.FutexWait(w, 0)
+		woken = true
+	})
+	m.eq.Schedule(50_000, func() {
+		m.Kill(first)
+		// The kernel robust walk wakes the next waiter on the word.
+		m.KernelFutexWake(w, 1, int32(first.ID()))
+	})
+	m.Run(1_000_000)
+	if !woken {
+		t.Fatal("kernel wake after the kill did not reach the live waiter")
+	}
+	if second.State() != StateDone {
+		t.Fatalf("second state = %v, want done", second.State())
+	}
+}

@@ -49,6 +49,28 @@ type FaultInjector interface {
 	SpuriousWakeDelay(t *Thread) Time
 }
 
+// CrashInjector is an optional extension of FaultInjector: an injector
+// that also implements it can kill threads mid-protocol. It is a
+// separate interface (detected by type assertion in SetFaultInjector)
+// so existing FaultInjector implementations keep compiling, and so the
+// crash seams stay a single nil check when no crash-capable injector is
+// attached — the same pay-for-use pattern as the other seams.
+type CrashInjector interface {
+	// CrashAtBoundary reports whether t should crash (Machine.Kill) at
+	// the instruction boundary it just reached.
+	CrashAtBoundary(t *Thread) bool
+	// CrashParkedDelay returns a delay after which t, just parked on a
+	// futex, is killed in place (0 = no crash).
+	CrashParkedDelay(t *Thread) Time
+}
+
+// KillHook runs in kernel context after Machine.Kill has transitioned a
+// thread to StateDead — the simulator analogue of the kernel's
+// exit-time robust-futex walk. Hooks may read task-struct fields and
+// any Word, and may use KernelStore/KernelAdd/KernelFutexWake, but must
+// not call Proc methods. Hooks run in registration order.
+type KillHook func(t *Thread)
+
 // cpuCtx is one hardware context with its own runqueue shard. Sharding
 // the runqueue per core (instead of one global FIFO) mirrors the
 // per-CPU runqueues of the CFS environment the paper evaluates on, and
@@ -85,6 +107,8 @@ type Machine struct {
 	lockObs   []LockObserver
 	lockNames []string
 	fi        FaultInjector
+	ci        CrashInjector // crash-capable side of fi, nil when absent
+	killHooks []KillHook
 	mem       MemObserver
 	nextWord  int32
 
@@ -183,8 +207,18 @@ func (m *Machine) AddLockObserver(o LockObserver) {
 }
 
 // SetFaultInjector attaches (or with nil, detaches) the fault injector.
+// An injector that also implements CrashInjector arms the crash seams.
 // Attach before Run.
-func (m *Machine) SetFaultInjector(fi FaultInjector) { m.fi = fi }
+func (m *Machine) SetFaultInjector(fi FaultInjector) {
+	m.fi = fi
+	m.ci, _ = fi.(CrashInjector)
+}
+
+// RegisterKillHook attaches a kill hook (the robust-futex exit walk).
+// Attach before Run.
+func (m *Machine) RegisterKillHook(h KillHook) {
+	m.killHooks = append(m.killHooks, h)
+}
 
 // RegisterLockName assigns the next dense lock id to name. Lock
 // implementations call it once at construction; the id tags every lock
@@ -423,6 +457,112 @@ func (m *Machine) DeadlockReport() string {
 			w.Thread.id, w.Thread.name, w.Word.Name(), w.Word.V())
 	}
 	return b.String()
+}
+
+// Kill crashes thread t at the current virtual time: t transitions to
+// the terminal StateDead, its pending vtime events are canceled, and —
+// crucially — every shared-memory word is left exactly as it was
+// mid-protocol. A crashed thread never runs again (its goroutine is
+// reaped at machine shutdown like any other live thread). After the
+// state transition the registered kill hooks run, modeling the kernel's
+// exit-time robust-futex walk. Kill runs in kernel context; killing an
+// already dead or exited thread is a no-op.
+func (m *Machine) Kill(t *Thread) {
+	if t.state == StateDone || t.state == StateDead || t.done {
+		return
+	}
+	m.lockEvent(TraceCrash, -1, tid(t), -1)
+	// Cancel every event the thread holds a handle to. The slice timer
+	// is canceled by detach on the running path; non-running threads
+	// hold none.
+	if t.opEv != nil {
+		t.opEv.Cancel()
+		t.opEv = nil
+	}
+	if t.spinExitEv != nil {
+		t.spinExitEv.Cancel()
+		t.spinExitEv = nil
+	}
+	if t.spinTimeEv != nil {
+		t.spinTimeEv.Cancel()
+		t.spinTimeEv = nil
+	}
+	if t.spinReg {
+		m.accountSpin(t)
+		m.unregisterSpinner(t)
+	}
+	switch t.state {
+	case StateRunning:
+		c := m.cpus[t.cpu]
+		m.detach(t)
+		t.state = StateDead
+		m.setRunnable(-1)
+		m.contextSwitch(c, t, m.pickNext(c))
+	case StateRunnable:
+		// Either on a runqueue shard, or off every queue with a dispatch
+		// in flight — the dispatch callback detects the dead state.
+		m.runqRemove(t)
+		t.state = StateDead
+		m.setRunnable(-1)
+	case StateBlocked:
+		// A wake already in flight (fnFutexWake scheduled) left the
+		// futex queue without t; its callback no-ops on StateDead.
+		m.futexRemove(t)
+		t.state = StateDead
+	case StateSleeping:
+		// The pending fnSleepWake callback no-ops on StateDead.
+		t.state = StateDead
+	default: // StateNew: spawned threads are immediately runnable
+		t.state = StateDead
+	}
+	for _, h := range m.killHooks {
+		h(t)
+	}
+}
+
+// KillAt schedules a crash of t at virtual time at. The kill is a
+// strong event: pending crashes keep the machine running, so a kill at
+// a quiet instant still fires.
+func (m *Machine) KillAt(at Time, t *Thread) {
+	if at < m.clock {
+		panic("sim: KillAt in the past")
+	}
+	m.eq.Schedule(at, func() { m.Kill(t) })
+}
+
+// runqRemove takes t off whichever runqueue shard holds it. Returns
+// false if t is on no shard (its dispatch is in flight).
+func (m *Machine) runqRemove(t *Thread) bool {
+	for _, c := range m.cpus {
+		for i := c.qhead; i < len(c.q); i++ {
+			if c.q[i] != t {
+				continue
+			}
+			copy(c.q[i:], c.q[i+1:])
+			c.q[len(c.q)-1] = nil
+			c.q = c.q[:len(c.q)-1]
+			m.nqueued--
+			return true
+		}
+	}
+	return false
+}
+
+// futexRemove takes a blocked t off its futex wait queue (t.req.w holds
+// the word it parked on). A no-op if a wake in flight already removed it.
+func (m *Machine) futexRemove(t *Thread) {
+	w := t.req.w
+	q := m.futexQ[w]
+	for i, x := range q {
+		if x != t {
+			continue
+		}
+		m.futexQ[w] = append(q[:i], q[i+1:]...)
+		if len(m.futexQ[w]) == 0 {
+			delete(m.futexQ, w)
+		}
+		return
+	}
 }
 
 // shutdown terminates all live threads deterministically (spawn order) and
@@ -676,6 +816,15 @@ func (m *Machine) dispatch(c *cpuCtx, t *Thread) {
 	if c.cur != nil {
 		panic("sim: dispatch to busy cpu")
 	}
+	if t.state == StateDead {
+		// t was crashed while its dispatch was in flight; give the
+		// context to the next runnable thread instead.
+		c.switching = false
+		if next := m.pickNext(c); next != nil {
+			m.contextSwitch(c, nil, next)
+		}
+		return
+	}
 	c.switching = false
 	c.cur = t
 	t.state = StateRunning
@@ -816,6 +965,10 @@ func (m *Machine) finishOp(t *Thread) {
 	// monitor classifies and the instruction that completes the region).
 	// With an empty runqueue this degenerates to a self-switch, which
 	// still fires the sched_switch hooks the monitor watches.
+	if m.ci != nil && m.ci.CrashAtBoundary(t) {
+		m.Kill(t)
+		return
+	}
 	if m.fi != nil && m.fi.PreemptAtBoundary(t) {
 		t.needResched = false
 		m.preempt(c, t)
@@ -850,6 +1003,10 @@ func (m *Machine) step(t *Thread) {
 			return
 		}
 		if !m.execOp(t) {
+			return
+		}
+		if m.ci != nil && m.ci.CrashAtBoundary(t) {
+			m.Kill(t)
 			return
 		}
 		if m.fi != nil && m.fi.PreemptAtBoundary(t) {

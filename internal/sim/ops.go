@@ -463,6 +463,11 @@ func (m *Machine) futexWaitDone(t *Thread) {
 			m.eq.Schedule(m.clock+d, func() { m.spuriousWake(w, t) })
 		}
 	}
+	if m.ci != nil {
+		if d := m.ci.CrashParkedDelay(t); d > 0 {
+			m.eq.Schedule(m.clock+d, func() { m.Kill(t) })
+		}
+	}
 	m.contextSwitch(c, t, m.pickNext(c))
 }
 
@@ -532,6 +537,13 @@ func (m *Machine) futexWake(w *Word, n int, waker int32) int {
 // FutexWaiters reports how many threads are blocked on w (post-run
 // inspection and tests).
 func (m *Machine) FutexWaiters(w *Word) int { return len(m.futexQ[w]) }
+
+// KernelFutexWake wakes up to n waiters on w from kernel context — the
+// wake the kernel issues after flagging a dead holder's robust futex.
+// waker identifies the dead thread on the event stream.
+func (m *Machine) KernelFutexWake(w *Word, n int, waker int32) int {
+	return m.futexWake(w, n, waker)
+}
 
 // ---- Yield / sleep ----
 

@@ -18,6 +18,11 @@ const (
 	StateBlocked               // waiting on a futex
 	StateSleeping              // in a timed sleep
 	StateDone                  // exited
+	// StateDead is appended after the original states so existing state
+	// values are unchanged. A dead thread was crashed by Machine.Kill:
+	// it never runs again, but unlike StateDone it did not exit cleanly —
+	// its shared-memory words are frozen mid-protocol.
+	StateDead
 )
 
 func (s State) String() string {
@@ -34,6 +39,8 @@ func (s State) String() string {
 		return "sleeping"
 	case StateDone:
 		return "done"
+	case StateDead:
+		return "dead"
 	default:
 		return "invalid"
 	}

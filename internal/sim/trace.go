@@ -32,6 +32,15 @@ const (
 	TraceNPCSDown     // num_preempted_cs decremented; Next is the new value
 	TraceMonitorStale // monitor health check marked the NPCS signal stale; Next is a StaleReason
 	TraceViolation    // invariant checker flagged a violation; Next is a ViolationCode
+
+	// Crash-model events, appended after the original kinds so existing
+	// trace values (and every committed digest) are unchanged. They are
+	// emitted only when a crash plan is attached, keeping crash-free runs
+	// byte-identical.
+	TraceCrash     // thread crashed (Machine.Kill); Prev is the dead thread, Lock -1
+	TraceOwnerDead // kernel robust walk flagged a dead holder's lock; Next is the dead thread
+	TraceRecover   // waiter claimed an owner-died lock (EOWNERDEAD recovery)
+	TraceAbandon   // dead/stale waiter node unlinked from a queue; Next is the abandoned thread
 )
 
 // Reasons carried in the Next field of TraceMonitorStale events.
@@ -55,6 +64,10 @@ const (
 	// ViolationDataRace is appended after the original codes so existing
 	// trace values (and every committed digest) are unchanged.
 	ViolationDataRace
+	// ViolationOrphanedLock: a crashed thread left a lock unrecoverable —
+	// a dead holder (or a queue wedged by a dead waiter) strands live
+	// waiters and no recovery path ever ran.
+	ViolationOrphanedLock
 )
 
 // ViolationCodeName resolves a TraceViolation argument to the invariant
@@ -75,6 +88,8 @@ func ViolationCodeName(code int32) string {
 		return "conservation"
 	case ViolationDataRace:
 		return "data-race"
+	case ViolationOrphanedLock:
+		return "orphaned-lock"
 	default:
 		return "unknown"
 	}
@@ -114,6 +129,14 @@ func (k TraceKind) String() string {
 		return "monitor-stale"
 	case TraceViolation:
 		return "violation"
+	case TraceCrash:
+		return "crash"
+	case TraceOwnerDead:
+		return "owner-dead"
+	case TraceRecover:
+		return "recover"
+	case TraceAbandon:
+		return "abandon"
 	default:
 		return "invalid"
 	}

@@ -66,3 +66,12 @@ func Build(m *sim.Machine, o Options) *Workload {
 func (w *Workload) Validate(m *sim.Machine) (ok bool, csA, csB uint64) {
 	return w.lineA.V() == w.lineB.V(), w.lineA.V(), w.lineB.V()
 }
+
+// ValidateCrashed is the crash-campaign variant: a holder killed between
+// the two line stores legitimately leaves lineA ahead of lineB, by at
+// most one per crash. Divergence in the other direction, or beyond the
+// crash count, still means mutual exclusion was lost.
+func (w *Workload) ValidateCrashed(m *sim.Machine, crashes int64) (ok bool, csA, csB uint64) {
+	a, b := w.lineA.V(), w.lineB.V()
+	return a >= b && a-b <= uint64(crashes), a, b
+}
