@@ -89,19 +89,39 @@ func (l *FlexGuard) ownerDied(dead *sim.Thread) {
 }
 
 // claim attempts the EOWNERDEAD takeover of an owner-died word. Returns
-// Unlocked when the lock was acquired (recovered), or the observed
-// state to keep looping on. Only reachable after a holder crash, so
-// crash-free traces never execute these ops.
+// Unlocked only when the lock was actually acquired: by the claim CAS
+// taking over the dead owner's word (recovered), or — when a racing
+// claimer recovered the word and fully released it between this
+// thread's OwnerDied observation and its CAS — by winning the now-free
+// word with a plain acquisition CAS. An Unlocked value *observed* by a
+// failed CAS must never escape: unlike p2CAS, where a returned Unlocked
+// proves the CAS from Unlocked succeeded, here it would prove the claim
+// CAS failed on a free word, and every call site reads Unlocked as
+// "acquired". Only reachable after a holder crash, so crash-free traces
+// never execute these ops.
 func (l *FlexGuard) claim(p *sim.Proc) uint64 {
-	p.SetRegion(regClaim)
-	got := p.CAS(l.val, OwnerDied, Locked)
-	p.SetRegion(sim.RegionNone)
-	if got != OwnerDied {
-		return got
+	for {
+		p.SetRegion(regClaim)
+		got := p.CAS(l.val, OwnerDied, Locked)
+		p.SetRegion(sim.RegionNone)
+		if got == OwnerDied {
+			l.rt.Recoveries++
+			p.LockEvent(sim.TraceRecover, l.lid)
+			return Unlocked
+		}
+		if got != Unlocked {
+			return got
+		}
+		// The word went free under us: acquire it like any free word
+		// (regP2CAS: in CS iff the CAS returned Unlocked).
+		p.SetRegion(regP2CAS)
+		got = p.CAS(l.val, Unlocked, Locked)
+		p.SetRegion(sim.RegionNone)
+		if got != OwnerDied {
+			return got
+		}
+		// Another holder crashed while we raced: claim again.
 	}
-	l.rt.Recoveries++
-	p.LockEvent(sim.TraceRecover, l.lid)
-	return Unlocked
 }
 
 // claimedBySwap handles a Phase-2 XCHG that returned OwnerDied: the

@@ -138,6 +138,36 @@ func TestDeadWaiterDoesNotStopTheLock(t *testing.T) {
 	}
 }
 
+// TestClaimLostRaceDoesNotFakeAcquisition is the regression test for
+// the claim-race mutual-exclusion hole: a thread observes OwnerDied,
+// but before its claim CAS lands another claimer recovers the word and
+// fully releases it, so the CAS fails *observing* Unlocked. claim()
+// used to return that observed Unlocked, which every call site reads
+// as "acquired" — the thread entered the critical section without
+// holding the lock. White-box: run claim() directly against the free
+// word the race leaves behind and check the lock really was taken.
+func TestClaimLostRaceDoesNotFakeAcquisition(t *testing.T) {
+	e := newEnv(1, 13)
+	l := e.rt.NewLock("L")
+	var got uint64
+	e.m.Spawn("claimer", func(p *sim.Proc) {
+		// l.val is Unlocked: the racing claimer has come and gone.
+		got = l.claim(p)
+	})
+	e.m.Run(1_000_000)
+	if got != Unlocked {
+		t.Fatalf("claim on a free word returned %d, want acquisition (%d)", got, Unlocked)
+	}
+	if v := l.val.V(); v != Locked {
+		t.Fatalf("claim reported acquisition but the word is %d, want %d — "+
+			"the caller would enter the CS without holding the lock", v, Locked)
+	}
+	if e.rt.Recoveries != 0 {
+		t.Fatalf("Recoveries = %d, want 0: the free word was won by a plain "+
+			"acquisition, not an EOWNERDEAD takeover", e.rt.Recoveries)
+	}
+}
+
 // TestNoCrashNoRecoveryState: without a kill, the recovery layer stays
 // completely inert — no owner-died flags, no claims, and the engaged
 // stacks drain back to empty.

@@ -23,7 +23,15 @@ type Injector struct {
 	holding map[int32]int
 	waiting map[int32]bool
 
-	// Diagnostics, readable after the run.
+	// parkedPending counts parked-delay kills scheduled but not yet
+	// resolved; they hold budget so an in-flight kill cannot be
+	// double-booked, but only land into Crashes if the kill fires.
+	parkedPending int64
+
+	// Diagnostics, readable after the run. Crashes counts kills that
+	// actually happened (threads transitioned to StateDead), not kills
+	// merely scheduled — ValidateCrashed's tolerance and the crash-aware
+	// verdicts are keyed off it.
 	ForcedPreempts int64
 	SpuriousWakes  int64
 	Crashes        int64
@@ -117,13 +125,17 @@ func (i *Injector) crashBudget() int64 {
 	return 1
 }
 
+// budgetUsed is the budget already spoken for: landed kills plus
+// scheduled parked kills awaiting their outcome.
+func (i *Injector) budgetUsed() int64 { return i.Crashes + i.parkedPending }
+
 // CrashAtBoundary implements sim.CrashInjector: the most specific
 // matching probability wins (holder > label window > queue waiter).
 // With the kill budget exhausted (or no crash probabilities set) it
 // returns without drawing, so non-crash plans keep their random streams
 // byte-identical to before the crash model existed.
 func (i *Injector) CrashAtBoundary(t *sim.Thread) bool {
-	if !i.plan.Crashes() || i.Crashes >= i.crashBudget() {
+	if !i.plan.Crashes() || i.budgetUsed() >= i.crashBudget() {
 		return false
 	}
 	var p float64
@@ -145,18 +157,31 @@ func (i *Injector) CrashAtBoundary(t *sim.Thread) bool {
 }
 
 // CrashParkedDelay implements sim.CrashInjector: a just-parked futex
-// waiter is killed in place after the delay.
+// waiter is killed in place after the delay. The scheduled kill
+// reserves budget via parkedPending; it only counts into Crashes when
+// CrashParkedOutcome reports that it landed (the waiter can be woken —
+// or finish — before the delay elapses, in which case the machine skips
+// the kill).
 func (i *Injector) CrashParkedDelay(t *sim.Thread) sim.Time {
 	pr := i.plan.CrashParkedProb
-	if pr <= 0 || i.Crashes >= i.crashBudget() || i.rng.Float64() >= pr {
+	if pr <= 0 || i.budgetUsed() >= i.crashBudget() || i.rng.Float64() >= pr {
 		return 0
 	}
-	i.Crashes++
+	i.parkedPending++
 	after := i.plan.CrashParkedAfter
 	if after <= 0 {
 		after = 5_000
 	}
 	return after + sim.Time(i.rng.Intn(int(after)))
+}
+
+// CrashParkedOutcome implements sim.CrashInjector: release the budget
+// reservation and count the crash only if the kill landed.
+func (i *Injector) CrashParkedOutcome(t *sim.Thread, landed bool) {
+	i.parkedPending--
+	if landed {
+		i.Crashes++
+	}
 }
 
 // LockEvent implements sim.LockObserver, maintaining the holder/waiter

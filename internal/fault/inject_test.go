@@ -63,6 +63,53 @@ func TestForcedPreemptionTargetsWindows(t *testing.T) {
 	}
 }
 
+// TestCrashParkedCountsOnlyLandedKills: a parked waiter is scheduled
+// for a delayed kill but woken (and finished) before the delay elapses.
+// The kill must be skipped — the victim is no longer parked — and
+// Crashes must not count it, or ValidateCrashed's `lost CS <= crashes`
+// tolerance and the crash-aware verdicts keyed off res.Crashes loosen.
+func TestCrashParkedCountsOnlyLandedKills(t *testing.T) {
+	cfg := sim.Small(2)
+	cfg.Seed = 3
+	m := sim.New(cfg)
+	inj := Apply(m, nil, Plan{CrashParkedProb: 1, CrashParkedAfter: 2_000_000}, 3)
+	w := m.NewWord("w", 0)
+	waiter := m.Spawn("waiter", func(p *sim.Proc) {
+		p.FutexWait(w, 0)
+	})
+	m.Spawn("waker", func(p *sim.Proc) {
+		p.Compute(50_000) // well inside the kill delay
+		p.FutexWake(w, 1)
+	})
+	m.Run(10_000_000)
+	if waiter.State() != sim.StateDone {
+		t.Fatalf("waiter state = %v, want done (woken before the delayed kill)", waiter.State())
+	}
+	if inj.Crashes != 0 {
+		t.Fatalf("Crashes = %d, want 0: the scheduled kill never landed", inj.Crashes)
+	}
+}
+
+// TestCrashParkedLands: with nobody to wake the parked waiter, the
+// delayed kill fires while it is still parked and counts exactly once.
+func TestCrashParkedLands(t *testing.T) {
+	cfg := sim.Small(2)
+	cfg.Seed = 3
+	m := sim.New(cfg)
+	inj := Apply(m, nil, Plan{CrashParkedProb: 1, CrashParkedAfter: 100_000}, 3)
+	w := m.NewWord("w", 0)
+	waiter := m.Spawn("waiter", func(p *sim.Proc) {
+		p.FutexWait(w, 0)
+	})
+	m.Run(10_000_000)
+	if waiter.State() != sim.StateDead {
+		t.Fatalf("waiter state = %v, want dead (killed in place while parked)", waiter.State())
+	}
+	if inj.Crashes != 1 {
+		t.Fatalf("Crashes = %d, want 1", inj.Crashes)
+	}
+}
+
 func TestForcedPreemptionDeterministic(t *testing.T) {
 	inj1, m1, w1, p1 := windowRun(t, 42)
 	inj2, m2, w2, p2 := windowRun(t, 42)

@@ -163,18 +163,41 @@ const (
 	rmDead    = uint64(2)
 )
 
+// RobustMCS label regions. The kernel walk needs to know *where* in the
+// enqueue protocol a corpse died, because a waiter's queue presence is
+// published in two steps (tail XCHG, then the predecessor link store)
+// and a crash between them leaves the chain broken in a way only the
+// dead thread's register can repair. Values are offset well past the
+// FlexGuard regions (internal/core) so a machine running both families
+// never has one family's classifier misread the other's labels.
+const (
+	// regRMEnqueue spans from just before the tail XCHG through the
+	// predecessor link store: Reg holds the XCHG result — 0 means the
+	// thread took the lock from an empty queue; nonzero names the
+	// predecessor whose .next the (possibly unpublished) link store
+	// targets.
+	regRMEnqueue sim.Region = 0x40 + iota
+	// regRMQueued: fully linked in the queue, spinning on the status
+	// word.
+	regRMQueued
+)
+
 type rmNode struct {
 	next   *sim.Word // encoded successor id; 0 = none
 	status *sim.Word // rmWaiting / rmGranted / rmDead
 }
 
 // RobustMCS is an MCS queue lock with kernel-assisted queue repair: a
-// waiter that dies in the queue is marked rmDead by the kill-hook walk,
+// waiter that dies anywhere in the enqueue protocol — even between the
+// tail XCHG and the predecessor link store, where the queue chain is
+// briefly broken — is repaired and marked rmDead by the kill-hook walk,
 // and the holder's handover walk skips dead nodes the way MCS-TP skips
-// timed-out ones. Holder death is not recovered (the queue has no
+// timed-out ones. In-CS holder death is not recovered (the queue has no
 // tid-in-word ownership to test against CS state), so a crashed holder
 // deterministically orphans the lock — the checker's orphaned-lock
-// verdict, not a hang.
+// verdict, not a hang; the one holder window the kernel can prove from
+// register state alone (death at the XCHG that won an empty queue) is
+// recovered by resetting the tail when no successor has enqueued.
 type RobustMCS struct {
 	m     *sim.Machine
 	name  string
@@ -211,22 +234,28 @@ func (l *RobustMCS) node(id int) *rmNode {
 }
 
 // Lock implements Lock. The status word is rmWaiting exactly while the
-// node is (or is about to be) linked in the queue, which is the test
-// the kernel walk uses; the empty-queue holder clears it immediately so
-// a holder crash is never mistaken for a waiter crash.
+// node is (or is about to be) linked in the queue, and the label
+// regions bracket the two-step enqueue publication, which together are
+// the tests the kernel walk uses; the empty-queue holder clears the
+// status immediately so an in-CS holder crash is never mistaken for a
+// waiter crash.
 func (l *RobustMCS) Lock(p *sim.Proc) {
 	qn := l.node(p.ID())
 	p.Store(qn.next, 0)
 	p.Store(qn.status, rmWaiting)
+	p.SetRegion(regRMEnqueue)
 	pred := p.Xchg(l.tail, enc(p.ID()))
 	if pred == 0 {
 		p.Store(qn.status, rmGranted)
+		p.SetRegion(sim.RegionNone)
 		p.LockEvent(sim.TraceAcquire, l.lid)
 		return
 	}
 	p.Store(l.node(dec(pred)).next, enc(p.ID()))
+	p.SetRegion(regRMQueued)
 	p.LockEvent(sim.TraceSpinStart, l.lid)
 	p.SpinOn(func() bool { return qn.status.V() == rmWaiting }, qn.status)
+	p.SetRegion(sim.RegionNone)
 	p.LockEvent(sim.TraceAcquire, l.lid)
 }
 
@@ -259,18 +288,59 @@ func (l *RobustMCS) Unlock(p *sim.Proc) {
 	}
 }
 
-// threadDied implements robustLock: a thread that died with its node
-// status rmWaiting was in (or entering) this lock's queue — mark the
-// node dead so the holder's walk skips it. The enqueue protocol links
-// the node before any crash-eligible boundary that can observe it
-// waiting, so no link repair is needed: the walk always reaches the
-// node. Kernel context — free peeks and kernel stores, not Proc ops.
+// threadDied implements robustLock. A corpse whose node status is
+// rmWaiting died somewhere in this lock's enqueue protocol; the label
+// region and register — exactly the state a kernel could see — decide
+// which of the protocol's windows it died in and what repair keeps the
+// queue walkable:
+//
+//   - before the tail XCHG (no enqueue region): the node never entered
+//     the queue. Nothing to repair, and nothing to count — the corpse
+//     never announced itself to any other thread.
+//   - between the XCHG and the predecessor link store (regRMEnqueue,
+//     Reg != 0): the chain is broken — tail reached the dead node but
+//     the predecessor's .next may never name it, so the holder's
+//     link-wait in Unlock would spin forever. The kernel publishes the
+//     link from the dead thread's register (idempotent when the store
+//     already landed), then marks the node dead as usual.
+//   - at the XCHG of an empty queue (regRMEnqueue, Reg == 0): the
+//     corpse *owned* the lock at the instant of death. If the queue is
+//     still empty behind it the kernel resets tail and the lock
+//     recovers completely; otherwise the successors are stranded — the
+//     deterministic orphaned-lock shape, attributed via TraceOwnerDead.
+//   - linked and spinning (regRMQueued): mark the node dead so the
+//     holder's handover walk skips it.
+//
+// Kernel context — free peeks and kernel stores, not Proc ops.
 func (l *RobustMCS) threadDied(reg *RobustRegistry, dead *sim.Thread) {
 	qn := l.nodes[dead.ID()]
 	if qn == nil {
 		return
 	}
 	if qn.status.V() != rmWaiting { //flexlint:allow wordaccess kernel robust walk reads the word it repairs
+		return
+	}
+	switch dead.Region {
+	case regRMEnqueue:
+		if dead.Reg == 0 {
+			// Empty-queue winner: a holder crash, not a waiter crash.
+			reg.OwnerDeaths++
+			l.m.KernelLockEvent(sim.TraceOwnerDead, l.lid, int32(dead.ID()), -1)
+			if l.tail.V() == enc(dead.ID()) { //flexlint:allow wordaccess kernel robust walk reads the word it repairs
+				//flexlint:allow wordaccess kernel robust walk resets the tail of the dead holder's empty queue
+				l.m.KernelStore(l.tail, 0)
+			}
+			return
+		}
+		// Publish the possibly-missing predecessor link, then fall
+		// through to the dead-waiter marking below.
+		//flexlint:allow wordaccess kernel robust walk publishes the dead waiter's unfinished link store
+		l.m.KernelStore(l.nodes[dec(dead.Reg)].next, enc(dead.ID()))
+	case regRMQueued:
+		// Linked and spinning: the walk below is all that is needed.
+	default:
+		// Announced (status stored) but died before the tail XCHG: the
+		// node is reachable from nowhere — nothing to repair or count.
 		return
 	}
 	reg.Unlinks++

@@ -161,6 +161,161 @@ func TestRobustMCSDeadWaiterSkipped(t *testing.T) {
 	}
 }
 
+// crashStub is a minimal deterministic crash injector for tests: it
+// kills victim at the first instruction boundary where pred holds.
+// Unlike KillAt it targets a protocol window exactly, not a virtual
+// time.
+type crashStub struct {
+	victim *sim.Thread
+	pred   func(t *sim.Thread) bool
+	fired  bool
+}
+
+func (c *crashStub) SliceGrant(t *sim.Thread, s sim.Time) sim.Time  { return s }
+func (c *crashStub) PreemptAtBoundary(t *sim.Thread) bool           { return false }
+func (c *crashStub) WakeDelay(t *sim.Thread, lat sim.Time) sim.Time { return lat }
+func (c *crashStub) SpuriousWakeDelay(t *sim.Thread) sim.Time       { return 0 }
+func (c *crashStub) CrashParkedDelay(t *sim.Thread) sim.Time        { return 0 }
+func (c *crashStub) CrashParkedOutcome(t *sim.Thread, landed bool)  {}
+func (c *crashStub) CrashAtBoundary(t *sim.Thread) bool {
+	if c.fired || t != c.victim || !c.pred(t) {
+		return false
+	}
+	c.fired = true
+	return true
+}
+
+// TestRobustMCSDeadBeforeLinkPublished: the victim crashes between the
+// tail XCHG and the predecessor link store — tail points at a node the
+// chain never reaches. The kernel walk must publish the missing link
+// from the corpse's register, or the holder's Unlock spins on its .next
+// forever waiting for a store the dead thread will never make.
+func TestRobustMCSDeadBeforeLinkPublished(t *testing.T) {
+	m, s := newMachine(4, 5)
+	l := info(t, "robust/mcs").New(s, "L")
+	acquired := make(map[string]bool)
+	spawn := func(name string, arrive, cs sim.Time) *sim.Thread {
+		return m.Spawn(name, func(p *sim.Proc) {
+			p.Compute(arrive)
+			l.Lock(p)
+			acquired[name] = true
+			p.Compute(cs)
+			l.Unlock(p)
+		})
+	}
+	spawn("holder", 0, 500_000)
+	victim := spawn("victim", 10_000, 1_000)
+	spawn("behind", 200_000, 1_000)
+	// First boundary matching: right after the victim's tail XCHG, with
+	// the predecessor link store still unexecuted.
+	m.SetFaultInjector(&crashStub{victim: victim, pred: func(th *sim.Thread) bool {
+		return th.Region == regRMEnqueue && th.Reg != 0
+	}})
+	m.Run(5_000_000)
+	if acquired["victim"] {
+		t.Fatal("dead waiter acquired the lock")
+	}
+	if !acquired["holder"] || !acquired["behind"] {
+		t.Fatalf("survivors wedged behind the unlinked corpse: holder=%v behind=%v",
+			acquired["holder"], acquired["behind"])
+	}
+	if s.Robust().Unlinks != 1 || s.Abandons != 1 {
+		t.Fatalf("Unlinks = %d, Abandons = %d, want 1, 1", s.Robust().Unlinks, s.Abandons)
+	}
+}
+
+// TestRobustMCSDeadBeforeEnqueue: the victim crashes after announcing
+// (status stored rmWaiting) but before the tail XCHG — it never entered
+// the queue. The walk must not mark the node, bump the unlink counters,
+// or emit TraceAbandon for a waiter no other thread ever saw.
+func TestRobustMCSDeadBeforeEnqueue(t *testing.T) {
+	m, s := newMachine(4, 5)
+	tr := m.AttachTracer(1 << 14)
+	rl, ok := info(t, "robust/mcs").New(s, "L").(*RobustMCS)
+	if !ok {
+		t.Fatal("robust/mcs is not a *RobustMCS")
+	}
+	acquired := make(map[string]bool)
+	spawn := func(name string, arrive, cs sim.Time) *sim.Thread {
+		return m.Spawn(name, func(p *sim.Proc) {
+			p.Compute(arrive)
+			rl.Lock(p)
+			acquired[name] = true
+			p.Compute(cs)
+			rl.Unlock(p)
+		})
+	}
+	spawn("holder", 0, 500_000)
+	victim := spawn("victim", 10_000, 1_000)
+	spawn("behind", 200_000, 1_000)
+	vid := victim.ID()
+	// First boundary matching: right after the victim's rmWaiting store,
+	// before it sets the enqueue region for the XCHG.
+	m.SetFaultInjector(&crashStub{victim: victim, pred: func(th *sim.Thread) bool {
+		qn := rl.nodes[vid]
+		return th.Region == sim.RegionNone && qn != nil && qn.status.V() == rmWaiting
+	}})
+	m.Run(5_000_000)
+	if acquired["victim"] {
+		t.Fatal("dead thread acquired the lock")
+	}
+	if !acquired["holder"] || !acquired["behind"] {
+		t.Fatalf("survivors wedged: holder=%v behind=%v", acquired["holder"], acquired["behind"])
+	}
+	if s.Robust().Unlinks != 0 || s.Abandons != 0 {
+		t.Fatalf("never-enqueued corpse counted: Unlinks = %d, Abandons = %d, want 0, 0",
+			s.Robust().Unlinks, s.Abandons)
+	}
+	if n := tr.Count(sim.TraceAbandon); n != 0 {
+		t.Fatalf("TraceAbandon events = %d, want 0", n)
+	}
+}
+
+// TestRobustMCSDeadAtEmptyQueueXchg: the victim crashes at the tail
+// XCHG that won it an empty queue — it owns the lock at the instant of
+// death, with its status still rmWaiting. The kernel walk must treat it
+// as a dead holder (owner-died, not a waiter unlink) and reset the
+// tail, so later arrivals acquire a clean lock instead of enqueueing
+// behind a corpse forever.
+func TestRobustMCSDeadAtEmptyQueueXchg(t *testing.T) {
+	m, s := newMachine(4, 5)
+	tr := m.AttachTracer(1 << 14)
+	l := info(t, "robust/mcs").New(s, "L")
+	acquired := make(map[string]bool)
+	victim := m.Spawn("victim", func(p *sim.Proc) {
+		l.Lock(p)
+		acquired["victim"] = true
+		l.Unlock(p)
+	})
+	m.Spawn("late", func(p *sim.Proc) {
+		p.Compute(100_000)
+		l.Lock(p)
+		acquired["late"] = true
+		p.Compute(1_000)
+		l.Unlock(p)
+	})
+	m.SetFaultInjector(&crashStub{victim: victim, pred: func(th *sim.Thread) bool {
+		return th.Region == regRMEnqueue && th.Reg == 0
+	}})
+	m.Run(5_000_000)
+	if acquired["victim"] {
+		t.Fatal("dead thread acquired the lock")
+	}
+	if !acquired["late"] {
+		t.Fatal("late arrival never acquired the lock the kernel reset")
+	}
+	if s.Robust().OwnerDeaths != 1 {
+		t.Fatalf("OwnerDeaths = %d, want 1", s.Robust().OwnerDeaths)
+	}
+	if s.Robust().Unlinks != 0 || s.Abandons != 0 {
+		t.Fatalf("holder death counted as a waiter unlink: Unlinks = %d, Abandons = %d",
+			s.Robust().Unlinks, s.Abandons)
+	}
+	if n := tr.Count(sim.TraceOwnerDead); n != 1 {
+		t.Fatalf("TraceOwnerDead events = %d, want 1", n)
+	}
+}
+
 // TestRobustMCSDeadTail: the crashed waiter is the queue tail; the
 // holder's walk adopts the dead node, closes the queue through it, and
 // a later arrival acquires a clean lock.

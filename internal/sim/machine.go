@@ -60,8 +60,16 @@ type CrashInjector interface {
 	// the instruction boundary it just reached.
 	CrashAtBoundary(t *Thread) bool
 	// CrashParkedDelay returns a delay after which t, just parked on a
-	// futex, is killed in place (0 = no crash).
+	// futex, is killed in place (0 = no crash). The kill fires only if
+	// t is still parked when the delay elapses — a waiter that was
+	// woken (or exited) meanwhile is not the parked victim the plan
+	// asked for; either way CrashParkedOutcome reports what happened.
 	CrashParkedDelay(t *Thread) Time
+	// CrashParkedOutcome resolves a kill scheduled by CrashParkedDelay:
+	// landed is true when the kill transitioned t to StateDead, false
+	// when t had already left the futex and the kill was skipped. The
+	// injector uses this to count only crashes that actually happened.
+	CrashParkedOutcome(t *Thread, landed bool)
 }
 
 // KillHook runs in kernel context after Machine.Kill has transitioned a

@@ -465,7 +465,17 @@ func (m *Machine) futexWaitDone(t *Thread) {
 	}
 	if m.ci != nil {
 		if d := m.ci.CrashParkedDelay(t); d > 0 {
-			m.eq.Schedule(m.clock+d, func() { m.Kill(t) })
+			// Kill only a thread still parked when the delay elapses: a
+			// woken (or exited) waiter is no longer the parked victim
+			// the plan targeted. Either way the injector learns the
+			// outcome, so it counts only crashes that landed.
+			m.eq.Schedule(m.clock+d, func() {
+				landed := t.state == StateBlocked
+				if landed {
+					m.Kill(t)
+				}
+				m.ci.CrashParkedOutcome(t, landed)
+			})
 		}
 	}
 	m.contextSwitch(c, t, m.pickNext(c))
