@@ -48,6 +48,11 @@ type Options struct {
 	// ExpectWindows preallocates series storage (windows beyond the
 	// estimate still record, at the cost of an amortized append).
 	ExpectWindows int
+	// QueueDepth, if set, is an external gauge read at each window edge
+	// and recorded as Point.Queue — the open-loop traffic engine passes
+	// its request-queue depth here. The callback must be pure (no
+	// machine mutation, no randomness) to keep the sampler passive.
+	QueueDepth func() int64
 }
 
 // LatHist is one window's log2 latency histogram. It shares the obs
@@ -169,6 +174,10 @@ type Point struct {
 	// window.
 	NPCS         int64 `json:"npcs"`
 	MonitorStale int64 `json:"monitor_stale"`
+	// Queue is the external queue-depth gauge (Options.QueueDepth) at
+	// the window edge. omitempty keeps recordings without the gauge —
+	// every closed-loop run — byte-identical to the pre-gauge schema.
+	Queue int64 `json:"queue,omitempty"`
 }
 
 // Series is a completed flight-recorder recording.
@@ -191,7 +200,8 @@ type Sampler struct {
 	series   Series
 	runqBuf  []int32 // flat backing for Point.Runq slices
 	finished bool
-	tickFn   func() // pre-bound periodic callback
+	tickFn   func()       // pre-bound periodic callback
+	queueFn  func() int64 // optional external queue-depth gauge
 
 	// Current-window accumulators.
 	acquires   int64
@@ -223,6 +233,7 @@ func Attach(m *sim.Machine, o Options) *Sampler {
 		w:       o.Window,
 		next:    o.Window,
 		runqBuf: make([]int32, 0, cap*ncpu),
+		queueFn: o.QueueDepth,
 	}
 	s.series.Window = int64(o.Window)
 	s.series.Points = make([]Point, 0, cap)
@@ -264,6 +275,9 @@ func (s *Sampler) closeWindow() {
 		PolicyBlockToSpin: s.policyBS,
 		NPCS:              s.npcs,
 		MonitorStale:      s.staleTrips,
+	}
+	if s.queueFn != nil {
+		p.Queue = s.queueFn()
 	}
 	var ops int64
 	for i, t := range s.m.Threads() {
@@ -390,7 +404,7 @@ func (s *Series) CounterTracks() []obs.CounterTrack {
 		}
 		return d
 	}
-	return []obs.CounterTrack{
+	tracks := []obs.CounterTrack{
 		mk("acquires/win", func(p *Point) int64 { return p.Acquires }),
 		mk("ops/win", func(p *Point) int64 { return p.Ops }),
 		mk("acquire-lat-p99", func(p *Point) int64 { return p.Lat.Snapshot().Quantile(0.99) }),
@@ -401,4 +415,13 @@ func (s *Series) CounterTracks() []obs.CounterTrack {
 		mk("steals/win", func(p *Point) int64 { return p.Steals }),
 		mk("npcs", func(p *Point) int64 { return p.NPCS }),
 	}
+	// Emit the external queue gauge only when it was recorded — series
+	// without the gauge (all closed-loop runs) render exactly as before.
+	for i := range s.Points {
+		if s.Points[i].Queue != 0 {
+			tracks = append(tracks, mk("queue-depth", func(p *Point) int64 { return p.Queue }))
+			break
+		}
+	}
+	return tracks
 }

@@ -409,3 +409,52 @@ func TestSeriesJSONStable(t *testing.T) {
 		t.Fatalf("two identical runs serialized different series:\n%s\n%s", a, b)
 	}
 }
+
+// TestQueueDepthGauge: the external queue gauge is read at each window
+// edge and serialized with omitempty, so a series recorded without the
+// gauge marshals byte-identically to the pre-gauge schema.
+func TestQueueDepthGauge(t *testing.T) {
+	m := sim.New(sim.Small(2))
+	depth := int64(0)
+	s := timeseries.Attach(m, timeseries.Options{
+		Window:     1000,
+		QueueDepth: func() int64 { return depth },
+	})
+	depth = 3
+	s.LockEvent(1500, sim.TraceAcquire, 0, -1, 0) // rolls window 0 closed at depth 3
+	depth = 7
+	series := s.Finish(2000) // window 1 closes at depth 7
+	if len(series.Points) != 2 {
+		t.Fatalf("want 2 windows, got %d", len(series.Points))
+	}
+	if series.Points[0].Queue != 3 || series.Points[1].Queue != 7 {
+		t.Errorf("queue gauge = [%d %d], want [3 7]",
+			series.Points[0].Queue, series.Points[1].Queue)
+	}
+	// Counter tracks include the gauge only when it was recorded.
+	withGauge := series.CounterTracks()
+	found := false
+	for _, tr := range withGauge {
+		if tr.Name == "queue-depth" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("queue-depth counter track missing from gauged series")
+	}
+
+	// Without the gauge: zero Queue fields, omitted from JSON, no track.
+	bare := edgeSampler(1000).Finish(2000)
+	b, err := json.Marshal(bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(b, []byte("queue")) {
+		t.Errorf("ungauged series leaks queue field: %s", b)
+	}
+	for _, tr := range bare.CounterTracks() {
+		if tr.Name == "queue-depth" {
+			t.Error("ungauged series emitted a queue-depth track")
+		}
+	}
+}

@@ -292,6 +292,30 @@ func (m *Machine) Schedule(at Time, fn func()) {
 	m.eq.ScheduleWeak(at, fn)
 }
 
+// ScheduleWork is Schedule for active kernel-side sources: fn still runs
+// in kernel context at virtual time at, but the event is strong — it
+// represents pending work arriving from outside the machine (a NIC
+// interrupt, a timer-driven request injection) and keeps the machine
+// alive until it fires, exactly like a thread's own events. The
+// open-loop traffic engine schedules its arrival process through this
+// seam, so a machine whose threads are all parked between requests
+// keeps running toward the next arrival instead of draining.
+//
+// fn may mutate machine state the way a KillHook can — KernelStore /
+// KernelAdd / KernelFutexWake, Machine.Spawn — but must not call Proc
+// methods (there is no thread context). A source that wants deadlock
+// verdicts to stay meaningful must eventually stop rescheduling itself
+// when the system makes no progress: a strong event chain that runs to
+// the horizon unconditionally would keep the queue from draining and
+// mask Deadlocked(), the exact failure mode the flight recorder's weak
+// events were introduced to avoid.
+func (m *Machine) ScheduleWork(at Time, fn func()) {
+	if at < m.clock {
+		panic("sim: ScheduleWork in the past")
+	}
+	m.eq.Schedule(at, fn)
+}
+
 // RunqDepths appends the current depth of every runqueue shard (one
 // entry per hardware context, in context order) to dst and returns it.
 // Kernel-side telemetry helper: passing a reused buffer keeps sampling

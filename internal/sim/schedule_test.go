@@ -1,0 +1,93 @@
+package sim
+
+import "testing"
+
+// TestScheduleWorkKeepsMachineAlive: a chain of strong kernel events
+// keeps an otherwise-idle machine running, where the weak Schedule seam
+// drains immediately. This is the liveness contract the open-loop
+// traffic engine depends on: arrivals are pending work, not telemetry.
+func TestScheduleWorkKeepsMachineAlive(t *testing.T) {
+	m := small(1)
+	var fired []Time
+	var chain func()
+	chain = func() {
+		fired = append(fired, m.Now())
+		if len(fired) < 3 {
+			m.ScheduleWork(m.Now()+1000, chain)
+		}
+	}
+	m.ScheduleWork(1000, chain)
+	q := m.Run(1_000_000)
+	if len(fired) != 3 || fired[0] != 1000 || fired[1] != 2000 || fired[2] != 3000 {
+		t.Fatalf("strong chain fired at %v, want [1000 2000 3000]", fired)
+	}
+	if q != 3000 {
+		t.Fatalf("quiesced at %d, want 3000 (the last strong event)", q)
+	}
+}
+
+// TestScheduleWeakDoesNotKeepMachineAlive pins the contrast: the same
+// chain through the weak seam never fires on an idle machine.
+func TestScheduleWeakDoesNotKeepMachineAlive(t *testing.T) {
+	m := small(1)
+	fired := 0
+	m.Schedule(1000, func() { fired++ })
+	q := m.Run(1_000_000)
+	if fired != 0 {
+		t.Fatalf("weak event fired %d times on an idle machine, want 0", fired)
+	}
+	if q != 0 {
+		t.Fatalf("quiesced at %d, want 0", q)
+	}
+}
+
+// TestSpawnFromScheduledWork: Machine.Spawn from a strong kernel event
+// mid-run creates a thread that dispatches and runs — the seam the
+// elastic worker pool uses to grow under load.
+func TestSpawnFromScheduledWork(t *testing.T) {
+	m := small(2)
+	w := m.NewWord("w", 0)
+	var spawned *Thread
+	m.ScheduleWork(5000, func() {
+		spawned = m.Spawn("late", func(p *Proc) {
+			p.Store(w, 42)
+			p.CountOp()
+		})
+	})
+	m.Run(1_000_000)
+	if spawned == nil {
+		t.Fatal("scheduled spawn never ran")
+	}
+	if w.V() != 42 || spawned.Ops != 1 {
+		t.Fatalf("late-spawned thread: word=%d ops=%d, want 42/1", w.V(), spawned.Ops)
+	}
+	if spawned.State() != StateDone {
+		t.Fatalf("late-spawned thread state %v, want done", spawned.State())
+	}
+}
+
+// TestScheduleWorkWakesFutexWaiter: a kernel event can publish a value
+// and wake a parked thread (the arrival → doorbell → worker handoff).
+func TestScheduleWorkWakesFutexWaiter(t *testing.T) {
+	m := small(1)
+	db := m.NewWord("db", 0)
+	var sawValue uint64
+	m.Spawn("waiter", func(p *Proc) {
+		seen := p.Load(db)
+		if seen == 0 {
+			p.FutexWait(db, 0)
+		}
+		sawValue = p.Load(db)
+	})
+	m.ScheduleWork(50_000, func() {
+		m.KernelAdd(db, 1)
+		m.KernelFutexWake(db, 1, -1)
+	})
+	q := m.Run(1_000_000)
+	if sawValue != 1 {
+		t.Fatalf("waiter saw doorbell %d, want 1", sawValue)
+	}
+	if m.Deadlocked() {
+		t.Fatalf("machine reported deadlock at %d", q)
+	}
+}

@@ -1,0 +1,259 @@
+// Package traffic is the open-loop arrival layer: deterministic arrival
+// processes (Poisson, Markov-modulated Poisson bursts, diurnal ramps,
+// antagonist phases) driven off the machine's virtual clock, feeding a
+// bounded request queue and an elastic worker-pool dispatcher. Every
+// other workload in the repo is closed-loop — N threads hammering a
+// lock, with subscription set by the experimenter. Here requests arrive
+// on their own clock, queueing delay is real, and oversubscription is
+// what it is for a service with millions of users: an emergent property
+// of offered load versus service capacity, the regime FlexGuard exists
+// for.
+//
+// Everything is deterministic: each generator owns a private
+// dist.Rand, arrivals fire as strong kernel events on the machine's own
+// queue (sim.Machine.ScheduleWork), and the engine's bookkeeping is
+// plain Go serialized by the single-threaded event loop — so a
+// (config, seed) pair fully determines the run, byte-for-byte, at any
+// sweep worker count.
+package traffic
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/sim"
+)
+
+// Arrivals is a deterministic arrival process. Next returns the time of
+// the next arrival strictly after now. Generators are single-consumer
+// and advance monotonically: calling Next with a now earlier than the
+// last returned time continues from the later of the two.
+type Arrivals interface {
+	Next(now sim.Time) sim.Time
+}
+
+// Patterns lists the canonical arrival patterns accepted by New, in
+// grid order.
+func Patterns() []string {
+	return []string{"poisson", "bursty", "diurnal", "antagonist"}
+}
+
+// New builds the named canonical pattern with long-run mean interarrival
+// gap meanGap (ticks). The shapes are fixed so that a pattern name plus
+// a rate fully identifies the process:
+//
+//	poisson     homogeneous Poisson at rate 1/meanGap
+//	bursty      2-state MMPP: calm at 0.5×, bursts at 3× the mean rate,
+//	            mean dwell 400×/100×meanGap (burst occupancy 20%)
+//	diurnal     sinusoidal rate 1±0.8 of the mean, period 1000×meanGap
+//	antagonist  square-wave antagonist phases: every 500×meanGap, a
+//	            100×meanGap burst at 5× the off-phase rate (long-run
+//	            mean normalized to 1/meanGap)
+func New(pattern string, seed uint64, meanGap sim.Time) (Arrivals, error) {
+	if meanGap <= 0 {
+		return nil, fmt.Errorf("traffic: meanGap must be positive, got %d", meanGap)
+	}
+	r := dist.NewRand(seed)
+	switch pattern {
+	case "poisson":
+		return NewPoisson(r, meanGap), nil
+	case "bursty":
+		return NewMMPP(r, 2*meanGap, meanGap/3, 400*meanGap, 100*meanGap), nil
+	case "diurnal":
+		return NewDiurnal(r, meanGap, 0.8, 1000*meanGap), nil
+	case "antagonist":
+		return NewAntagonist(r, meanGap, 5, 500*meanGap, 100*meanGap), nil
+	default:
+		return nil, fmt.Errorf("traffic: unknown pattern %q (have %v)", pattern, Patterns())
+	}
+}
+
+// expGap draws an exponential interarrival gap with the given mean,
+// floored at one tick (virtual time is discrete).
+func expGap(r *dist.Rand, mean float64) sim.Time {
+	d := -math.Log(1-r.Float64()) * mean
+	if d < 1 {
+		return 1
+	}
+	return sim.Time(d)
+}
+
+// Poisson is a homogeneous Poisson process: i.i.d. exponential gaps.
+type Poisson struct {
+	rng  *dist.Rand
+	mean float64
+	cur  sim.Time
+}
+
+// NewPoisson returns a Poisson process with mean interarrival gap
+// meanGap.
+func NewPoisson(r *dist.Rand, meanGap sim.Time) *Poisson {
+	return &Poisson{rng: r, mean: float64(meanGap)}
+}
+
+// Next implements Arrivals.
+func (g *Poisson) Next(now sim.Time) sim.Time {
+	if now < g.cur {
+		now = g.cur
+	}
+	g.cur = now + expGap(g.rng, g.mean)
+	return g.cur
+}
+
+// MMPP is a two-state Markov-modulated Poisson process — the standard
+// compact model for bursty, self-similar-looking traffic: a calm phase
+// and a burst phase, each with its own Poisson rate, with
+// exponentially distributed dwell times. Its index of dispersion is >1
+// (overdispersed), which is what distinguishes real bursty load from
+// the memoryless ideal.
+type MMPP struct {
+	rng      *dist.Rand
+	gap      [2]float64 // mean interarrival per phase (0 calm, 1 burst)
+	dwell    [2]float64 // mean phase duration
+	phase    int
+	phaseEnd sim.Time
+	started  bool
+	occ      [2]sim.Time // virtual time spent per phase, as advanced by Next
+	cur      sim.Time
+}
+
+// NewMMPP returns an MMPP with calm/burst mean gaps and mean dwell
+// times (all ticks).
+func NewMMPP(r *dist.Rand, calmGap, burstGap, calmDwell, burstDwell sim.Time) *MMPP {
+	return &MMPP{
+		rng:   r,
+		gap:   [2]float64{float64(calmGap), float64(burstGap)},
+		dwell: [2]float64{float64(calmDwell), float64(burstDwell)},
+	}
+}
+
+// Next implements Arrivals. Crossing a phase boundary redraws the gap
+// from the boundary — valid because the exponential is memoryless.
+func (g *MMPP) Next(now sim.Time) sim.Time {
+	t := now
+	if t < g.cur {
+		t = g.cur
+	}
+	if !g.started {
+		g.started = true
+		g.phaseEnd = t + expGap(g.rng, g.dwell[g.phase])
+	}
+	for {
+		d := expGap(g.rng, g.gap[g.phase])
+		if t+d <= g.phaseEnd {
+			g.occ[g.phase] += d
+			t += d
+			g.cur = t
+			return t
+		}
+		g.occ[g.phase] += g.phaseEnd - t
+		t = g.phaseEnd
+		g.phase = 1 - g.phase
+		g.phaseEnd = t + expGap(g.rng, g.dwell[g.phase])
+	}
+}
+
+// Occupancy reports the virtual time the process has spent in the calm
+// and burst phases so far (test hook for the phase-occupancy property).
+func (g *MMPP) Occupancy() (calm, burst sim.Time) { return g.occ[0], g.occ[1] }
+
+// InBurst reports whether the process is currently in the burst phase.
+func (g *MMPP) InBurst() bool { return g.phase == 1 }
+
+// Diurnal is a nonhomogeneous Poisson process with sinusoidal rate
+// modulation — the day/night ramp of a user-facing service:
+// λ(t) = (1 + amp·sin(2πt/period)) / meanGap. The long-run mean rate is
+// exactly 1/meanGap (the sine integrates to zero over full cycles).
+// Sampling is by thinning, which stays exact for any bounded rate
+// function.
+type Diurnal struct {
+	rng    *dist.Rand
+	mean   float64 // mean interarrival gap
+	amp    float64 // modulation amplitude in [0,1)
+	period float64
+	cur    sim.Time
+}
+
+// NewDiurnal returns a sinusoidally modulated Poisson process.
+func NewDiurnal(r *dist.Rand, meanGap sim.Time, amp float64, period sim.Time) *Diurnal {
+	if amp < 0 || amp >= 1 {
+		panic("traffic: diurnal amplitude must be in [0,1)")
+	}
+	return &Diurnal{rng: r, mean: float64(meanGap), amp: amp, period: float64(period)}
+}
+
+// Rate returns λ(t) in arrivals per tick (test hook).
+func (g *Diurnal) Rate(t sim.Time) float64 {
+	return (1 + g.amp*math.Sin(2*math.Pi*float64(t)/g.period)) / g.mean
+}
+
+// Next implements Arrivals (thinning against λmax = (1+amp)/meanGap).
+func (g *Diurnal) Next(now sim.Time) sim.Time {
+	t := now
+	if t < g.cur {
+		t = g.cur
+	}
+	maxRate := (1 + g.amp) / g.mean
+	for {
+		t += expGap(g.rng, 1/maxRate)
+		if g.rng.Float64()*maxRate <= g.Rate(t) {
+			g.cur = t
+			return t
+		}
+	}
+}
+
+// Antagonist is a Poisson process with deterministic square-wave
+// antagonist phases: every period ticks, the first burstLen ticks run
+// at factor× the off-phase rate — the periodic co-located batch job
+// that steals capacity from a latency-sensitive service. The off-phase
+// rate is normalized so the long-run mean rate is exactly 1/meanGap.
+type Antagonist struct {
+	rng      *dist.Rand
+	offGap   float64 // mean gap outside bursts (normalized)
+	factor   float64
+	period   float64
+	burstLen float64
+	cur      sim.Time
+}
+
+// NewAntagonist returns the square-wave antagonist process.
+func NewAntagonist(r *dist.Rand, meanGap sim.Time, factor float64, period, burstLen sim.Time) *Antagonist {
+	if factor < 1 {
+		panic("traffic: antagonist factor must be >= 1")
+	}
+	if burstLen <= 0 || period <= burstLen {
+		panic("traffic: antagonist needs 0 < burstLen < period")
+	}
+	p, b := float64(period), float64(burstLen)
+	// Long-run mean rate with off-rate 1/offGap:
+	// (b·factor + (p-b)) / (p·offGap) == 1/meanGap.
+	offGap := float64(meanGap) * (b*factor + (p - b)) / p
+	return &Antagonist{rng: r, offGap: offGap, factor: factor, period: p, burstLen: b}
+}
+
+// InBurst reports whether t falls inside an antagonist phase.
+func (g *Antagonist) InBurst(t sim.Time) bool {
+	return math.Mod(float64(t), g.period) < g.burstLen
+}
+
+// Next implements Arrivals (thinning against the burst rate).
+func (g *Antagonist) Next(now sim.Time) sim.Time {
+	t := now
+	if t < g.cur {
+		t = g.cur
+	}
+	maxRate := g.factor / g.offGap
+	for {
+		t += expGap(g.rng, 1/maxRate)
+		rate := 1 / g.offGap
+		if g.InBurst(t) {
+			rate *= g.factor
+		}
+		if g.rng.Float64()*maxRate <= rate {
+			g.cur = t
+			return t
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/sim"
+)
+
+// drain pulls n arrivals off a generator and returns the event times.
+func drain(a Arrivals, n int) []sim.Time {
+	ts := make([]sim.Time, n)
+	var now sim.Time
+	for i := range ts {
+		now = a.Next(now)
+		ts[i] = now
+	}
+	return ts
+}
+
+// gapStats returns the empirical mean and variance of the interarrival
+// gaps of an event sequence.
+func gapStats(ts []sim.Time) (mean, variance float64) {
+	var prev sim.Time
+	n := float64(len(ts))
+	for _, t := range ts {
+		mean += float64(t - prev)
+		prev = t
+	}
+	mean /= n
+	prev = 0
+	for _, t := range ts {
+		d := float64(t-prev) - mean
+		variance += d * d
+		prev = t
+	}
+	variance /= n - 1
+	return mean, variance
+}
+
+// dispersionIndex bins the event sequence into fixed windows and
+// returns Var(count)/Mean(count) — 1 for Poisson, >1 for overdispersed
+// (bursty) processes.
+func dispersionIndex(ts []sim.Time, window sim.Time) float64 {
+	end := ts[len(ts)-1]
+	nbins := int(end / window)
+	if nbins < 2 {
+		panic("dispersionIndex: too few windows")
+	}
+	counts := make([]float64, nbins)
+	for _, t := range ts {
+		b := int(t / window)
+		if b < nbins {
+			counts[b]++
+		}
+	}
+	var mean float64
+	for _, c := range counts {
+		mean += c
+	}
+	mean /= float64(nbins)
+	var v float64
+	for _, c := range counts {
+		v += (c - mean) * (c - mean)
+	}
+	v /= float64(nbins - 1)
+	return v / mean
+}
+
+const meanGap = sim.Time(22_000) // 10 µs → 100 req/ms
+
+// TestPoissonMoments: exponential gaps have variance ≈ mean² and the
+// counting process has index of dispersion ≈ 1.
+func TestPoissonMoments(t *testing.T) {
+	g := NewPoisson(dist.NewRand(7), meanGap)
+	ts := drain(g, 200_000)
+	mean, variance := gapStats(ts)
+	if rel := math.Abs(mean-float64(meanGap)) / float64(meanGap); rel > 0.02 {
+		t.Errorf("poisson mean gap %.0f, want %d ±2%%", mean, meanGap)
+	}
+	// Exponential: Var = mean². CV² should be ≈1.
+	cv2 := variance / (mean * mean)
+	if cv2 < 0.95 || cv2 > 1.05 {
+		t.Errorf("poisson squared CV %.3f, want ≈1 (exponential gaps)", cv2)
+	}
+	iod := dispersionIndex(ts, 100*meanGap)
+	if iod < 0.9 || iod > 1.1 {
+		t.Errorf("poisson index of dispersion %.3f, want ≈1", iod)
+	}
+}
+
+// TestMMPPMoments: the bursty process preserves the long-run mean rate,
+// is overdispersed (IoD well above 1), and spends ≈20% of virtual time
+// in the burst phase (dwell 400:100).
+func TestMMPPMoments(t *testing.T) {
+	a, err := New("bursty", 7, meanGap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := a.(*MMPP)
+	ts := drain(g, 400_000)
+	mean, _ := gapStats(ts)
+	// Mean rate: calm 0.5× for 80% of time, burst 3× for 20% → 1.0×.
+	if rel := math.Abs(mean-float64(meanGap)) / float64(meanGap); rel > 0.05 {
+		t.Errorf("mmpp mean gap %.0f, want %d ±5%%", mean, meanGap)
+	}
+	iod := dispersionIndex(ts, 100*meanGap)
+	if iod < 2 {
+		t.Errorf("mmpp index of dispersion %.2f, want ≫1 (bursty)", iod)
+	}
+	calm, burst := g.Occupancy()
+	frac := float64(burst) / float64(calm+burst)
+	if frac < 0.15 || frac > 0.25 {
+		t.Errorf("mmpp burst occupancy %.3f, want ≈0.20", frac)
+	}
+}
+
+// TestDiurnalMoments: the sinusoidal ramp preserves the long-run mean
+// rate over whole periods, and the per-phase rates actually track λ(t):
+// the rising half of each cycle carries more arrivals than the falling
+// half.
+func TestDiurnalMoments(t *testing.T) {
+	a, err := New("diurnal", 7, meanGap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := a.(*Diurnal)
+	ts := drain(g, 300_000)
+	period := 1000 * meanGap
+	// Truncate to whole periods so the sine integrates to zero.
+	end := (ts[len(ts)-1] / period) * period
+	var n, firstHalf int
+	for _, t := range ts {
+		if t >= end {
+			break
+		}
+		n++
+		if t%period < period/2 {
+			firstHalf++
+		}
+	}
+	mean := float64(end) / float64(n)
+	if rel := math.Abs(mean-float64(meanGap)) / float64(meanGap); rel > 0.03 {
+		t.Errorf("diurnal mean gap %.0f over whole periods, want %d ±3%%", mean, meanGap)
+	}
+	// λ ∝ 1+0.8·sin: first half-period averages 1+1.6/π ≈ 1.51, second
+	// 1−1.6/π ≈ 0.49 → first-half share ≈ 0.755.
+	share := float64(firstHalf) / float64(n)
+	if share < 0.72 || share > 0.79 {
+		t.Errorf("diurnal first-half arrival share %.3f, want ≈0.755", share)
+	}
+	if r0, rq := g.Rate(0), g.Rate(period/4); rq <= r0 {
+		t.Errorf("diurnal Rate not rising toward quarter-period: λ(0)=%g λ(T/4)=%g", r0, rq)
+	}
+}
+
+// TestAntagonistMoments: the square-wave process preserves the long-run
+// mean rate and its burst windows carry the factor× elevated share.
+func TestAntagonistMoments(t *testing.T) {
+	a, err := New("antagonist", 7, meanGap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := a.(*Antagonist)
+	ts := drain(g, 300_000)
+	period := 500 * meanGap
+	end := (ts[len(ts)-1] / period) * period
+	var n, inBurst int
+	for _, t := range ts {
+		if t >= end {
+			break
+		}
+		n++
+		if g.InBurst(t) {
+			inBurst++
+		}
+	}
+	mean := float64(end) / float64(n)
+	if rel := math.Abs(mean-float64(meanGap)) / float64(meanGap); rel > 0.03 {
+		t.Errorf("antagonist mean gap %.0f over whole periods, want %d ±3%%", mean, meanGap)
+	}
+	// Burst windows are 1/5 of time at 5× the off rate: share
+	// = 5·100/(5·100+400) = 5/9 ≈ 0.556.
+	share := float64(inBurst) / float64(n)
+	if share < 0.52 || share > 0.59 {
+		t.Errorf("antagonist burst arrival share %.3f, want ≈0.556", share)
+	}
+}
+
+// TestGeneratorDeterminism: the same (pattern, seed, rate) triple
+// yields a byte-identical event sequence; a different seed does not.
+func TestGeneratorDeterminism(t *testing.T) {
+	for _, pat := range Patterns() {
+		t.Run(pat, func(t *testing.T) {
+			mk := func(seed uint64) string {
+				a, err := New(pat, seed, meanGap)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return fmt.Sprint(drain(a, 5000))
+			}
+			if mk(3) != mk(3) {
+				t.Errorf("%s: same seed produced different sequences", pat)
+			}
+			if mk(3) == mk(4) {
+				t.Errorf("%s: different seeds produced identical sequences", pat)
+			}
+		})
+	}
+}
+
+// TestGeneratorMonotone: Next is strictly increasing even when called
+// with a stale now.
+func TestGeneratorMonotone(t *testing.T) {
+	for _, pat := range Patterns() {
+		a, err := New(pat, 11, meanGap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var last sim.Time
+		for i := 0; i < 10_000; i++ {
+			nxt := a.Next(0) // deliberately stale
+			if nxt <= last {
+				t.Fatalf("%s: Next returned %d after %d (not strictly increasing)", pat, nxt, last)
+			}
+			last = nxt
+		}
+	}
+}
+
+// TestNewRejectsBadInput pins the error paths.
+func TestNewRejectsBadInput(t *testing.T) {
+	if _, err := New("poisson", 1, 0); err == nil {
+		t.Error("New accepted meanGap 0")
+	}
+	if _, err := New("lunar", 1, meanGap); err == nil {
+		t.Error("New accepted unknown pattern")
+	}
+}
