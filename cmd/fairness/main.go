@@ -26,6 +26,7 @@ func main() {
 		duration = flag.Int64("duration", 30_000_000, "virtual ticks per run")
 		window   = flag.Int64("window", 0, "flight-recorder sampling window in virtual ticks (0 = off)")
 		report   = flag.String("report", "", "write a machine-readable run report (JSON) to this file")
+		parallel = flag.Int("parallel", 0, "sweep cells run on this many OS threads (0 = GOMAXPROCS); per-cell results are identical at any setting")
 	)
 	flag.Parse()
 
@@ -42,18 +43,30 @@ func main() {
 	fmt.Printf("# fairness factor on %d contexts (0.5 = fair, 1.0 = unfair), CS gap %d ticks\n",
 		cfg.NumCPUs, *gap)
 	fmt.Printf("%-14s %12s %12s %12s\n", "alg", "0.5x", "1x", "2x")
-	for _, a := range algs {
-		fmt.Printf("%-14s", a)
-		for _, ratio := range []float64{0.5, 1.0, 2.0} {
+	// The (alg × subscription) grid fans out through the parallel sweep
+	// engine like the other CLIs; cells are printed in grid order once
+	// all land, so output is identical at any -parallel.
+	ratios := []float64{0.5, 1.0, 2.0}
+	label := func(i int) string {
+		return fmt.Sprintf("%s/%gx", algs[i/len(ratios)], ratios[i%len(ratios)])
+	}
+	cells, errs := harness.ParallelMapLabeled(*parallel, len(algs)*len(ratios), "fairness", label,
+		func(i int) (harness.Result, error) {
+			a, ratio := algs[i/len(ratios)], ratios[i%len(ratios)]
 			threads := int(float64(cfg.NumCPUs) * ratio)
-			r, err := harness.RunSharedMem(harness.RunCfg{
+			return harness.RunSharedMem(harness.RunCfg{
 				Config: cfg, Alg: a, Threads: threads,
 				Duration: sim.Time(*duration), Seed: 7,
 				Window: sim.Time(*window),
 			}, sim.Time(*gap))
-			if err != nil {
-				fatal(err)
-			}
+		})
+	if err := harness.FirstError(errs); err != nil {
+		fatal(err)
+	}
+	for i, a := range algs {
+		fmt.Printf("%-14s", a)
+		for j, ratio := range ratios {
+			r := cells[i*len(ratios)+j]
 			fmt.Printf(" %12.3f", r.Fairness)
 			rep.Add(fmt.Sprintf("fairness/%s/%gx-gap%d", a, ratio, *gap), r)
 		}

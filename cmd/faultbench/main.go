@@ -116,7 +116,10 @@ type cellOutcome struct {
 // machines); the table prints in order once all cells land. Failures
 // are shrunk and printed as replay specs.
 func runSweep(algs []string, plans []fault.NamedPlan, seeds, parallel int, window sim.Time, reportPath string) int {
-	cells, errs := harness.ParallelMap(parallel, len(algs)*len(plans), func(i int) (cellOutcome, error) {
+	label := func(i int) string {
+		return algs[i/len(plans)] + "/" + plans[i%len(plans)].Name
+	}
+	cells, errs := harness.ParallelMapLabeled(parallel, len(algs)*len(plans), "faultbench", label, func(i int) (cellOutcome, error) {
 		alg, np := algs[i/len(plans)], plans[i%len(plans)]
 		var out cellOutcome
 		for s := 0; s < seeds; s++ {
@@ -251,7 +254,10 @@ type crashCell struct {
 // must *recover* from every crash-while-holding cell.
 func runCrash(algs []string, seeds, parallel int, reportPath string) int {
 	plans := fault.CrashPlans()
-	cells, errs := harness.ParallelMap(parallel, len(algs)*len(plans), func(i int) (crashCell, error) {
+	label := func(i int) string {
+		return algs[i/len(plans)] + "/" + plans[i%len(plans)].Name
+	}
+	cells, errs := harness.ParallelMapLabeled(parallel, len(algs)*len(plans), "faultbench-crash", label, func(i int) (crashCell, error) {
 		alg, np := algs[i/len(plans)], plans[i%len(plans)]
 		var out crashCell
 		for s := 0; s < seeds; s++ {

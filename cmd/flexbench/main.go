@@ -43,6 +43,8 @@ func main() {
 		parallel   = flag.Int("parallel", 0, "sweep cells run on this many OS threads (0 = GOMAXPROCS); per-cell results are identical at any setting")
 		window     = flag.Int64("window", 0, "flight-recorder sampling window in virtual ticks (0 = off); series land in the -report file")
 		report     = flag.String("report", "", "write a machine-readable run report (JSON) to this file")
+		warm       = flag.Bool("warm", false, "sharedmem sweeps clone a per-shape warm snapshot instead of cold-starting every seed (ignored with -window)")
+		sweepsmoke = flag.Int("sweepsmoke", 0, "measure sweep-engine throughput over this many repetitions of the canonical cell set and exit (CI gate; metrics land in -report)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -84,9 +86,15 @@ func main() {
 		Parallel: *parallel,
 		Window:   sim.Time(*window),
 		Report:   rep,
+		Warm:     *warm,
 	}
 	expName := *exp
 	switch {
+	case *sweepsmoke > 0:
+		expName = "sweepsmoke"
+		if err := harness.SweepSmoke(*sweepsmoke, *parallel, rep, os.Stdout); err != nil {
+			die(err)
+		}
 	case *all:
 		expName = "all"
 		for _, e := range harness.Experiments() {

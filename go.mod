@@ -1,3 +1,3 @@
 module repro
 
-go 1.22
+go 1.23

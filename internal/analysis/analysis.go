@@ -153,10 +153,13 @@ func Analyzers() []*Analyzer {
 	}
 	return []*Analyzer{
 		{
-			Name:     "wordaccess",
-			Doc:      "sim.Word reads outside the Proc op API (Word.V is legal only in spin conditions)",
-			Packages: []string{"repro/internal/locks", "repro/internal/core", "repro/internal/fault"},
-			Run:      runWordAccess,
+			Name: "wordaccess",
+			Doc:  "sim.Word reads outside the Proc op API (Word.V is legal only in spin conditions; arena backing arrays are sim-internal)",
+			Packages: []string{
+				"repro/internal/locks", "repro/internal/core", "repro/internal/fault",
+				"repro/internal/harness",
+			},
+			Run: runWordAccess,
 		},
 		{
 			Name:     "spinloop",

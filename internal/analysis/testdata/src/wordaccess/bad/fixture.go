@@ -17,3 +17,18 @@ func kernelWrite(m *sim.Machine, w *sim.Word) {
 	m.KernelStore(w, 1) // want "kernel-side write Machine.KernelStore"
 	m.KernelAdd(w, -1)  // want "kernel-side write Machine.KernelAdd"
 }
+
+// arenaEscape mirrors the shape of a leaked arena accessor: any
+// identifier named after the SoA backing arrays is flagged, typed or
+// not, because nothing outside internal/sim may hold them.
+type arenaEscape struct {
+	LineOwner   []int32
+	lineSharers []uint64
+	ValChunks   [][]uint64
+}
+
+func pokeArena(a *arenaEscape, id int32) uint64 {
+	a.LineOwner[id] = -1            // want "direct access to word-arena backing array LineOwner"
+	_ = a.lineSharers[0]            // want "direct access to word-arena backing array lineSharers"
+	return a.ValChunks[id/256][id%256] // want "direct access to word-arena backing array ValChunks"
+}

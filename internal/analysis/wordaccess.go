@@ -11,12 +11,24 @@ package analysis
 
 import (
 	"go/ast"
+	"strings"
 )
 
 // spinTakers are the Proc methods whose first argument is a spin
 // condition closure.
 var spinTakers = map[string]bool{
 	"SpinOn": true, "SpinOnMax": true, "SpinWhile": true,
+}
+
+// arenaFields names the SoA backing arrays of the word arena (the
+// machine-owned lineOwner/lineSharers/valChunks slices words index
+// into). They are unexported, so the compiler already rejects typed
+// cross-package access; this check is deliberately name-based
+// (case-insensitive) so it also fires on a future exported accessor or
+// a copied-out alias — nothing outside internal/sim has any business
+// holding an identifier by these names, let alone indexing into one.
+var arenaFields = map[string]bool{
+	"lineowner": true, "linesharers": true, "valchunks": true,
 }
 
 func runWordAccess(pass *Pass) {
@@ -49,6 +61,13 @@ func runWordAccess(pass *Pass) {
 		}
 
 		ast.Inspect(f, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				if name := sel.Sel.Name; arenaFields[strings.ToLower(name)] {
+					pass.Reportf(sel.Sel.Pos(),
+						"direct access to word-arena backing array %s outside internal/sim; go through the Word/Proc API", name)
+				}
+				return true
+			}
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true

@@ -14,21 +14,14 @@ import (
 	"reflect"
 	"runtime"
 	"testing"
-
-	"repro/internal/sim"
 )
 
 // detCell builds the canonical determinism cell for one algorithm: the
 // sharedmem microbenchmark on a small machine, short horizon, traced.
-// (Also the golden-trace and sweep-bench cell — keep it lean; the
-// windowed variant below layers the flight recorder on top.)
-func detCell(alg string) RunCfg {
-	cfg := sim.Small(4)
-	return RunCfg{
-		Config: cfg, Alg: alg, Threads: 6,
-		Duration: 400_000, Seed: 11, Trace: true,
-	}
-}
+// One definition serves the determinism, golden-trace, sweep-bench and
+// CI smoke flows (the windowed variant below layers the flight
+// recorder on top).
+func detCell(alg string) RunCfg { return SweepSmokeCell(alg) }
 
 // detAlgs picks the algorithm set: every algorithm in the paper's list,
 // trimmed under -short to keep the suite fast.

@@ -66,6 +66,11 @@ type Env struct {
 	nLocks int
 	maxed  bool
 	fgOpts []core.LockOption
+	// workerBase is the index of the first workload worker thread in
+	// Machine.Threads(). Zero on cold-started machines; on clones from a
+	// warm snapshot it skips the warm phase's ghost threads so Collect
+	// still identifies workers by position.
+	workerBase int
 }
 
 // EnvOptions configures NewEnv.
@@ -81,18 +86,32 @@ type EnvOptions struct {
 	Observe bool
 }
 
-// NewEnv builds a machine configured for the chosen algorithm.
-func NewEnv(o EnvOptions) (*Env, error) {
+// envConfig applies the algorithm-driven cost-table adjustments to the
+// machine configuration (they must be in place before sim.New).
+func envConfig(o EnvOptions) sim.Config {
 	cfg := o.Config
-	needsExt := o.Alg == "spin-ext" || o.Alg == "flexguard-ext"
-	if needsExt {
+	if o.Alg == "spin-ext" || o.Alg == "flexguard-ext" {
 		cfg.Costs.SliceExt = sliceExtGrant
 	}
-	isFG := o.Alg == "flexguard" || o.Alg == "flexguard-ext"
-	if isFG {
+	if o.Alg == "flexguard" || o.Alg == "flexguard-ext" {
 		cfg.Costs.HookCost = monitorHookCost
 	}
-	m := sim.New(cfg)
+	return cfg
+}
+
+// NewEnv builds a machine configured for the chosen algorithm.
+func NewEnv(o EnvOptions) (*Env, error) {
+	return buildEnv(sim.New(envConfig(o)), o)
+}
+
+// buildEnv wires the environment's Go-heap state — lock registry,
+// monitor, runtime, observers — onto an existing machine. It is the
+// construction closure replayed by sim.Snapshot.Clone, so everything it
+// builds must be a pure function of (machine, options): word
+// allocations made here are adopted against the snapshot by allocation
+// order.
+func buildEnv(m *sim.Machine, o EnvOptions) (*Env, error) {
+	isFG := o.Alg == "flexguard" || o.Alg == "flexguard-ext"
 	e := &Env{M: m, Shared: locks.NewShared(m), Alg: o.Alg}
 	if o.Observe {
 		e.Obs = obs.Observe(m)
@@ -242,7 +261,13 @@ func (e *Env) Collect(workers int, duration sim.Time) Result {
 	var latSum, latCount int64
 	ops := make([]int64, 0, workers)
 	var samples []float64
-	for i, th := range e.M.Threads() {
+	ths := e.M.Threads()
+	if e.workerBase < len(ths) {
+		ths = ths[e.workerBase:]
+	} else {
+		ths = nil
+	}
+	for i, th := range ths {
 		if i >= workers {
 			break
 		}

@@ -43,8 +43,25 @@ type ExpOptions struct {
 	// goroutine printing the figure — no locking needed.
 	Report *Report
 	// ReportPrefix namespaces this experiment's runs in the report,
-	// conventionally the experiment ID.
+	// conventionally the experiment ID. It doubles as the pprof
+	// "experiment" label on sweep cells.
 	ReportPrefix string
+	// Warm runs sharedmem sweeps from per-shape warm snapshots
+	// (flexbench -warm): each (alg, threads) cell pays env construction
+	// and a warm phase once, then clones the snapshot per seed.
+	// Snapshot-equivalent to cold runs except that the measured phase
+	// starts at the warm-boundary clock on a dirtied cache. Ignored when
+	// Window is set (the flight recorder cannot ride a snapshot).
+	Warm bool
+}
+
+// expLabel picks the pprof experiment label: the report prefix when one
+// was set, the experiment's own fallback otherwise.
+func (o ExpOptions) expLabel(fallback string) string {
+	if o.ReportPrefix != "" {
+		return o.ReportPrefix
+	}
+	return fallback
 }
 
 // report records one cell into o.Report, if reporting is on.
@@ -228,14 +245,27 @@ func fig2(machine string, normalize bool, o ExpOptions, w io.Writer) error {
 	if normalize {
 		unit = "CS execution time normalized to the blocking lock"
 	}
-	grid, err := runGrid(o.Parallel, len(o.Algs), len(threads), func(r, c int) (Result, error) {
-		res, err := averageRuns(o, func(seed uint64) (Result, error) {
-			return RunSharedMem(RunCfg{
-				Config: cfg, Alg: o.Algs[r], Threads: threads[c],
-				Duration: o.Duration, Seed: seed, Observe: o.Metrics,
-				Window: o.Window,
-			}, 100)
-		})
+	warm := o.Warm && o.Window == 0
+	label := func(r, c int) string { return fmt.Sprintf("%s/t%d", o.Algs[r], threads[c]) }
+	grid, err := runGrid(o.Parallel, len(o.Algs), len(threads), o.expLabel("fig2"), label, func(r, c int) (Result, error) {
+		cc := RunCfg{
+			Config: cfg, Alg: o.Algs[r], Threads: threads[c],
+			Duration: o.Duration, Observe: o.Metrics, Window: o.Window,
+		}
+		run := func(seed uint64) (Result, error) {
+			cc.Seed = seed
+			return RunSharedMem(cc, 100)
+		}
+		if warm {
+			// One construction + warm phase per cell shape; each seed
+			// clones the snapshot instead of cold-starting a machine.
+			wm, err := Prewarm(cc, WarmSpec{})
+			if err != nil {
+				return Result{}, err
+			}
+			run = func(seed uint64) (Result, error) { return wm.RunSharedMem(seed, 100), nil }
+		}
+		res, err := averageRuns(o, run)
 		if err != nil {
 			return res, fmt.Errorf("%s @%d threads: %w", o.Algs[r], threads[c], err)
 		}
@@ -297,7 +327,13 @@ func runApp(machine string, concurrent bool, runner func(RunCfg) (Result, error)
 			header(w, fmt.Sprintf("%s, sweep = worker threads (%d contexts)", machine, cfg.NumCPUs),
 				sweep, "throughput (Mops/s)")
 		}
-		grid, err := runGrid(o.Parallel, len(o.Algs), len(sweep), func(row, col int) (Result, error) {
+		label := func(row, col int) string {
+			if concurrent {
+				return fmt.Sprintf("%s/s%d", o.Algs[row], sweep[col])
+			}
+			return fmt.Sprintf("%s/t%d", o.Algs[row], sweep[col])
+		}
+		grid, err := runGrid(o.Parallel, len(o.Algs), len(sweep), o.expLabel("app"), label, func(row, col int) (Result, error) {
 			c := RunCfg{Config: cfg, Alg: o.Algs[row], Duration: o.Duration, Observe: o.Metrics, Window: o.Window}
 			if concurrent {
 				c.Threads, c.Spinners = workers, sweep[col]
@@ -356,14 +392,16 @@ func runFig5a(o ExpOptions, w io.Writer) error {
 		e *Env
 		r Result
 	}
-	envs, errs := ParallelMap(o.Parallel, len(algs), func(i int) (envRes, error) {
-		e, r, err := RunSharedMemEnv(RunCfg{
-			Config: cfg, Alg: algs[i], Threads: threads,
-			Duration: o.Duration, Seed: 7, RecordRunnable: true,
-			Window: o.Window,
-		}, 100)
-		return envRes{e, r}, err
-	})
+	envs, errs := ParallelMapLabeled(o.Parallel, len(algs), o.expLabel("fig5a"),
+		func(i int) string { return algs[i] },
+		func(i int) (envRes, error) {
+			e, r, err := RunSharedMemEnv(RunCfg{
+				Config: cfg, Alg: algs[i], Threads: threads,
+				Duration: o.Duration, Seed: 7, RecordRunnable: true,
+				Window: o.Window,
+			}, 100)
+			return envRes{e, r}, err
+		})
 	if err := FirstError(errs); err != nil {
 		return err
 	}
@@ -397,7 +435,11 @@ func runFig5b(o ExpOptions, w io.Writer) error {
 		}
 	}
 	fmt.Fprintln(w)
-	grid, err := runGrid(o.Parallel, len(o.Algs), len(subs)*len(gaps), func(row, col int) (Result, error) {
+	label := func(row, col int) string {
+		s, g := subs[col/len(gaps)], gaps[col%len(gaps)]
+		return fmt.Sprintf("%s/%s-gap%d", o.Algs[row], s.name, g)
+	}
+	grid, err := runGrid(o.Parallel, len(o.Algs), len(subs)*len(gaps), o.expLabel("fig5b"), label, func(row, col int) (Result, error) {
 		s, g := subs[col/len(gaps)], gaps[col%len(gaps)]
 		threads := int(float64(cfg.NumCPUs) * s.ratio)
 		return averageRuns(o, func(seed uint64) (Result, error) {
@@ -429,7 +471,8 @@ func runFig5c(o ExpOptions, w io.Writer) error {
 	base, _ := MachineConfig("intel")
 	cfg := ScaleConfig(base, o.Scale)
 	threads := threadSweep(cfg.NumCPUs)
-	grid, err := runGrid(o.Parallel, len(o.Algs), len(threads), func(row, col int) (Result, error) {
+	label := func(row, col int) string { return fmt.Sprintf("%s/t%d", o.Algs[row], threads[col]) }
+	grid, err := runGrid(o.Parallel, len(o.Algs), len(threads), o.expLabel("fig5c"), label, func(row, col int) (Result, error) {
 		return averageRuns(o, func(seed uint64) (Result, error) {
 			return RunSharedMem(RunCfg{
 				Config: cfg, Alg: o.Algs[row], Threads: threads[col],
@@ -463,10 +506,12 @@ func runOverhead(o ExpOptions, w io.Writer) error {
 	cfg := ScaleConfig(base, o.Scale)
 	opts := hackbench.Options{Groups: 6, Pairs: 8, Messages: 300}
 	type pair struct{ off, on float64 }
-	pairs, errs := ParallelMap(o.Parallel, o.Seeds, func(s int) (pair, error) {
-		off, on, err := RunHackbench(cfg, uint64(7+s), opts)
-		return pair{float64(off), float64(on)}, err
-	})
+	pairs, errs := ParallelMapLabeled(o.Parallel, o.Seeds, o.expLabel("overhead"),
+		func(s int) string { return fmt.Sprintf("hackbench/seed%d", s) },
+		func(s int) (pair, error) {
+			off, on, err := RunHackbench(cfg, uint64(7+s), opts)
+			return pair{float64(off), float64(on)}, err
+		})
 	if err := FirstError(errs); err != nil {
 		return err
 	}
@@ -505,14 +550,16 @@ func runAblationPerLock(o ExpOptions, w io.Writer) error {
 	threads := cfg.NumCPUs * 2
 	fmt.Fprintf(w, "# hash-table (multiple locks), %d threads on %d contexts (2× oversubscribed)\n",
 		threads, cfg.NumCPUs)
-	res, errs := ParallelMap(o.Parallel, 2, func(i int) (Result, error) {
-		return averageRuns(o, func(seed uint64) (Result, error) {
-			return RunHashTable(RunCfg{
-				Config: cfg, Alg: "flexguard", Threads: threads,
-				Duration: o.Duration, Seed: seed, PerLock: i == 1,
+	res, errs := ParallelMapLabeled(o.Parallel, 2, o.expLabel("ablation-perlock"),
+		func(i int) string { return []string{"system-wide", "per-lock"}[i] },
+		func(i int) (Result, error) {
+			return averageRuns(o, func(seed uint64) (Result, error) {
+				return RunHashTable(RunCfg{
+					Config: cfg, Alg: "flexguard", Threads: threads,
+					Duration: o.Duration, Seed: seed, PerLock: i == 1,
+				})
 			})
 		})
-	})
 	if err := FirstError(errs); err != nil {
 		return err
 	}
@@ -532,14 +579,16 @@ func runAblationMCSExit(o ExpOptions, w io.Writer) error {
 	cfg := ScaleConfig(base, o.Scale)
 	threads := cfg.NumCPUs * 2
 	fmt.Fprintf(w, "# sharedmem, %d threads on %d contexts (2× oversubscribed)\n", threads, cfg.NumCPUs)
-	res, errs := ParallelMap(o.Parallel, 2, func(i int) (Result, error) {
-		return averageRuns(o, func(seed uint64) (Result, error) {
-			return RunSharedMem(RunCfg{
-				Config: cfg, Alg: "flexguard", Threads: threads,
-				Duration: o.Duration, Seed: seed, BlockingMCSExit: i == 1,
-			}, 100)
+	res, errs := ParallelMapLabeled(o.Parallel, 2, o.expLabel("ablation-mcsexit"),
+		func(i int) string { return []string{"spin-exit", "blocking-mcs-exit"}[i] },
+		func(i int) (Result, error) {
+			return averageRuns(o, func(seed uint64) (Result, error) {
+				return RunSharedMem(RunCfg{
+					Config: cfg, Alg: "flexguard", Threads: threads,
+					Duration: o.Duration, Seed: seed, BlockingMCSExit: i == 1,
+				}, 100)
+			})
 		})
-	})
 	if err := FirstError(errs); err != nil {
 		return err
 	}

@@ -207,7 +207,10 @@ func OpenLoopGrid(g OpenLoopGridCfg) ([]OpenLoopResult, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("harness: empty open-loop grid")
 	}
-	results, errs := ParallelMap(g.Parallel, n, func(i int) (OpenLoopResult, error) {
+	label := func(i int) string {
+		return fmt.Sprintf("%s/r%g/%s", g.Patterns[i/(nr*na)], g.RatesMs[i/na%nr], g.Algs[i%na])
+	}
+	results, errs := ParallelMapLabeled(g.Parallel, n, "openloop", label, func(i int) (OpenLoopResult, error) {
 		p := i / (nr * na)
 		rIdx := i / na % nr
 		a := i % na

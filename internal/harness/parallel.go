@@ -10,9 +10,11 @@ package harness
 // depends on completion order.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"sync"
 )
 
@@ -30,6 +32,15 @@ func Workers(n int) int {
 // is isolated: it is captured (with its stack) as that cell's error and
 // the remaining cells still run.
 func ParallelMap[T any](workers, n int, fn func(i int) (T, error)) ([]T, []error) {
+	return ParallelMapLabeled(workers, n, "", nil, fn)
+}
+
+// ParallelMapLabeled is ParallelMap with pprof labels: every cell runs
+// under {experiment, cell} labels, so a CPU or goroutine profile of a
+// long sweep attributes samples to the (experiment, cell, seed) that
+// burned them rather than to an anonymous worker pool. experiment "" or
+// a nil label function disables labeling for that dimension.
+func ParallelMapLabeled[T any](workers, n int, experiment string, label func(i int) string, fn func(i int) (T, error)) ([]T, []error) {
 	results := make([]T, n)
 	errs := make([]error, n)
 	workers = Workers(workers)
@@ -38,7 +49,7 @@ func ParallelMap[T any](workers, n int, fn func(i int) (T, error)) ([]T, []error
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			results[i], errs[i] = runCell(i, fn)
+			results[i], errs[i] = runCell(i, experiment, label, fn)
 		}
 		return results, errs
 	}
@@ -49,7 +60,7 @@ func ParallelMap[T any](workers, n int, fn func(i int) (T, error)) ([]T, []error
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i], errs[i] = runCell(i, fn)
+				results[i], errs[i] = runCell(i, experiment, label, fn)
 			}
 		}()
 	}
@@ -61,14 +72,28 @@ func ParallelMap[T any](workers, n int, fn func(i int) (T, error)) ([]T, []error
 	return results, errs
 }
 
-// runCell invokes one cell with panic isolation.
-func runCell[T any](i int, fn func(i int) (T, error)) (res T, err error) {
+// runCell invokes one cell with panic isolation, under the sweep's
+// pprof labels when any were requested.
+func runCell[T any](i int, experiment string, label func(i int) string, fn func(i int) (T, error)) (res T, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("cell %d panicked: %v\n%s", i, r, debug.Stack())
 		}
 	}()
-	return fn(i)
+	if experiment == "" && label == nil {
+		return fn(i)
+	}
+	kv := make([]string, 0, 4)
+	if experiment != "" {
+		kv = append(kv, "experiment", experiment)
+	}
+	if label != nil {
+		kv = append(kv, "cell", label(i))
+	}
+	pprof.Do(context.Background(), pprof.Labels(kv...), func(context.Context) {
+		res, err = fn(i)
+	})
+	return res, err
 }
 
 // FirstError returns the lowest-index non-nil error, or nil.
@@ -87,9 +112,17 @@ func gridCell(i, cols int) (row, col int) { return i / cols, i % cols }
 // runGrid evaluates every cell of a rows×cols table through the worker
 // pool and returns results indexed [row][col]. The first failing cell's
 // error is returned (cells after a failure still complete; their
-// results are discarded with the table).
-func runGrid(workers, rows, cols int, cell func(r, c int) (Result, error)) ([][]Result, error) {
-	flat, errs := ParallelMap(workers, rows*cols, func(i int) (Result, error) {
+// results are discarded with the table). experiment and label feed the
+// pprof cell labels (see ParallelMapLabeled).
+func runGrid(workers, rows, cols int, experiment string, label func(r, c int) string, cell func(r, c int) (Result, error)) ([][]Result, error) {
+	var flatLabel func(i int) string
+	if label != nil {
+		flatLabel = func(i int) string {
+			r, c := gridCell(i, cols)
+			return label(r, c)
+		}
+	}
+	flat, errs := ParallelMapLabeled(workers, rows*cols, experiment, flatLabel, func(i int) (Result, error) {
 		r, c := gridCell(i, cols)
 		return cell(r, c)
 	})

@@ -47,9 +47,10 @@ type RunCfg struct {
 	Window sim.Time
 }
 
-// prepare builds the env; the workload's worker threads must be spawned
-// before spinners so Collect can identify them by index.
-func prepare(c RunCfg) (*Env, sim.Time, error) {
+// runOptions resolves a RunCfg into the env construction options and
+// the workload duration (the pure-data half of prepare, shared with the
+// warm-snapshot path in snapshot.go).
+func runOptions(c RunCfg) (EnvOptions, sim.Time) {
 	cfg := c.Config
 	cfg.Seed = c.Seed
 	if cfg.Seed == 0 {
@@ -59,16 +60,22 @@ func prepare(c RunCfg) (*Env, sim.Time, error) {
 	if need := c.Threads + c.Spinners + 8; cfg.MaxThreads < need {
 		cfg.MaxThreads = need
 	}
-	e, err := NewEnv(EnvOptions{
+	dur := c.Duration
+	if dur == 0 {
+		dur = 20_000_000
+	}
+	return EnvOptions{
 		Config:          cfg,
 		Alg:             c.Alg,
 		PerLock:         c.PerLock,
 		BlockingMCSExit: c.BlockingMCSExit,
 		Observe:         c.Observe,
-	})
-	if err != nil {
-		return nil, 0, err
-	}
+	}, dur
+}
+
+// attach wires the optional observers onto a built env (the other half
+// of the construction closure the warm-snapshot path replays).
+func attach(e *Env, c RunCfg, dur sim.Time) {
 	if c.Trace {
 		// A tiny ring suffices: the digest is folded per event before
 		// eviction, so it is exact over the whole stream.
@@ -76,10 +83,6 @@ func prepare(c RunCfg) (*Env, sim.Time, error) {
 	}
 	if c.Races {
 		e.Race = check.AttachRace(e.M, check.RaceOptions{})
-	}
-	dur := c.Duration
-	if dur == 0 {
-		dur = 20_000_000
 	}
 	if c.Window > 0 {
 		// The run horizon is dur+dur/4 (see finish); size the series
@@ -90,21 +93,35 @@ func prepare(c RunCfg) (*Env, sim.Time, error) {
 			ExpectWindows: int((dur+dur/4)/c.Window) + 1,
 		})
 	}
+}
+
+// prepare builds the env; the workload's worker threads must be spawned
+// before spinners so Collect can identify them by index.
+func prepare(c RunCfg) (*Env, sim.Time, error) {
+	o, dur := runOptions(c)
+	e, err := NewEnv(o)
+	if err != nil {
+		return nil, 0, err
+	}
+	attach(e, c, dur)
 	return e, dur, nil
 }
 
 // finish runs the machine (deadline at 80% of the horizon so in-flight
-// operations complete) and collects worker metrics.
+// operations complete) and collects worker metrics. Deadlines are
+// relative to the machine clock at entry (zero on cold machines; the
+// snapshot boundary on warm clones).
 func finish(e *Env, c RunCfg, dur sim.Time) Result {
-	e.SpawnSpinners(c.Spinners, dur)
-	q := e.M.Run(dur + dur/4)
+	base := e.M.Now()
+	e.SpawnSpinners(c.Spinners, base+dur)
+	q := e.M.Run(base + dur + dur/4)
 	r := e.Collect(c.Threads, dur)
 	r.Spinners = c.Spinners
 	// Threads still parked when the machine drained are a hang only if
 	// the drain happened before the workload deadline: waiters stranded
 	// at shutdown (e.g. barrier peers whose partners exited on deadline)
 	// are a benign end-of-run artifact.
-	if q < dur && e.M.Deadlocked() {
+	if q < base+dur && e.M.Deadlocked() {
 		r.Deadlocked = true
 		r.DeadlockDump = e.M.DeadlockReport()
 	}

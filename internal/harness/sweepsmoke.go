@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// SweepSmokeCell is the canonical fixed-shape cell used by the
+// determinism suite, the golden digests, the sweep benchmarks and the
+// CI sweep-throughput smoke: small machine, moderate oversubscription,
+// tracer on, fixed seed.
+func SweepSmokeCell(alg string) RunCfg {
+	return RunCfg{
+		Config:   sim.Small(4),
+		Alg:      alg,
+		Threads:  6,
+		Duration: 400_000,
+		Seed:     11,
+		Trace:    true,
+	}
+}
+
+// SweepSmoke measures sweep-engine throughput for the CI report gate:
+// reps repetitions of one canonical cell per algorithm fanned through
+// the worker pool, plus the snapshot path's setup cost ratio. Metrics
+// land in rep under "sweep/smoke" so `flexreport -gate` can compare
+// them against the committed baseline:
+//
+//	cells_per_sec    cold sweep cells completed per wall-clock second
+//	sim_ev_per_sec   aggregate simulated events per wall-clock second
+//	clone_speedup    cold per-seed setup cost / snapshot-clone cost
+//
+// The throughput numbers are wall-clock and host-dependent — the gate
+// threshold absorbs runner variance; clone_speedup is a within-run
+// ratio and far more stable.
+func SweepSmoke(reps, workers int, rep *Report, w io.Writer) error {
+	algs := AllAlgorithms
+	var events int64
+	//flexlint:allow determinism wall-clock throughput measurement; feeds no digest
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		res, errs := ParallelMapLabeled(workers, len(algs), "sweepsmoke",
+			func(j int) string { return algs[j] },
+			func(j int) (Result, error) { return RunSharedMem(SweepSmokeCell(algs[j]), 100) })
+		if err := FirstError(errs); err != nil {
+			return err
+		}
+		for _, r := range res {
+			events += r.TraceEvents
+		}
+	}
+	//flexlint:allow determinism wall-clock throughput measurement; feeds no digest
+	elapsed := time.Since(start).Seconds()
+	cells := float64(reps * len(algs))
+
+	speedup, err := cloneSpeedup()
+	if err != nil {
+		return err
+	}
+	m := map[string]float64{
+		"cells_per_sec":  cells / elapsed,
+		"sim_ev_per_sec": float64(events) / elapsed,
+		"clone_speedup":  speedup,
+	}
+	if rep != nil {
+		rep.AddMetrics("sweep/smoke", m)
+	}
+	fmt.Fprintf(w, "sweep smoke: %.1f cells/s, %.3g sim-ev/s, clone %.1fx cheaper than cold setup (%d reps × %d algs, %d workers)\n",
+		m["cells_per_sec"], m["sim_ev_per_sec"], speedup, reps, len(algs), Workers(workers))
+	return nil
+}
+
+// cloneSpeedup times per-seed setup cost cold (env construction + warm
+// phase on a fresh machine) against the snapshot path (clone of a
+// prebuilt snapshot), the ratio BenchmarkSnapshotClone tracks.
+func cloneSpeedup() (float64, error) {
+	const iters = 256
+	c := SweepSmokeCell("mcs")
+	warm := WarmSpec{Threads: 4, Duration: 1_000_000}
+	wm, err := Prewarm(c, warm)
+	if err != nil {
+		return 0, err
+	}
+	// Untimed warmup so allocator effects hit neither side.
+	if _, _, err := prewarmEnv(c, warm); err != nil {
+		return 0, err
+	}
+	wm.clone(1)
+
+	//flexlint:allow determinism wall-clock cost measurement; feeds no digest
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, _, err := prewarmEnv(c, warm); err != nil {
+			return 0, err
+		}
+	}
+	//flexlint:allow determinism wall-clock cost measurement; feeds no digest
+	cold := time.Since(t0)
+
+	//flexlint:allow determinism wall-clock cost measurement; feeds no digest
+	t1 := time.Now()
+	for i := 0; i < iters; i++ {
+		wm.clone(uint64(i + 1))
+	}
+	//flexlint:allow determinism wall-clock cost measurement; feeds no digest
+	clone := time.Since(t1)
+	if clone <= 0 {
+		clone = 1
+	}
+	return float64(cold) / float64(clone), nil
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"iter"
 	"sort"
 	"strings"
 
@@ -89,9 +90,14 @@ type cpuCtx struct {
 	cur       *Thread
 	switching bool // a dispatch is in flight toward this context
 
-	// Local runqueue shard: q[qhead:] are the queued threads, FIFO.
-	q     []*Thread
-	qhead int
+	// Local runqueue shard: an intrusive FIFO linked through
+	// Thread.rqNext (a thread is on at most one shard, so one link field
+	// suffices). The intrusive list makes push/pop/push-front pointer
+	// writes with zero allocation — the slice representation it replaces
+	// allocated on every wake-preemption push-front and periodically
+	// compacted its backing array.
+	qh, qt *Thread
+	qlen   int32
 }
 
 // Machine is a simulated multicore machine. Create with New, add threads
@@ -119,6 +125,24 @@ type Machine struct {
 	killHooks []KillHook
 	mem       MemObserver
 	nextWord  int32
+
+	// Word state, structure-of-arrays (see word.go): per-line owner and
+	// sharer bitmaps indexed by dense line id, and the chunked value
+	// arena indexed by dense word id. words registers every allocated
+	// handle in id order (snapshot/clone walks it).
+	lineOwner   []int32
+	lineSharers []uint64 // lineStride words per line
+	lineStride  int32
+	valChunks   [][]uint64
+	words       []*Word
+
+	// Adoption state, set by Clone: allocations with id < adoptWords are
+	// replaying the snapshotted prefix and adopt the snapshot's slot and
+	// line (adoptLine/adoptName indexed by word id) instead of
+	// allocating fresh state.
+	adoptWords int
+	adoptLine  []int32
+	adoptName  []string
 
 	// spinners holds the live UNSCOPED spinners (SpinWhile with no watch
 	// set): their conditions may read any word, so every store
@@ -165,9 +189,10 @@ func New(cfg Config) *Machine {
 		panic("sim: Config.Costs.Timeslice must be positive")
 	}
 	m := &Machine{
-		cfg:    cfg,
-		futexQ: make(map[*Word][]*Thread),
-		rng:    dist.NewRand(cfg.Seed),
+		cfg:        cfg,
+		futexQ:     make(map[*Word][]*Thread),
+		rng:        dist.NewRand(cfg.Seed),
+		lineStride: int32((cfg.NumCPUs + 63) / 64),
 	}
 	m.cpus = make([]*cpuCtx, cfg.NumCPUs)
 	for i := range m.cpus {
@@ -322,7 +347,7 @@ func (m *Machine) ScheduleWork(at Time, fn func()) {
 // allocation-free.
 func (m *Machine) RunqDepths(dst []int32) []int32 {
 	for _, c := range m.cpus {
-		dst = append(dst, int32(len(c.q)-c.qhead))
+		dst = append(dst, c.qlen)
 	}
 	return dst
 }
@@ -337,8 +362,6 @@ func (m *Machine) Spawn(name string, body func(p *Proc)) *Thread {
 		id:      len(m.threads),
 		name:    name,
 		m:       m,
-		resume:  make(chan struct{}),
-		yield:   make(chan struct{}),
 		cpu:     -1,
 		lastCPU: -1,
 		Rand:    m.rng.Split(),
@@ -368,21 +391,25 @@ func (m *Machine) Spawn(name string, body func(p *Proc)) *Thread {
 	t.fnSlice = func() { m.sliceFire(t) }
 	t.fnDispatch = func() { m.dispatch(m.cpus[t.dispatchCPU], t) }
 	m.threads = append(m.threads, t)
-	go func() {
-		<-t.resume
-		if !t.killed {
-			func() {
-				defer func() {
-					if r := recover(); r != nil && r != errKilled {
-						panic(r)
-					}
-				}()
-				body(t.proc)
+	// The thread body runs as a coroutine: nothing executes until the
+	// first next() (the first dispatch), and every Proc op suspends it via
+	// yieldFn until the machine resumes it. Shutdown calls stop, which
+	// makes the suspended yieldFn return false; Proc.do then panics
+	// errKilled so the body unwinds, and the recover below swallows
+	// exactly that sentinel. A real panic in workload code propagates out
+	// of next() into the caller (the sweep engine's per-cell recover).
+	t.next, t.stop = iter.Pull(func(yield func(struct{}) bool) {
+		t.yieldFn = yield
+		func() {
+			defer func() {
+				if r := recover(); r != nil && r != errKilled {
+					panic(r)
+				}
 			}()
-		}
+			body(t.proc)
+		}()
 		t.done = true
-		t.yield <- struct{}{}
-	}()
+	})
 	m.makeRunnable(t)
 	return t
 }
@@ -397,6 +424,62 @@ func (m *Machine) Run(until Time) Time {
 	}
 	m.running = true
 	m.horizon = until
+	m.drained = false
+	m.loop(until, false)
+	quiesced := m.clock
+	if m.clock < until {
+		// Queue drained early: everything is blocked or done.
+		m.clock = until
+	}
+	m.shutdown()
+	m.running = false
+	m.finished = true
+	return quiesced
+}
+
+// RunPhase processes events until virtual time `until` like Run, but
+// leaves the machine alive: no thread is terminated, and more threads
+// may be spawned and Run (or another RunPhase) called afterwards. A
+// phase must quiesce on its own — every strong event fires before the
+// phase horizon — because the boundary is a potential snapshot point
+// (see Machine.Snapshot); a phase that still has pending work at its
+// horizon panics instead of silently discarding it. Whatever inert
+// events remain at the boundary (lazily-canceled stragglers, weak
+// instrumentation events) are discarded, exactly as Run discards them
+// at shutdown, so the next phase starts from an empty queue. Returns
+// the quiesce time and leaves the clock at until.
+func (m *Machine) RunPhase(until Time) Time {
+	if m.finished {
+		panic("sim: RunPhase after Run finished")
+	}
+	m.running = true
+	m.horizon = until
+	m.drained = false
+	m.loop(until, true)
+	quiesced := m.clock
+	if m.clock < until {
+		m.clock = until
+	}
+	m.eq.Reset()
+	m.running = false
+	return quiesced
+}
+
+// Reseed repositions the machine's root random stream at a phase
+// boundary. Snapshot-based sweeps use it to give each per-seed cell an
+// identical stream regardless of how the warm phase (or the clone's
+// construction replay) advanced the generator: both the continuing
+// machine and a clone call Reseed with the cell seed before spawning
+// the measured workload, making the two paths draw identically.
+func (m *Machine) Reseed(seed uint64) {
+	if m.running {
+		panic("sim: Reseed while running")
+	}
+	m.rng = dist.NewRand(seed)
+}
+
+// loop is the event loop shared by Run and RunPhase.
+func (m *Machine) loop(until Time, phase bool) {
 	for {
 		if m.eq.StrongLen() == 0 {
 			// Nothing left but weak (instrumentation) events, if that.
@@ -404,16 +487,19 @@ func (m *Machine) Run(until Time) Time {
 			// the clock still at the last real event, so the quiesce
 			// time and deadlock detection match an uninstrumented run.
 			m.drained = true
-			break
+			return
 		}
 		ev := m.eq.Pop()
 		if ev == nil {
 			m.drained = true
-			break
+			return
 		}
 		if ev.At >= until {
+			if phase {
+				panic(fmt.Sprintf("sim: RunPhase horizon %d reached with work pending at %d; a phase must quiesce", until, ev.At))
+			}
 			m.clock = until
-			break
+			return
 		}
 		if ev.At < m.clock {
 			panic(fmt.Sprintf("sim: time went backwards: event at %d, clock %d", ev.At, m.clock))
@@ -427,15 +513,6 @@ func (m *Machine) Run(until Time) Time {
 		// can be reused by the next Schedule.
 		m.eq.Recycle(ev)
 	}
-	quiesced := m.clock
-	if m.clock < until {
-		// Queue drained early: everything is blocked or done.
-		m.clock = until
-	}
-	m.shutdown()
-	m.running = false
-	m.finished = true
-	return quiesced
 }
 
 // Deadlocked reports, after Run, whether the machine deadlocked: the
@@ -566,13 +643,21 @@ func (m *Machine) KillAt(at Time, t *Thread) {
 // false if t is on no shard (its dispatch is in flight).
 func (m *Machine) runqRemove(t *Thread) bool {
 	for _, c := range m.cpus {
-		for i := c.qhead; i < len(c.q); i++ {
-			if c.q[i] != t {
+		var prev *Thread
+		for x := c.qh; x != nil; prev, x = x, x.rqNext {
+			if x != t {
 				continue
 			}
-			copy(c.q[i:], c.q[i+1:])
-			c.q[len(c.q)-1] = nil
-			c.q = c.q[:len(c.q)-1]
+			if prev == nil {
+				c.qh = t.rqNext
+			} else {
+				prev.rqNext = t.rqNext
+			}
+			if c.qt == t {
+				c.qt = prev
+			}
+			t.rqNext = nil
+			c.qlen--
 			m.nqueued--
 			return true
 		}
@@ -610,12 +695,15 @@ func (m *Machine) shutdown() {
 	}
 	m.spinners = nil
 	for _, t := range m.threads {
-		if t.done {
+		if t.done || t.stop == nil {
+			// Done threads unwound themselves; ghost threads restored by
+			// Snapshot.Clone never had a coroutine to begin with.
 			continue
 		}
-		t.killed = true
-		t.resume <- struct{}{}
-		<-t.yield
+		// stop makes the thread's suspended yield return false (or, for a
+		// never-dispatched thread, prevents the body from ever starting);
+		// it returns once the body has unwound.
+		t.stop()
 	}
 	if m.cfg.RecordRunnable {
 		m.timeline.Record(m.clock, m.runnable)
@@ -652,10 +740,10 @@ func (m *Machine) homeCPU(t *Thread) *cpuCtx {
 func (m *Machine) runqPush(t *Thread) {
 	home := m.homeCPU(t)
 	c := home
-	if best := len(home.q) - home.qhead; best > 0 {
+	if best := home.qlen; best > 0 {
 		for _, v := range m.cpus {
-			if d := len(v.q) - v.qhead; d < best {
-				best, c = d, v
+			if v.qlen < best {
+				best, c = v.qlen, v
 			}
 		}
 	}
@@ -664,34 +752,41 @@ func (m *Machine) runqPush(t *Thread) {
 
 // runqPushLocal enqueues t at the tail of c's shard.
 func (m *Machine) runqPushLocal(c *cpuCtx, t *Thread) {
-	c.q = append(c.q, t)
+	t.rqNext = nil
+	if c.qt == nil {
+		c.qh = t
+	} else {
+		c.qt.rqNext = t
+	}
+	c.qt = t
+	c.qlen++
 	m.nqueued++
 }
 
 // runqPushFront inserts t at the head of c's shard (wake preemption:
 // the woken thread takes the context its victim releases).
 func (m *Machine) runqPushFront(c *cpuCtx, t *Thread) {
-	if c.qhead > 0 {
-		c.qhead--
-		c.q[c.qhead] = t
-	} else {
-		c.q = append([]*Thread{t}, c.q...)
+	t.rqNext = c.qh
+	c.qh = t
+	if c.qt == nil {
+		c.qt = t
 	}
+	c.qlen++
 	m.nqueued++
 }
 
 // popLocal dequeues the head of c's shard, or nil if it is empty.
 func (m *Machine) popLocal(c *cpuCtx) *Thread {
-	if c.qhead == len(c.q) {
+	t := c.qh
+	if t == nil {
 		return nil
 	}
-	t := c.q[c.qhead]
-	c.q[c.qhead] = nil
-	c.qhead++
-	if c.qhead > 64 && c.qhead*2 > len(c.q) {
-		c.q = append(c.q[:0], c.q[c.qhead:]...)
-		c.qhead = 0
+	c.qh = t.rqNext
+	if c.qh == nil {
+		c.qt = nil
 	}
+	t.rqNext = nil
+	c.qlen--
 	m.nqueued--
 	return t
 }
@@ -1028,8 +1123,7 @@ func (m *Machine) finishOp(t *Thread) {
 // thread is preempted, or it exits.
 func (m *Machine) step(t *Thread) {
 	for {
-		t.resume <- struct{}{}
-		<-t.yield
+		t.next()
 		if t.done {
 			m.onExit(t)
 			return

@@ -453,7 +453,7 @@ func TestSharedLineWords(t *testing.T) {
 	cfg.Costs.Jitter = 0 // assert exact costs
 	m := New(cfg)
 	ws := m.NewWords("line", 2)
-	if ws[0].line != ws[1].line {
+	if ws[0].lineID != ws[1].lineID {
 		t.Fatal("NewWords must share one cache line")
 	}
 	var second Time

@@ -61,8 +61,7 @@ func (m *Machine) execOp(t *Thread) bool {
 		}
 		m.instr(t, cost)
 	case opSpin:
-		t.spinCond = req.cond
-		t.spinBudget = req.max
+		t.spinBudget = t.spinMax
 		m.resumeSpin(t)
 	case opFutexWait:
 		// Value check and blocking happen atomically at syscall completion
@@ -124,38 +123,38 @@ func (m *Machine) applyOpEffect(t *Thread) {
 	req := &t.req
 	switch req.kind {
 	case opLoad:
-		t.res = opRes{val: req.w.v}
+		t.res = opRes{val: *req.w.p}
 		if m.mem != nil {
-			m.memEvent(MemEvent{Kind: MemLoad, TID: tid(t), W: req.w, Old: req.w.v, New: req.w.v})
+			m.memEvent(MemEvent{Kind: MemLoad, TID: tid(t), W: req.w, Old: *req.w.p, New: *req.w.p})
 		}
 	case opStore:
-		old := req.w.v
-		req.w.v = req.a
+		old := *req.w.p
+		*req.w.p = req.a
 		t.res = opRes{}
 		if m.mem != nil {
-			m.memEvent(MemEvent{Kind: MemStore, TID: tid(t), W: req.w, Old: old, New: req.a, Wrote: true, Rel: req.rel})
+			m.memEvent(MemEvent{Kind: MemStore, TID: tid(t), W: req.w, Old: old, New: req.a, Wrote: true, Rel: req.flags&flagRel != 0})
 		}
 		m.applyRegionAfter(t, req)
 		m.checkSpinners(req.w)
 	case opCAS:
-		old := req.w.v
+		old := *req.w.p
 		if old == req.a {
-			req.w.v = req.b
+			*req.w.p = req.b
 		}
 		t.res = opRes{val: old}
-		if req.setReg {
+		if req.flags&flagSetReg != 0 {
 			t.Reg = old
 		}
 		if m.mem != nil {
-			m.memEvent(MemEvent{Kind: MemRMW, TID: tid(t), W: req.w, Old: old, New: req.w.v, Wrote: old == req.a})
+			m.memEvent(MemEvent{Kind: MemRMW, TID: tid(t), W: req.w, Old: old, New: *req.w.p, Wrote: old == req.a})
 		}
 		m.applyRegionAfter(t, req)
 		m.checkSpinners(req.w)
 	case opXchg:
-		old := req.w.v
-		req.w.v = req.a
+		old := *req.w.p
+		*req.w.p = req.a
 		t.res = opRes{val: old}
-		if req.setReg {
+		if req.flags&flagSetReg != 0 {
 			t.Reg = old
 		}
 		if m.mem != nil {
@@ -164,11 +163,11 @@ func (m *Machine) applyOpEffect(t *Thread) {
 		m.applyRegionAfter(t, req)
 		m.checkSpinners(req.w)
 	case opAdd:
-		old := req.w.v
-		req.w.v = uint64(int64(req.w.v) + int64(req.a))
-		t.res = opRes{val: req.w.v}
+		old := *req.w.p
+		*req.w.p = uint64(int64(*req.w.p) + int64(req.a))
+		t.res = opRes{val: *req.w.p}
 		if m.mem != nil {
-			m.memEvent(MemEvent{Kind: MemRMW, TID: tid(t), W: req.w, Old: old, New: req.w.v, Wrote: true})
+			m.memEvent(MemEvent{Kind: MemRMW, TID: tid(t), W: req.w, Old: old, New: *req.w.p, Wrote: true})
 		}
 		m.applyRegionAfter(t, req)
 		m.checkSpinners(req.w)
@@ -188,7 +187,7 @@ func (m *Machine) applyOpEffect(t *Thread) {
 // applyRegionAfter applies an op's atomic region transition (the label
 // directly following an instruction).
 func (m *Machine) applyRegionAfter(t *Thread, req *opReq) {
-	if req.hasRegionAfter {
+	if req.flags&flagRegionAfter != 0 {
 		t.Region = req.regionAfter
 	}
 }
@@ -255,7 +254,7 @@ func (m *Machine) computeFire(t *Thread) {
 func (m *Machine) resumeSpin(t *Thread) {
 	t.pending = pendSpin
 	t.spinStart = m.clock
-	if t.req.max > 0 && t.spinBudget <= 0 {
+	if t.spinMax > 0 && t.spinBudget <= 0 {
 		// Budget consumed on earlier legs; deliver the timeout after one
 		// final check iteration.
 		m.eq.Schedule(m.clock+m.cfg.Costs.Pause, t.fnSpinFinal)
@@ -267,7 +266,7 @@ func (m *Machine) resumeSpin(t *Thread) {
 		return
 	}
 	m.registerSpinner(t)
-	if t.req.max > 0 {
+	if t.spinMax > 0 {
 		t.spinTimeEv = m.eq.Schedule(m.clock+t.spinBudget, t.fnSpinTimeout)
 	}
 }
@@ -281,17 +280,17 @@ func (m *Machine) registerSpinner(t *Thread) {
 	m.spinSeq++
 	t.spinReg = true
 	scoped := false
-	for _, w := range t.req.watch {
+	for _, w := range t.spinWatch {
 		if w != nil {
 			scoped = true
-			w.watchers = append(w.watchers, t)
+			w.watchers = append(w.watchers, int32(t.id))
 		}
 	}
 	if !scoped {
 		m.spinners = append(m.spinners, t)
 	}
 	if m.mem != nil {
-		m.memEvent(MemEvent{Kind: MemSpinStart, TID: tid(t), Watch: t.req.watch})
+		m.memEvent(MemEvent{Kind: MemSpinStart, TID: tid(t), Watch: t.spinWatch})
 	}
 }
 
@@ -304,13 +303,13 @@ func (m *Machine) unregisterSpinner(t *Thread) {
 	}
 	t.spinReg = false
 	scoped := false
-	for _, w := range t.req.watch {
+	for _, w := range t.spinWatch {
 		if w == nil {
 			continue
 		}
 		scoped = true
 		for i, s := range w.watchers {
-			if s == t {
+			if s == int32(t.id) {
 				w.watchers = append(w.watchers[:i], w.watchers[i+1:]...)
 				break
 			}
@@ -345,8 +344,8 @@ func (m *Machine) checkSpinners(w *Word) {
 	i, j := 0, 0
 	for i < len(ws) || j < len(gs) {
 		var t *Thread
-		if j >= len(gs) || (i < len(ws) && ws[i].spinSeq < gs[j].spinSeq) {
-			t = ws[i]
+		if j >= len(gs) || (i < len(ws) && m.threads[ws[i]].spinSeq < gs[j].spinSeq) {
+			t = m.threads[ws[i]]
 			i++
 		} else {
 			t = gs[j]
@@ -398,7 +397,7 @@ func (m *Machine) completeSpin(t *Thread, timeout bool) {
 		if timeout {
 			arg = 1
 		}
-		m.memEvent(MemEvent{Kind: MemSpinExit, TID: tid(t), Arg: arg, Watch: t.req.watch})
+		m.memEvent(MemEvent{Kind: MemSpinExit, TID: tid(t), Arg: arg, Watch: t.spinWatch})
 	}
 	t.res = opRes{timeout: timeout}
 	m.finishOp(t)
@@ -417,7 +416,7 @@ func (m *Machine) pauseSpin(t *Thread) {
 		t.spinTimeEv.Cancel()
 		t.spinTimeEv = nil
 	}
-	if t.req.max > 0 {
+	if t.spinMax > 0 {
 		t.spinBudget -= m.clock - t.spinStart
 	}
 	t.pending = pendSpin
@@ -443,9 +442,9 @@ func (m *Machine) futexWaitDone(t *Thread) {
 	if m.mem != nil {
 		// The futex's atomic value check reads the word whether the
 		// thread blocks or bails with EAGAIN.
-		m.memEvent(MemEvent{Kind: MemLoad, TID: tid(t), W: req.w, Old: req.w.v, New: req.w.v})
+		m.memEvent(MemEvent{Kind: MemLoad, TID: tid(t), W: req.w, Old: *req.w.p, New: *req.w.p})
 	}
-	if req.w.v != req.a {
+	if *req.w.p != req.a {
 		t.res = opRes{ok: false}
 		m.finishOp(t)
 		return

@@ -33,26 +33,34 @@ const (
 	opCSAdd
 )
 
-// opReq describes the operation a thread is blocked on.
+// opFlags packs an op's boolean modifiers into one byte, keeping opReq
+// small: the struct is copied on every op submission (Proc method call →
+// do → Thread.req), so its size is hot-loop state.
+type opFlags uint8
+
+const (
+	// flagRegionAfter applies regionAfter atomically with the op's
+	// effect, modeling a label immediately following the instruction
+	// (e.g. at_store).
+	flagRegionAfter opFlags = 1 << iota
+	// flagSetReg stores the result in Thread.Reg (the RCX idiom).
+	flagSetReg
+	// flagRel marks an atomic release store (StoreRel): identical cost
+	// and effect to a plain store, but the MemEvent carries the
+	// annotation so race-detecting observers treat it as synchronization.
+	flagRel
+)
+
+// opReq describes the operation a thread is blocked on. Spin operands
+// (condition, budget, watch set) live on the Thread instead — they are
+// cold relative to the fixed-cost ops and would triple the struct's
+// copy cost.
 type opReq struct {
-	kind opKind
-	w    *Word
-	a, b uint64 // operands (old/new, value, delta, expect, ticks, wake count)
-	cond func() bool
-	max  Time // spin budget (0 = unbounded)
-	// regionAfter is applied atomically with the op's effect, modeling a
-	// label immediately following the instruction (e.g. at_store).
-	regionAfter    Region
-	hasRegionAfter bool
-	setReg         bool // store the result in Thread.Reg (the RCX idiom)
-	// rel marks an atomic release store (StoreRel): identical cost and
-	// effect to a plain store, but the MemEvent carries the annotation so
-	// race-detecting observers treat it as synchronization.
-	rel bool
-	// watch is a spin op's declared watch set (SpinOn): cond depends only
-	// on these words, so only stores to them re-evaluate the spinner. All
-	// nil means unscoped (SpinWhile): re-evaluated on every store.
-	watch [3]*Word
+	kind        opKind
+	flags       opFlags
+	regionAfter Region
+	w           *Word
+	a, b        uint64 // operands (old/new, value, delta, expect, ticks, wake count)
 }
 
 // opRes carries an operation's result back to the thread.
@@ -102,9 +110,8 @@ func (p *Proc) do(req opReq) opRes {
 			t.opCostSet = true
 		}
 	}
-	t.yield <- struct{}{}
-	<-t.resume
-	if t.killed {
+	if !t.yieldFn(struct{}{}) {
+		// The machine called stop (shutdown): unwind the body.
 		panic(errKilled)
 	}
 	return t.res
@@ -158,13 +165,13 @@ func (p *Proc) Store(w *Word, v uint64) {
 // concurrent writes to the same word (e.g. FlexGuard's out-of-order MCS
 // drain, §3.2.3, where a stale handover store may cross a re-enqueue).
 func (p *Proc) StoreRel(w *Word, v uint64) {
-	p.do(opReq{kind: opStore, w: w, a: v, rel: true})
+	p.do(opReq{kind: opStore, w: w, a: v, flags: flagRel})
 }
 
 // StoreTo writes w and atomically enters region r with the store's effect
 // (modeling a label directly after the store instruction).
 func (p *Proc) StoreTo(w *Word, v uint64, r Region) {
-	p.do(opReq{kind: opStore, w: w, a: v, regionAfter: r, hasRegionAfter: true})
+	p.do(opReq{kind: opStore, w: w, a: v, regionAfter: r, flags: flagRegionAfter})
 }
 
 // CAS atomically compares w to old and, if equal, sets it to new. It
@@ -172,19 +179,19 @@ func (p *Proc) StoreTo(w *Word, v uint64, r Region) {
 // in Thread.Reg, mirroring the paper's inline-assembly idiom of pinning
 // the atomic's result into RCX for the Preemption Monitor.
 func (p *Proc) CAS(w *Word, old, new uint64) uint64 {
-	return p.do(opReq{kind: opCAS, w: w, a: old, b: new, setReg: true}).val
+	return p.do(opReq{kind: opCAS, w: w, a: old, b: new, flags: flagSetReg}).val
 }
 
 // Xchg atomically exchanges w's value with v, returning the prior value
 // (also latched into Thread.Reg).
 func (p *Proc) Xchg(w *Word, v uint64) uint64 {
-	return p.do(opReq{kind: opXchg, w: w, a: v, setReg: true}).val
+	return p.do(opReq{kind: opXchg, w: w, a: v, flags: flagSetReg}).val
 }
 
 // XchgTo is Xchg plus an atomic transition to region r with the effect
 // (e.g. the unlock store followed immediately by the at_store label).
 func (p *Proc) XchgTo(w *Word, v uint64, r Region) uint64 {
-	return p.do(opReq{kind: opXchg, w: w, a: v, setReg: true, regionAfter: r, hasRegionAfter: true}).val
+	return p.do(opReq{kind: opXchg, w: w, a: v, regionAfter: r, flags: flagSetReg | flagRegionAfter}).val
 }
 
 // Add atomically adds delta to w and returns the new value.
@@ -197,7 +204,7 @@ func (p *Proc) Add(w *Word, delta int64) uint64 {
 // context, its timeslice keeps expiring, and iterations are accounted into
 // SpinIters. Returns once cond() is observed false.
 func (p *Proc) SpinWhile(cond func() bool) {
-	p.do(opReq{kind: opSpin, cond: cond})
+	p.spin(cond, 0, [3]*Word{})
 }
 
 // SpinWhileMax is SpinWhile with an on-CPU budget of max ticks. It returns
@@ -207,8 +214,7 @@ func (p *Proc) SpinWhileMax(cond func() bool, max Time) bool {
 	if max <= 0 {
 		return !cond()
 	}
-	res := p.do(opReq{kind: opSpin, cond: cond, max: max})
-	return !res.timeout
+	return !p.spin(cond, max, [3]*Word{}).timeout
 }
 
 // SpinOn is SpinWhile with a declared watch set: cond must depend only on
@@ -218,7 +224,7 @@ func (p *Proc) SpinWhileMax(cond func() bool, max Time) bool {
 // fast path. Declaring a watch set that does not cover every word cond
 // reads is a correctness bug: the spinner can miss its wakeup.
 func (p *Proc) SpinOn(cond func() bool, ws ...*Word) {
-	p.do(opReq{kind: opSpin, cond: cond, watch: watchSet(ws)})
+	p.spin(cond, 0, watchSet(ws))
 }
 
 // SpinOnMax is SpinWhileMax with a declared watch set (see SpinOn).
@@ -226,8 +232,17 @@ func (p *Proc) SpinOnMax(cond func() bool, max Time, ws ...*Word) bool {
 	if max <= 0 {
 		return !cond()
 	}
-	res := p.do(opReq{kind: opSpin, cond: cond, max: max, watch: watchSet(ws)})
-	return !res.timeout
+	return !p.spin(cond, max, watchSet(ws)).timeout
+}
+
+// spin stages the spin operands on the thread (they are read by the
+// machine side after the handoff) and submits the op.
+func (p *Proc) spin(cond func() bool, max Time, watch [3]*Word) opRes {
+	t := p.t
+	t.spinCond = cond
+	t.spinMax = max
+	t.spinWatch = watch
+	return p.do(opReq{kind: opSpin})
 }
 
 // watchSet packs a watch list into the fixed-size opReq field, dropping

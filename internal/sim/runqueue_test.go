@@ -35,7 +35,7 @@ func TestRunqueueShardPlacement(t *testing.T) {
 				t.Fatalf("home shard = %d, want %d", got, tc.wantShard)
 			}
 			c := m.cpus[tc.wantShard]
-			if len(c.q)-c.qhead != 1 || c.q[c.qhead] != th {
+			if c.qlen != 1 || c.qh != th {
 				t.Fatalf("thread not queued on shard %d", tc.wantShard)
 			}
 			if m.runqLen() != 1 {

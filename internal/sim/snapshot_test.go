@@ -1,0 +1,216 @@
+package sim
+
+import "testing"
+
+// snapEnv is the construction closure's output: the Go-heap handles a
+// snapshot cannot carry and Clone rebuilds by replay.
+type snapEnv struct {
+	warm []*Word // warm-phase scratch (one line-shared group + singles)
+	data []*Word // measured-workload words
+	tr   *Tracer
+}
+
+// snapAlloc is a representative construction closure: words on shared
+// and private lines, a registered lock name, and an attached tracer.
+func snapAlloc(m *Machine) *snapEnv {
+	e := &snapEnv{tr: m.AttachTracer(64)}
+	e.warm = m.NewWords("warm.shared", 3)
+	e.warm = append(e.warm, m.NewWord("warm.a", 7), m.NewWord("warm.b", 0))
+	for i := 0; i < 4; i++ {
+		e.data = append(e.data, m.NewWord("data", 0))
+	}
+	m.RegisterLockName("snap.lock")
+	return e
+}
+
+// snapWarm runs a warm phase to quiescence: threads that dirty cache
+// lines, spin against each other, and leave values in the warm words.
+func snapWarm(m *Machine, e *snapEnv) {
+	for i := 0; i < 3; i++ {
+		i := i
+		m.Spawn("warm", func(p *Proc) {
+			for j := 0; j < 20; j++ {
+				p.Add(e.warm[i], 1)
+				p.Load(e.warm[(i+1)%3])
+				p.Compute(Time(100 + 50*i))
+			}
+			if i == 0 {
+				p.Store(e.warm[3], 42)
+			}
+			p.Thread().Ops = int64(20 + i)
+		})
+	}
+	m.RunPhase(2_000_000)
+}
+
+// snapWorkload spawns the measured phase: contended CAS-based exchange
+// over the data words with per-thread RNG draws, so any divergence in
+// clock, RNG position, cache state, or scheduling shows up in the
+// digest and stats.
+func snapWorkload(m *Machine, e *snapEnv, horizon Time) {
+	for i := 0; i < 4; i++ {
+		i := i
+		m.Spawn("load", func(p *Proc) {
+			for p.Now() < horizon-50_000 {
+				w := e.data[p.Thread().Rand.Intn(len(e.data))]
+				if p.CAS(w, 0, uint64(i+1)) == 0 {
+					p.Compute(200)
+					p.Store(w, 0)
+				} else {
+					p.SpinOnMax(func() bool { return w.V() != 0 }, 2_000, w)
+				}
+				p.Thread().Ops++
+			}
+		})
+	}
+	m.Run(horizon)
+}
+
+type snapResult struct {
+	digest   uint64
+	seen     int64
+	clock    Time
+	switches int64
+	ops      [7]int64
+	vals     [4]uint64
+}
+
+func collectSnap(m *Machine, e *snapEnv) snapResult {
+	r := snapResult{digest: e.tr.Digest(), seen: e.tr.Seen, clock: m.Now(), switches: m.TotalSwitches}
+	for i, t := range m.Threads() {
+		r.ops[i] = t.Ops
+	}
+	for i, w := range e.data {
+		r.vals[i] = w.V()
+	}
+	return r
+}
+
+// TestSnapshotCloneEquivalence is the core clone guarantee: a clone at
+// the phase boundary, reseeded and driven by the same workload, is
+// byte-identical (trace digest, event count, stats, final word values)
+// to the machine that kept running.
+func TestSnapshotCloneEquivalence(t *testing.T) {
+	const horizon = 5_000_000
+	cfg := Small(2)
+	cfg.Seed = 9
+
+	// Cold reference: one machine runs both phases back to back.
+	mc := New(cfg)
+	ec := snapAlloc(mc)
+	snapWarm(mc, ec)
+	mc.Reseed(1234)
+	snapWorkload(mc, ec, horizon)
+	want := collectSnap(mc, ec)
+
+	// Snapshot path: identical setup, snapshot at the boundary, then run
+	// the workload on a clone.
+	ms := New(cfg)
+	es := snapAlloc(ms)
+	snapWarm(ms, es)
+	snap := ms.Snapshot()
+
+	var e2 *snapEnv
+	m2 := snap.Clone(func(m *Machine) { e2 = snapAlloc(m) })
+	m2.Reseed(1234)
+	snapWorkload(m2, e2, horizon)
+	got := collectSnap(m2, e2)
+
+	if got != want {
+		t.Fatalf("clone diverged from cold run:\n got %+v\nwant %+v", got, want)
+	}
+
+	// The snapshot stays valid after a first clone: a second clone must
+	// reproduce the same run (clones share nothing).
+	var e3 *snapEnv
+	m3 := snap.Clone(func(m *Machine) { e3 = snapAlloc(m) })
+	m3.Reseed(1234)
+	snapWorkload(m3, e3, horizon)
+	if got3 := collectSnap(m3, e3); got3 != want {
+		t.Fatalf("second clone diverged:\n got %+v\nwant %+v", got3, want)
+	}
+
+	// Different seed, different run: Reseed must actually matter.
+	var e4 *snapEnv
+	m4 := snap.Clone(func(m *Machine) { e4 = snapAlloc(m) })
+	m4.Reseed(99)
+	snapWorkload(m4, e4, horizon)
+	if got4 := collectSnap(m4, e4); got4.digest == want.digest {
+		t.Fatal("different seed produced an identical digest")
+	}
+}
+
+// TestSnapshotCarriesWarmState checks the adopted state is really the
+// warmed state, not a fresh construction: warm word values survive into
+// the clone, and the clone starts at the boundary clock with the warm
+// threads visible as finished ghosts.
+func TestSnapshotCarriesWarmState(t *testing.T) {
+	cfg := Small(2)
+	cfg.Seed = 9
+	m := New(cfg)
+	e := snapAlloc(m)
+	snapWarm(m, e)
+	snap := m.Snapshot()
+
+	var e2 *snapEnv
+	m2 := snap.Clone(func(mm *Machine) { e2 = snapAlloc(mm) })
+	if got := e2.warm[3].V(); got != 42 {
+		t.Errorf("warm word value not carried: got %d, want 42", got)
+	}
+	if e2.warm[0].V() != e.warm[0].V() {
+		t.Errorf("warm counter diverged: got %d, want %d", e2.warm[0].V(), e.warm[0].V())
+	}
+	if m2.Now() != m.Now() {
+		t.Errorf("clone clock %d, want boundary clock %d", m2.Now(), m.Now())
+	}
+	ths := m2.Threads()
+	if len(ths) != 3 {
+		t.Fatalf("clone has %d ghost threads, want 3", len(ths))
+	}
+	for i, th := range ths {
+		if th.State() != StateDone {
+			t.Errorf("ghost %d state %v, want done", i, th.State())
+		}
+		if th.Ops != int64(20+i) {
+			t.Errorf("ghost %d Ops = %d, want %d", i, th.Ops, 20+i)
+		}
+	}
+	if e2.tr.Seen != e.tr.Seen || e2.tr.Digest() != e.tr.Digest() {
+		t.Error("tracer state not carried into the clone")
+	}
+}
+
+// TestSnapshotRejectsLiveMachine: the quiescence preconditions must be
+// enforced, not assumed.
+func TestSnapshotRejectsLiveMachine(t *testing.T) {
+	cfg := Small(2)
+	m := New(cfg)
+	w := m.NewWord("w", 0)
+	m.Spawn("blocked", func(p *Proc) { p.FutexWait(w, 0) })
+	m.RunPhase(100_000)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Snapshot of a machine with a parked thread did not panic")
+		}
+	}()
+	m.Snapshot()
+}
+
+// TestCloneAllocDivergenceCaught: a replay that allocates a different
+// word where the snapshot had another must fail loudly.
+func TestCloneAllocDivergenceCaught(t *testing.T) {
+	cfg := Small(2)
+	m := New(cfg)
+	m.NewWord("a", 1)
+	m.NewWord("b", 2)
+	snap := m.Snapshot()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("divergent replay did not panic")
+		}
+	}()
+	snap.Clone(func(mm *Machine) {
+		mm.NewWord("a", 1)
+		mm.NewWord("c", 3) // diverges: snapshot had "b" here
+	})
+}

@@ -94,18 +94,29 @@ type Thread struct {
 	// Rand is this thread's private deterministic stream.
 	Rand *dist.Rand
 
-	id     int
-	name   string
-	m      *Machine
-	proc   *Proc
-	resume chan struct{}
-	yield  chan struct{}
+	id   int
+	name string
+	m    *Machine
+	proc *Proc
+
+	// Coroutine handoff (iter.Pull over the thread body). next transfers
+	// control into the thread until it posts its next op or exits; stop
+	// terminates it (the suspended yieldFn call returns false and the body
+	// unwinds via errKilled). A coroutine switch is several times cheaper
+	// than the unbuffered-channel ping-pong it replaced — the handoff is
+	// the dominant real-time cost of the event loop — and keeps the
+	// invariant that exactly one of {machine, thread} runs at a time.
+	next    func() (struct{}, bool)
+	stop    func()
+	yieldFn func(struct{}) bool
 
 	state   State
 	cpu     int // hardware context while running, else -1
 	lastCPU int // context of the most recent dispatch, -1 if never ran
-	killed  bool
 	done    bool
+	// rqNext links the thread into its runqueue shard's intrusive FIFO
+	// (nil when not queued, or at the shard tail).
+	rqNext *Thread
 
 	// Current op plumbing.
 	req       opReq
@@ -120,8 +131,15 @@ type Thread struct {
 	opCost    Time
 	opCostSet bool
 
-	// Spin bookkeeping (valid while the current op is a spin).
-	spinCond   func() bool
+	// Spin bookkeeping (valid while the current op is a spin). The spin
+	// operands live here rather than in opReq so the per-op request stays
+	// a small fixed-cost copy; Proc.spin stages them before submitting.
+	spinCond func() bool
+	spinMax  Time // submitted spin budget (0 = unbounded)
+	// spinWatch is the declared watch set (SpinOn): cond depends only on
+	// these words, so only stores to them re-evaluate the spinner. All
+	// nil means unscoped (SpinWhile): re-evaluated on every store.
+	spinWatch  [3]*Word
 	spinBudget Time // remaining spin ticks before timeout (0 = unbounded)
 	spinStart  Time // when the current on-CPU spin leg began
 	spinExitEv *vtime.Event

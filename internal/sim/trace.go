@@ -174,9 +174,21 @@ type Tracer struct {
 	// before ring eviction, so Digest is exact over the full event
 	// stream regardless of the ring capacity. Seen counts all events
 	// ever recorded (buffered plus evicted).
-	digest uint64
-	Seen   int64
+	//
+	// The fold is batched: record stages each event's four key words in
+	// pending and the byte-at-a-time FNV loop runs over whole runs of
+	// events at once (flush), keeping the multiply-xor dependency chain
+	// out of the per-event path. Batching cannot change the hash — FNV-1a
+	// is a sequential fold and flush preserves word order exactly.
+	digest  uint64
+	pending []uint64
+	Seen    int64
 }
+
+// digestBatch is the pending-buffer flush threshold in words (a multiple
+// of the 4 words per event). pending is pre-sized to this capacity so
+// steady-state recording never allocates.
+const digestBatch = 512
 
 // FNV-1a 64-bit parameters.
 const (
@@ -189,7 +201,7 @@ func (m *Machine) AttachTracer(max int) *Tracer {
 	if max <= 0 {
 		max = 1 << 16
 	}
-	tr := &Tracer{max: max, digest: fnvOffset64}
+	tr := &Tracer{max: max, digest: fnvOffset64, pending: make([]uint64, 0, digestBatch)}
 	m.tracer = tr
 	return tr
 }
@@ -198,17 +210,24 @@ func (m *Machine) AttachTracer(max int) *Tracer {
 // kind, thread ids and lock id of each, in stream order). Two runs are
 // behaviourally identical exactly when their digests and Seen counts
 // match; scheduler refactors that change semantics cannot hide from it.
-func (tr *Tracer) Digest() uint64 { return tr.digest }
+func (tr *Tracer) Digest() uint64 {
+	tr.flush()
+	return tr.digest
+}
 
-// fold mixes one 64-bit word into the digest byte by byte.
-func (tr *Tracer) fold(v uint64) {
+// flush folds the staged key words into the digest byte by byte, in
+// staging order.
+func (tr *Tracer) flush() {
 	h := tr.digest
-	for i := 0; i < 8; i++ {
-		h ^= v & 0xff
-		h *= fnvPrime64
-		v >>= 8
+	for _, v := range tr.pending {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= fnvPrime64
+			v >>= 8
+		}
 	}
 	tr.digest = h
+	tr.pending = tr.pending[:0]
 }
 
 // record appends an event, evicting the oldest at capacity.
@@ -218,10 +237,14 @@ func (tr *Tracer) record(at Time, kind TraceKind, prev, next, lock int32) {
 	}
 	ev := TraceEvent{At: at, Kind: kind, Prev: prev, Next: next, Lock: lock}
 	tr.Seen++
-	tr.fold(uint64(at))
-	tr.fold(uint64(kind))
-	tr.fold(uint64(uint32(prev))<<32 | uint64(uint32(next)))
-	tr.fold(uint64(uint32(lock)))
+	tr.pending = append(tr.pending,
+		uint64(at),
+		uint64(kind),
+		uint64(uint32(prev))<<32|uint64(uint32(next)),
+		uint64(uint32(lock)))
+	if len(tr.pending) >= digestBatch {
+		tr.flush()
+	}
 	if len(tr.events) < tr.max {
 		tr.events = append(tr.events, ev)
 		return

@@ -8,33 +8,50 @@ const (
 	ownerKernel int32 = -2
 )
 
-// CacheLine models coherence state for cost purposes: an exclusive owner
-// and a set of sharers. It does not store data; Words point at their line.
-type CacheLine struct {
-	owner   int32
-	sharers []uint64 // bitmap over hardware contexts
+// Cache-coherence state lives in machine-owned structure-of-arrays
+// slices indexed by dense line id rather than in per-Word heap objects:
+// the owner array and the sharer bitmaps are the hottest state in the
+// cost model (every load/store/RMW reads and writes them), and packing
+// them keeps the step loop off pointer-chased cache lines and out of
+// the GC scan set. It also makes machine snapshots a bulk array copy.
+
+// valChunk is the word-value arena chunk size. Values are allocated in
+// fixed-size chunks so existing *uint64 slots never move on growth.
+const valChunk = 256
+
+// newLine allocates a cache line and returns its dense id.
+func (m *Machine) newLine() int32 {
+	id := int32(len(m.lineOwner))
+	m.lineOwner = append(m.lineOwner, ownerNone)
+	for i := int32(0); i < m.lineStride; i++ {
+		m.lineSharers = append(m.lineSharers, 0)
+	}
+	return id
 }
 
-func newLine(ncpu int) *CacheLine {
-	return &CacheLine{owner: ownerNone, sharers: make([]uint64, (ncpu+63)/64)}
+// sharers returns line's sharer bitmap (lineStride words over contexts).
+func (m *Machine) sharers(line int32) []uint64 {
+	base := line * m.lineStride
+	return m.lineSharers[base : base+m.lineStride]
 }
 
-func (l *CacheLine) hasSharer(cpu int) bool {
-	return l.sharers[cpu/64]&(1<<uint(cpu%64)) != 0
+func (m *Machine) hasSharer(line int32, cpu int) bool {
+	return m.lineSharers[line*m.lineStride+int32(cpu/64)]&(1<<uint(cpu%64)) != 0
 }
 
-func (l *CacheLine) addSharer(cpu int) {
-	l.sharers[cpu/64] |= 1 << uint(cpu%64)
+func (m *Machine) addSharer(line int32, cpu int) {
+	m.lineSharers[line*m.lineStride+int32(cpu/64)] |= 1 << uint(cpu%64)
 }
 
-func (l *CacheLine) clearSharers() {
-	for i := range l.sharers {
-		l.sharers[i] = 0
+func (m *Machine) clearSharers(line int32) {
+	s := m.sharers(line)
+	for i := range s {
+		s[i] = 0
 	}
 }
 
-func (l *CacheLine) onlySharerIs(cpu int) bool {
-	for i, w := range l.sharers {
+func (m *Machine) onlySharerIs(line int32, cpu int) bool {
+	for i, w := range m.sharers(line) {
 		mask := uint64(0)
 		if cpu/64 == i {
 			mask = 1 << uint(cpu%64)
@@ -51,21 +68,29 @@ func (l *CacheLine) onlySharerIs(cpu int) bool {
 // applies. Reads of the raw value via V are free and are used by spin
 // conditions and kernel-side (tracepoint) code; thread code pays costs by
 // going through Proc.Load/Store/CAS/Xchg/Add.
+//
+// A Word is a handle: its value lives in the machine's chunked value
+// arena (w.p points at the slot, stable for the Word's lifetime) and
+// its coherence state in the machine's line arrays, both indexed by the
+// dense allocation ids. Outside internal/sim, always go through the
+// Word API — flexlint's wordaccess pass flags direct indexing into the
+// backing arrays just like raw value-field access.
 type Word struct {
-	v    uint64
-	line *CacheLine
-	name string
-	id   int32 // dense per-machine allocation index (see Word.ID)
+	p      *uint64 // value slot in the machine's arena
+	lineID int32   // dense cache-line id in the machine's line arrays
+	id     int32   // dense per-machine allocation index (see Word.ID)
+	name   string
 
 	// watchers are the live scoped spinners (Proc.SpinOn) polling this
-	// word, in registration order. A store to the word re-evaluates only
-	// these plus the machine's unscoped spinners; see checkSpinners.
-	watchers []*Thread
+	// word, by thread id, in registration order. A store to the word
+	// re-evaluates only these plus the machine's unscoped spinners; see
+	// checkSpinners.
+	watchers []int32
 }
 
 // V returns the current raw value without cost accounting. Use only from
 // spin conditions, kernel-side hooks, or post-run inspection.
-func (w *Word) V() uint64 { return w.v }
+func (w *Word) V() uint64 { return *w.p }
 
 // Name returns the debug name given at allocation.
 func (w *Word) Name() string { return w.name }
@@ -75,10 +100,47 @@ func (w *Word) Name() string { return w.name }
 // through the race auditor key words by ID, not pointer).
 func (w *Word) ID() int32 { return w.id }
 
-// NewWord allocates a Word on its own cache line.
+// newSlot allocates the value slot for word id, growing the arena by
+// whole chunks so existing slots never move.
+func (m *Machine) newSlot(id int32, init uint64) *uint64 {
+	ci, off := int(id)/valChunk, int(id)%valChunk
+	if ci == len(m.valChunks) {
+		m.valChunks = append(m.valChunks, make([]uint64, valChunk))
+	}
+	p := &m.valChunks[ci][off]
+	*p = init
+	return p
+}
+
+// slot returns the existing value slot for word id.
+func (m *Machine) slot(id int32) *uint64 {
+	return &m.valChunks[int(id)/valChunk][int(id)%valChunk]
+}
+
+// adopt resolves word id against the snapshot being replayed: the value
+// slot and line id come from the snapshot (the warmed state), and the
+// name is asserted so a construction replay that diverges from the
+// snapshotted machine fails loudly instead of silently mismapping words.
+func (m *Machine) adopt(id int32, name string) *Word {
+	if name != m.adoptName[id] {
+		panic("sim: snapshot replay diverged: word " + name + " allocated where " + m.adoptName[id] + " was snapshotted")
+	}
+	return &Word{p: m.slot(id), lineID: m.adoptLine[id], name: name, id: id}
+}
+
+// NewWord allocates a Word on its own cache line. On a cloned machine,
+// allocations replaying the snapshotted prefix adopt the snapshot's
+// value and coherence state instead (see Machine.Clone).
 func (m *Machine) NewWord(name string, init uint64) *Word {
-	w := &Word{v: init, line: newLine(m.cfg.NumCPUs), name: name, id: m.nextWord}
+	id := m.nextWord
 	m.nextWord++
+	var w *Word
+	if int(id) < m.adoptWords {
+		w = m.adopt(id, name)
+	} else {
+		w = &Word{p: m.newSlot(id, init), lineID: m.newLine(), name: name, id: id}
+	}
+	m.words = append(m.words, w)
 	return w
 }
 
@@ -86,24 +148,33 @@ func (m *Machine) NewWord(name string, init uint64) *Word {
 // false/true sharing, e.g. the two cache lines touched by the
 // shared-memory-access microbenchmark's critical section).
 func (m *Machine) NewWords(name string, n int) []*Word {
-	line := newLine(m.cfg.NumCPUs)
+	line := int32(-1)
 	ws := make([]*Word, n)
 	for i := range ws {
-		ws[i] = &Word{line: line, name: name, id: m.nextWord}
+		id := m.nextWord
 		m.nextWord++
+		if int(id) < m.adoptWords {
+			ws[i] = m.adopt(id, name)
+		} else {
+			if line < 0 {
+				line = m.newLine()
+			}
+			ws[i] = &Word{p: m.newSlot(id, 0), lineID: line, name: name, id: id}
+		}
+		m.words = append(m.words, ws[i])
 	}
 	return ws
 }
 
 // loadCost computes the cost of a load by cpu and updates sharer state.
 func (m *Machine) loadCost(cpu int, w *Word) Time {
-	l := w.line
-	if l.owner == int32(cpu) || l.hasSharer(cpu) {
+	l := w.lineID
+	if m.lineOwner[l] == int32(cpu) || m.hasSharer(l, cpu) {
 		return m.cfg.Costs.LoadHit
 	}
-	l.addSharer(cpu)
-	if l.owner == ownerKernel {
-		l.owner = ownerNone
+	m.addSharer(l, cpu)
+	if m.lineOwner[l] == ownerKernel {
+		m.lineOwner[l] = ownerNone
 	}
 	return m.cfg.Costs.LoadRemote
 }
@@ -111,11 +182,11 @@ func (m *Machine) loadCost(cpu int, w *Word) Time {
 // rmwCost computes the cost of a store or atomic RMW by cpu and takes
 // exclusive ownership of the line.
 func (m *Machine) rmwCost(cpu int, w *Word, atomic bool) Time {
-	l := w.line
-	local := l.owner == int32(cpu) && l.onlySharerIs(cpu)
-	l.owner = int32(cpu)
-	l.clearSharers()
-	l.addSharer(cpu)
+	l := w.lineID
+	local := m.lineOwner[l] == int32(cpu) && m.onlySharerIs(l, cpu)
+	m.lineOwner[l] = int32(cpu)
+	m.clearSharers(l)
+	m.addSharer(l, cpu)
 	c := &m.cfg.Costs
 	switch {
 	case atomic && local:
@@ -133,10 +204,10 @@ func (m *Machine) rmwCost(cpu int, w *Word, atomic bool) Time {
 // invalidating user-space copies and re-evaluating spin conditions. It
 // charges no thread cost: hook cost is charged via Costs.HookCost.
 func (m *Machine) KernelStore(w *Word, v uint64) {
-	old := w.v
-	w.v = v
-	w.line.owner = ownerKernel
-	w.line.clearSharers()
+	old := *w.p
+	*w.p = v
+	m.lineOwner[w.lineID] = ownerKernel
+	m.clearSharers(w.lineID)
 	if m.mem != nil {
 		m.memEvent(MemEvent{Kind: MemKernel, TID: ownerKernel, W: w, Old: old, New: v, Wrote: true})
 	}
@@ -146,13 +217,13 @@ func (m *Machine) KernelStore(w *Word, v uint64) {
 // KernelAdd adds delta to w from kernel-side code and returns the new
 // value. See KernelStore.
 func (m *Machine) KernelAdd(w *Word, delta int64) uint64 {
-	old := w.v
-	w.v = uint64(int64(w.v) + delta)
-	w.line.owner = ownerKernel
-	w.line.clearSharers()
+	old := *w.p
+	*w.p = uint64(int64(old) + delta)
+	m.lineOwner[w.lineID] = ownerKernel
+	m.clearSharers(w.lineID)
 	if m.mem != nil {
-		m.memEvent(MemEvent{Kind: MemKernel, TID: ownerKernel, W: w, Old: old, New: w.v, Wrote: true})
+		m.memEvent(MemEvent{Kind: MemKernel, TID: ownerKernel, W: w, Old: old, New: *w.p, Wrote: true})
 	}
 	m.checkSpinners(w)
-	return w.v
+	return *w.p
 }

@@ -47,13 +47,23 @@ func (e *Event) Cancel() {
 // Canceled reports whether Cancel has been called on the event.
 func (e *Event) Canceled() bool { return e.canceled }
 
-// before reports whether e fires before o: earlier time, or scheduling
+// entry is a heap slot: the ordering key (time, sequence) stored inline
+// next to the event pointer. Sift comparisons — the hot path of every
+// push and pop — read keys straight from the contiguous heap slice
+// instead of chasing each Event pointer to a separate heap object.
+type entry struct {
+	at  Time
+	seq uint64
+	ev  *Event
+}
+
+// before reports whether a fires before b: earlier time, or scheduling
 // order on ties.
-func (e *Event) before(o *Event) bool {
-	if e.At != o.At {
-		return e.At < o.At
+func (a entry) before(b entry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return e.seq < o.seq
+	return a.seq < b.seq
 }
 
 // Queue is a deterministic min-heap of events. The zero value is an empty
@@ -69,7 +79,7 @@ func (e *Event) before(o *Event) bool {
 // the extra comparisons only on the rare deep sift. Sift paths are
 // hole-based (one write per level instead of a swap's three).
 type Queue struct {
-	heap []*Event
+	heap []entry
 	seq  uint64
 	// strong counts live (not canceled, not fired) non-weak events in
 	// the heap. When it reaches zero only telemetry remains; the
@@ -145,6 +155,18 @@ func (q *Queue) Recycle(e *Event) {
 	q.free = append(q.free, e)
 }
 
+// Reset discards every remaining event — canceled stragglers and weak
+// (instrumentation) events alike — returning them to the free list. The
+// simulator calls it at a phase boundary (Machine.RunPhase), where the
+// strong events have drained and whatever remains is inert telemetry
+// that must not leak into the next phase.
+func (q *Queue) Reset() {
+	for len(q.heap) > 0 {
+		q.Recycle(q.pop())
+	}
+	q.strong = 0
+}
+
 // PeekTime returns the firing time of the earliest live event, discarding
 // canceled events from the head. ok is false if the queue is empty.
 func (q *Queue) PeekTime() (t Time, ok bool) {
@@ -152,7 +174,7 @@ func (q *Queue) PeekTime() (t Time, ok bool) {
 	if len(q.heap) == 0 {
 		return 0, false
 	}
-	return q.heap[0].At, true
+	return q.heap[0].at, true
 }
 
 // Pop removes and returns the earliest live event, or nil if the queue is
@@ -170,7 +192,7 @@ func (q *Queue) Pop() *Event {
 }
 
 func (q *Queue) dropCanceled() {
-	for len(q.heap) > 0 && q.heap[0].canceled {
+	for len(q.heap) > 0 && q.heap[0].ev.canceled {
 		q.Recycle(q.pop())
 	}
 }
@@ -178,29 +200,30 @@ func (q *Queue) dropCanceled() {
 // push appends e and sifts it up with a hole: the displaced parents move
 // down one level each and e is written once at its final slot.
 func (q *Queue) push(e *Event) {
+	en := entry{at: e.At, seq: e.seq, ev: e}
 	i := len(q.heap)
-	q.heap = append(q.heap, e)
+	q.heap = append(q.heap, en)
 	for i > 0 {
 		p := (i - 1) / arity
 		parent := q.heap[p]
-		if !e.before(parent) {
+		if !en.before(parent) {
 			break
 		}
 		q.heap[i] = parent
-		parent.index = i
+		parent.ev.index = i
 		i = p
 	}
-	q.heap[i] = e
+	q.heap[i] = en
 	e.index = i
 }
 
 // pop removes the root and sifts the last event down with a hole,
 // selecting the smallest of up to arity children per level.
 func (q *Queue) pop() *Event {
-	top := q.heap[0]
+	top := q.heap[0].ev
 	n := len(q.heap) - 1
 	last := q.heap[n]
-	q.heap[n] = nil
+	q.heap[n] = entry{}
 	q.heap = q.heap[:n]
 	if n > 0 {
 		i := 0
@@ -223,11 +246,11 @@ func (q *Queue) pop() *Event {
 				break
 			}
 			q.heap[i] = q.heap[smallest]
-			q.heap[i].index = i
+			q.heap[i].ev.index = i
 			i = smallest
 		}
 		q.heap[i] = last
-		last.index = i
+		last.ev.index = i
 	}
 	top.index = -1
 	return top
