@@ -211,7 +211,6 @@ func diff(base, cur *harness.Report, keep map[string]bool) (rows []deltaRow, onl
 		}
 		matched[b.Name] = true
 		keys := make([]string, 0, len(b.Metrics))
-		//flexlint:allow determinism keys are sorted before use
 		for k := range b.Metrics {
 			if _, shared := c.Metrics[k]; shared && (keep == nil || keep[k]) {
 				keys = append(keys, k)

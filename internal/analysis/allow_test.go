@@ -1,0 +1,90 @@
+package analysis
+
+// Allow-annotation audit tests: parsing, suppression on the same and
+// previous line, usage tracking, the stale audit (unused entries and
+// unknown pass names), and the AllowRecord export behind -allows.
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestParseAllow(t *testing.T) {
+	passes, reason, ok := parseAllow("//flexlint:allow hotalloc,lockpair bounded one-time growth")
+	if !ok {
+		t.Fatal("parseAllow rejected a valid annotation")
+	}
+	if len(passes) != 2 || passes[0] != "hotalloc" || passes[1] != "lockpair" {
+		t.Errorf("passes = %v", passes)
+	}
+	if reason != "bounded one-time growth" {
+		t.Errorf("reason = %q", reason)
+	}
+	if _, _, ok := parseAllow("// a normal comment"); ok {
+		t.Error("normal comment parsed as allow")
+	}
+	if _, _, ok := parseAllow("//flexlint:allow"); ok {
+		t.Error("bare allow with no pass parsed")
+	}
+}
+
+func TestAllowIndexAndStaleAudit(t *testing.T) {
+	pkg := loadSrc(t, `package p
+
+func f() {
+	//flexlint:allow apass used above the line
+	_ = 1
+	_ = 2 //flexlint:allow bpass used on the line
+	//flexlint:allow apass never suppresses anything
+	_ = 3
+	//flexlint:allow nosuchpass typo
+	_ = 4
+}
+`)
+	ix := buildAllowIndex(pkg.Fset, []*Package{pkg})
+	if len(ix.list) != 4 {
+		t.Fatalf("indexed %d annotations, want 4", len(ix.list))
+	}
+
+	// Simulate the passes reporting: line 5 is covered by the line-4
+	// annotation, line 6 by its own trailing comment.
+	at := func(line int) token.Position {
+		return token.Position{Filename: "p.go", Line: line}
+	}
+	if !ix.allowed("apass", at(5)) {
+		t.Error("line-above annotation should suppress a line-5 apass finding")
+	}
+	if !ix.allowed("bpass", at(6)) {
+		t.Error("same-line annotation should suppress a line-6 bpass finding")
+	}
+	if ix.allowed("bpass", at(5)) {
+		t.Error("apass annotation must not suppress a bpass finding")
+	}
+
+	known := map[string]bool{"apass": true, "bpass": true}
+	stale := ix.stale(known)
+	if len(stale) != 2 {
+		t.Fatalf("stale audit returned %d findings, want 2: %v", len(stale), stale)
+	}
+	if !strings.Contains(stale[0].Message, "no apass finding is suppressed") {
+		t.Errorf("first stale finding = %q", stale[0].Message)
+	}
+	if !strings.Contains(stale[1].Message, `unknown pass "nosuchpass"`) {
+		t.Errorf("second stale finding = %q", stale[1].Message)
+	}
+
+	records := ix.records()
+	if len(records) != 4 {
+		t.Fatalf("records = %d, want 4", len(records))
+	}
+	active := 0
+	for _, r := range records {
+		if r.Active {
+			active++
+		}
+	}
+	if active != 2 {
+		t.Errorf("%d active records, want 2", active)
+	}
+}

@@ -1,0 +1,202 @@
+package analysis
+
+// Loader/call-graph edge-case tests: function literals, bound
+// function-valued locals, method values, generic instantiation, and
+// defer-in-loop all resolve to the right nodes and edge kinds.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// loadSrc type-checks one import-free source file into a Package.
+func loadSrc(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{}
+	tpkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{Path: "p", Fset: fset, Files: []*ast.File{f}, Types: tpkg, Info: info}
+}
+
+func nodeByName(t *testing.T, prog *Program, name string) *FuncNode {
+	t.Helper()
+	for _, n := range prog.Nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	names := make([]string, 0, len(prog.Nodes))
+	for _, n := range prog.Nodes {
+		names = append(names, n.Name)
+	}
+	t.Fatalf("no node named %q (have %v)", name, names)
+	return nil
+}
+
+func hasEdge(n *FuncNode, kind EdgeKind, callee *FuncNode) bool {
+	for _, e := range n.Edges {
+		if e.Kind == kind && e.Callee == callee {
+			return true
+		}
+	}
+	return false
+}
+
+func TestFuncLitsAndBoundLocals(t *testing.T) {
+	pkg := loadSrc(t, `package p
+func G() {}
+func F() {
+	f := func() { G() }
+	f()
+}
+`)
+	prog := BuildProgram([]*Package{pkg})
+	f := nodeByName(t, prog, "p.F")
+	lit := nodeByName(t, prog, "p.F$1")
+	g := nodeByName(t, prog, "p.G")
+	if lit.Parent != f {
+		t.Errorf("literal parent = %v, want p.F", lit.Parent)
+	}
+	if !hasEdge(f, EdgeBind, lit) {
+		t.Error("F should bind its literal at the assignment")
+	}
+	if !hasEdge(f, EdgeCall, lit) {
+		t.Error("calling the bound local f() should resolve to the literal")
+	}
+	if !hasEdge(lit, EdgeCall, g) {
+		t.Error("the literal should call G")
+	}
+}
+
+func TestBoundLocalInvalidatedByReassignment(t *testing.T) {
+	pkg := loadSrc(t, `package p
+func G() {}
+func H() {}
+func F(cond bool) {
+	f := G
+	if cond {
+		f = H
+	}
+	f()
+}
+`)
+	prog := BuildProgram([]*Package{pkg})
+	f := nodeByName(t, prog, "p.F")
+	g := nodeByName(t, prog, "p.G")
+	h := nodeByName(t, prog, "p.H")
+	// Double assignment: f() must not resolve to either target, but
+	// both references are still bound (reachable as values).
+	if hasEdge(f, EdgeCall, g) || hasEdge(f, EdgeCall, h) {
+		t.Error("reassigned local must not resolve to a single callee")
+	}
+	if !hasEdge(f, EdgeBind, g) || !hasEdge(f, EdgeBind, h) {
+		t.Error("both bound references should produce bind edges")
+	}
+}
+
+func TestMethodValues(t *testing.T) {
+	pkg := loadSrc(t, `package p
+type T struct{}
+func (T) M() {}
+func H() {
+	var t T
+	f := t.M
+	f()
+}
+`)
+	prog := BuildProgram([]*Package{pkg})
+	h := nodeByName(t, prog, "p.H")
+	m := nodeByName(t, prog, "p.(T).M")
+	if !hasEdge(h, EdgeBind, m) {
+		t.Error("taking the method value t.M should bind (T).M")
+	}
+	if !hasEdge(h, EdgeCall, m) {
+		t.Error("calling the bound method value should resolve to (T).M")
+	}
+}
+
+func TestGenericsInstantiation(t *testing.T) {
+	pkg := loadSrc(t, `package p
+func Apply[T any](f func(T), v T) { f(v) }
+func PrintInt(int) {}
+func UseInferred() { Apply(PrintInt, 3) }
+func UseExplicit() { Apply[int](PrintInt, 4) }
+`)
+	prog := BuildProgram([]*Package{pkg})
+	apply := nodeByName(t, prog, "p.Apply")
+	printInt := nodeByName(t, prog, "p.PrintInt")
+	for _, caller := range []string{"p.UseInferred", "p.UseExplicit"} {
+		n := nodeByName(t, prog, caller)
+		if !hasEdge(n, EdgeCall, apply) {
+			t.Errorf("%s should call the single Origin-normalized Apply node", caller)
+		}
+		if !hasEdge(n, EdgeBind, printInt) {
+			t.Errorf("%s should bind PrintInt passed as a function argument", caller)
+		}
+	}
+	// Exactly one Apply node exists despite two instantiations.
+	count := 0
+	for _, n := range prog.Nodes {
+		if n.Name == "p.Apply" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("generic Apply produced %d nodes, want 1", count)
+	}
+}
+
+func TestDeferInLoop(t *testing.T) {
+	pkg := loadSrc(t, `package p
+func G() {}
+func F() {
+	for i := 0; i < 3; i++ {
+		defer G()
+	}
+}
+`)
+	prog := BuildProgram([]*Package{pkg})
+	f := nodeByName(t, prog, "p.F")
+	g := nodeByName(t, prog, "p.G")
+	if !hasEdge(f, EdgeDefer, g) {
+		t.Error("defer inside a loop should produce a defer edge to G")
+	}
+}
+
+func TestReachRootAttribution(t *testing.T) {
+	pkg := loadSrc(t, `package p
+func Leaf() {}
+func Mid() { Leaf() }
+func RootA() { Mid() }
+func RootB() { go Leaf() }
+`)
+	prog := BuildProgram([]*Package{pkg})
+	rootA := nodeByName(t, prog, "p.RootA")
+	rootB := nodeByName(t, prog, "p.RootB")
+	leaf := nodeByName(t, prog, "p.Leaf")
+	reached := prog.Reach([]*FuncNode{rootB, rootA}, func(e Edge) bool {
+		return e.Kind != EdgeGo
+	})
+	if got := reached[leaf]; got != "p.RootA" {
+		t.Errorf("Leaf attributed to %q, want p.RootA (go edges excluded, roots sorted)", got)
+	}
+	if _, ok := reached[rootB]; !ok {
+		t.Error("roots must be in their own reach set")
+	}
+}

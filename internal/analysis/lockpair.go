@@ -1,193 +1,837 @@
 package analysis
 
-// The lockpair pass: in functions annotated //flexlint:critical-section
-// (and the function literals they spawn), every call x.Lock(...) must
-// be matched by x.Unlock(...) — same receiver expression — on every
-// path to a return or to the end of the function. Deferred Unlocks
-// satisfy every path. The analysis is a small block-structured abstract
-// interpretation over the held-lock set; it is intentionally
-// approximate (no goto/label support, loops analyzed as zero-or-more),
-// which is exactly right for critical sections, where control flow
-// should be boring.
+// The lockpair module pass: annotation-free Lock/Unlock pairing over
+// the whole-module call graph.
+//
+// Every function (declaration or literal) is interpreted over a
+// held-lock state: x.Lock(...) adds the rendered receiver expression,
+// x.Unlock(...) removes it, and a resolved call applies the callee's
+// summary — its net held-delta, with entries rooted at the callee's
+// receiver/parameters substituted by the caller's argument expressions
+// — so acquire/release helpers compose without annotations. Three
+// rules carry the teeth:
+//
+//  1. every exit path of a function must agree on the held set (a
+//     consistent nonzero delta is legal — that is what lock wrappers
+//     and acquire helpers look like — and becomes the summary);
+//  2. loop bodies must be lock-neutral per iteration;
+//  3. simulated-thread bodies (function values passed to
+//     Machine.Spawn) must exit with nothing held — the point where a
+//     consistent leak anywhere down the call chain surfaces.
+//
+// Approximations: branches merge by union (a conditional acquire
+// balanced by a conditional release is assumed intentional), recursion
+// summarizes to neutral, goroutines and unresolved dynamic calls are
+// lock-neutral, and labeled branches bind to the nearest loop.
 
 import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 	"strings"
 )
 
-const csDirective = "//flexlint:critical-section"
+// ---- state ----
 
-func runLockPair(pass *Pass) {
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil || !hasDirective(fn.Doc, csDirective) {
-				continue
-			}
-			lp := &lockPair{pass: pass}
-			lp.checkFunc(fn.Body)
-		}
-	}
+// lpInfo is one held (or over-released) lock's bookkeeping.
+type lpInfo struct {
+	count int
+	sites []ast.Node   // Lock call sites, oldest first
+	root  types.Object // leftmost ident's object, for summary rooting
 }
 
-func hasDirective(doc *ast.CommentGroup, directive string) bool {
-	if doc == nil {
-		return false
-	}
-	for _, c := range doc.List {
-		if strings.TrimSpace(c.Text) == directive {
-			return true
-		}
-	}
-	return false
+func (i *lpInfo) clone() *lpInfo {
+	c := *i
+	c.sites = append([]ast.Node(nil), i.sites...)
+	return &c
 }
 
-type lockPair struct {
-	pass *Pass
+// lpState is the abstract state: held counts plus deferred releases.
+type lpState struct {
+	held     map[string]*lpInfo
+	deferred map[string]int
 }
 
-// heldSet maps a receiver expression (rendered) to the position of its
-// Lock call.
-type heldSet map[string]ast.Node
+func newLPState() *lpState {
+	return &lpState{held: make(map[string]*lpInfo), deferred: make(map[string]int)}
+}
 
-func (h heldSet) clone() heldSet {
-	c := make(heldSet, len(h))
-	for k, v := range h {
-		c[k] = v
+func (s *lpState) clone() *lpState {
+	c := newLPState()
+	for k, v := range s.held {
+		c.held[k] = v.clone()
+	}
+	for k, v := range s.deferred {
+		c.deferred[k] = v
 	}
 	return c
 }
 
-// checkFunc analyzes one function body; function literals found inside
-// are analyzed independently (each is its own execution context).
-func (lp *lockPair) checkFunc(body *ast.BlockStmt) {
-	held := make(heldSet)
-	deferred := make(map[string]bool)
-	terminated := lp.block(body.List, held, deferred)
-	if !terminated {
-		lp.checkExit(body.End(), held, deferred)
+// add adjusts a key by delta, remembering the site and root on
+// acquisition.
+func (s *lpState) add(key string, delta int, site ast.Node, root types.Object) {
+	info := s.held[key]
+	if info == nil {
+		info = &lpInfo{root: root}
+		s.held[key] = info
+	}
+	info.count += delta
+	if delta > 0 && site != nil {
+		info.sites = append(info.sites, site)
+	}
+	if info.root == nil {
+		info.root = root
 	}
 }
 
-// checkExit reports every lock still held at an exit point. Iteration
-// order does not matter: Reportf positions are the Lock calls, and the
-// driver sorts diagnostics by position.
-func (lp *lockPair) checkExit(exit token.Pos, held heldSet, deferred map[string]bool) {
-	for recv, lockCall := range held { //flexlint:allow determinism diagnostics sorted by the driver
-		if deferred[recv] {
+// effective returns the exit-effective counts: held minus deferred.
+func (s *lpState) effective() map[string]*lpInfo {
+	out := make(map[string]*lpInfo, len(s.held))
+	for k, v := range s.held {
+		out[k] = v.clone()
+	}
+	for k, d := range s.deferred {
+		info := out[k]
+		if info == nil {
+			info = &lpInfo{}
+			out[k] = info
+		}
+		info.count -= d
+	}
+	return out
+}
+
+func sortedLPKeys(m map[string]*lpInfo) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	return keys
+}
+
+// ---- summaries ----
+
+const (
+	lpRootRecv = iota
+	lpRootParam
+	lpRootGlobal
+	lpRootOpaque
+)
+
+// lpDeltaEntry is one summary entry: "the callee's net effect on
+// <root><suffix> is count".
+type lpDeltaEntry struct {
+	rootKind int
+	param    int          // for lpRootParam
+	global   types.Object // for lpRootGlobal
+	suffix   string       // rendered tail after the root ident ("" or ".wl")
+	opaque   string       // full token for lpRootOpaque
+	count    int
+}
+
+// lpSummary is a function's net held-delta across its (consistent)
+// exits. Inconsistent or cyclic functions summarize to neutral.
+type lpSummary struct {
+	entries []lpDeltaEntry
+}
+
+// ---- the pass ----
+
+type lockPair struct {
+	mp        *ModulePass
+	summaries map[*FuncNode]*lpSummary
+	visiting  map[*FuncNode]bool
+}
+
+func runLockPair(mp *ModulePass) {
+	lp := &lockPair{
+		mp:        mp,
+		summaries: make(map[*FuncNode]*lpSummary),
+		visiting:  make(map[*FuncNode]bool),
+	}
+	for _, n := range mp.Prog.Nodes {
+		lp.summarize(n)
+	}
+}
+
+// summarize analyzes a function once (memoized), reporting violations
+// and returning its summary. Cycles summarize to neutral.
+func (lp *lockPair) summarize(n *FuncNode) *lpSummary {
+	if s, ok := lp.summaries[n]; ok {
+		return s
+	}
+	if lp.visiting[n] || n.Body() == nil {
+		return &lpSummary{}
+	}
+	lp.visiting[n] = true
+	defer func() { lp.visiting[n] = false }()
+
+	w := &lpWalker{lp: lp, node: n}
+	state := newLPState()
+	terminated := w.block(n.Body().List, state)
+	if !terminated {
+		w.recordExit(n.Body().End(), state)
+	}
+	s := w.finish()
+	lp.summaries[n] = s
+	return s
+}
+
+// lpExit is one recorded exit path: position and effective held state.
+type lpExit struct {
+	pos   token.Pos
+	state map[string]*lpInfo
+}
+
+type lpWalker struct {
+	lp    *lockPair
+	node  *FuncNode
+	exits []lpExit
+	// loops is the breakable-context stack (loops and switches).
+	loops []*lpLoopCtx
+}
+
+type lpLoopCtx struct {
+	isLoop bool
+	entry  *lpState
+	breaks []*lpState
+}
+
+// recordExit snapshots an exit path's effective state.
+func (w *lpWalker) recordExit(pos token.Pos, state *lpState) {
+	w.exits = append(w.exits, lpExit{pos: pos, state: state.effective()})
+}
+
+// finish checks exit consistency and the thread-body rule, then builds
+// the summary.
+func (w *lpWalker) finish() *lpSummary {
+	fset := w.lp.mp.Fset
+	if len(w.exits) == 0 {
+		return &lpSummary{}
+	}
+
+	// Thread bodies must exit clean.
+	if w.node.SpawnBody {
+		for _, ex := range w.exits {
+			for _, key := range sortedLPKeys(ex.state) {
+				info := ex.state[key]
+				if info.count <= 0 {
+					continue
+				}
+				pos := ex.pos
+				if len(info.sites) > 0 {
+					pos = info.sites[0].Pos()
+				}
+				w.lp.mp.Reportf(pos,
+					"%s.Lock is still held when the thread body exits at line %d",
+					key, fset.Position(ex.pos).Line)
+			}
+		}
+	}
+
+	// All exits must agree.
+	consistent := true
+	union := make(map[string]bool)
+	for _, ex := range w.exits {
+		for k, info := range ex.state {
+			if info.count != 0 {
+				union[k] = true
+			}
+		}
+	}
+	keys := make([]string, 0, len(union))
+	for k := range union {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	for _, key := range keys {
+		countAt := func(ex lpExit) int {
+			if info := ex.state[key]; info != nil {
+				return info.count
+			}
+			return 0
+		}
+		base := countAt(w.exits[0])
+		for _, ex := range w.exits[1:] {
+			if countAt(ex) == base {
+				continue
+			}
+			consistent = false
+			// Find a held exit and a released exit for the message.
+			var heldEx, freeEx *lpExit
+			for i := range w.exits {
+				ex := &w.exits[i]
+				if countAt(*ex) > 0 && heldEx == nil {
+					heldEx = ex
+				}
+				if countAt(*ex) <= 0 && freeEx == nil {
+					freeEx = ex
+				}
+			}
+			if heldEx != nil && freeEx != nil {
+				pos := heldEx.pos
+				if info := heldEx.state[key]; info != nil && len(info.sites) > 0 {
+					pos = info.sites[0].Pos()
+				}
+				w.lp.mp.Reportf(pos,
+					"%s.Lock has no matching Unlock on the path exiting at line %d (it is released on the path exiting at line %d)",
+					key, fset.Position(heldEx.pos).Line, fset.Position(freeEx.pos).Line)
+			} else {
+				w.lp.mp.Reportf(w.exits[0].pos,
+					"exit paths disagree on %s.Unlock (lines %d and %d release it a different number of times)",
+					key, fset.Position(w.exits[0].pos).Line, fset.Position(ex.pos).Line)
+			}
+			break
+		}
+	}
+	if !consistent || w.node.SpawnBody {
+		return &lpSummary{}
+	}
+
+	// Consistent: the first exit is the summary.
+	return w.buildSummary(w.exits[0].state)
+}
+
+// buildSummary roots each net count at the callee's receiver, a
+// parameter, a package-level object, or an opaque token.
+func (w *lpWalker) buildSummary(state map[string]*lpInfo) *lpSummary {
+	recvObj, params := calleeParams(w.node)
+	s := &lpSummary{}
+	for _, key := range sortedLPKeys(state) {
+		info := state[key]
+		if info.count == 0 {
 			continue
 		}
-		lp.pass.Reportf(lockCall.Pos(),
-			"%s.Lock has no matching Unlock on the path exiting at line %d",
-			recv, lp.pass.Fset.Position(exit).Line)
+		e := lpDeltaEntry{count: info.count}
+		switch {
+		case info.root != nil && info.root == recvObj:
+			e.rootKind = lpRootRecv
+			e.suffix = suffixAfterRoot(key)
+		case info.root != nil && paramIndex(params, info.root) >= 0:
+			e.rootKind = lpRootParam
+			e.param = paramIndex(params, info.root)
+			e.suffix = suffixAfterRoot(key)
+		case info.root != nil && isPackageLevel(info.root):
+			e.rootKind = lpRootGlobal
+			e.global = info.root
+			e.suffix = suffixAfterRoot(key)
+		default:
+			e.rootKind = lpRootOpaque
+			e.opaque = w.node.Name + "#" + key
+		}
+		s.entries = append(s.entries, e)
 	}
+	return s
 }
 
-// block interprets a statement list, mutating held; reports at each
-// return. Returns true when every path through the list terminates.
-func (lp *lockPair) block(stmts []ast.Stmt, held heldSet, deferred map[string]bool) bool {
+// ---- statement interpretation ----
+
+// block interprets a statement list; true means every path terminated.
+func (w *lpWalker) block(stmts []ast.Stmt, state *lpState) bool {
 	for _, s := range stmts {
-		if lp.stmt(s, held, deferred) {
+		if w.stmt(s, state) {
 			return true
 		}
 	}
 	return false
 }
 
-func (lp *lockPair) stmt(s ast.Stmt, held heldSet, deferred map[string]bool) bool {
+func (w *lpWalker) stmt(s ast.Stmt, state *lpState) bool {
 	switch s := s.(type) {
 	case *ast.ExprStmt:
-		lp.expr(s.X, held)
+		if isTerminalCall(w.node.Pkg, s.X) {
+			w.scanExpr(s.X, state)
+			return true
+		}
+		w.scanExpr(s.X, state)
 	case *ast.AssignStmt:
 		for _, rhs := range s.Rhs {
-			lp.expr(rhs, held)
+			w.scanExpr(rhs, state)
 		}
+		for _, lhs := range s.Lhs {
+			w.scanExpr(lhs, state)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.scanExpr(v, state)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		w.scanExpr(s.X, state)
+	case *ast.SendStmt:
+		w.scanExpr(s.Chan, state)
+		w.scanExpr(s.Value, state)
 	case *ast.DeferStmt:
-		if recv, name := lockCall(s.Call); name == "Unlock" {
-			deferred[recv] = true
+		w.deferCall(s.Call, state)
+	case *ast.GoStmt:
+		// The goroutine runs asynchronously; its lock flow is its own.
+		for _, a := range s.Call.Args {
+			w.scanExpr(a, state)
 		}
 	case *ast.ReturnStmt:
-		lp.checkExit(s.Pos(), held, deferred)
+		for _, r := range s.Results {
+			w.scanExpr(r, state)
+		}
+		w.recordExit(s.Pos(), state)
 		return true
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if ctx := w.nearestBreakable(); ctx != nil {
+				ctx.breaks = append(ctx.breaks, state.clone())
+			}
+			return true
+		case token.CONTINUE:
+			if ctx := w.nearestLoop(); ctx != nil {
+				w.checkNeutral(ctx.entry, state, s.Pos())
+			}
+			return true
+		case token.GOTO:
+			return true // out of model: end the path
+		}
 	case *ast.BlockStmt:
-		return lp.block(s.List, held, deferred)
+		return w.block(s.List, state)
 	case *ast.IfStmt:
 		if s.Init != nil {
-			lp.stmt(s.Init, held, deferred)
+			w.stmt(s.Init, state)
 		}
-		thenHeld := held.clone()
-		thenTerm := lp.block(s.Body.List, thenHeld, deferred)
-		elseHeld := held.clone()
+		w.scanExpr(s.Cond, state)
+		thenState := state.clone()
+		thenTerm := w.block(s.Body.List, thenState)
+		elseState := state.clone()
 		elseTerm := false
 		if s.Else != nil {
-			elseTerm = lp.stmt(s.Else, elseHeld, deferred)
+			elseTerm = w.stmt(s.Else, elseState)
 		}
-		// Merge fall-through branches: a lock held on any surviving
-		// branch is held after the if.
-		for k := range held {
-			delete(held, k)
+		// Union-merge surviving branches.
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			*state = *elseState
+		case elseTerm:
+			*state = *thenState
+		default:
+			*state = *mergeLPStates(thenState, elseState)
 		}
-		if !thenTerm {
-			for k, v := range thenHeld {
-				held[k] = v
-			}
-		}
-		if !elseTerm {
-			for k, v := range elseHeld {
-				held[k] = v
-			}
-		}
-		return thenTerm && elseTerm
 	case *ast.ForStmt:
-		bodyHeld := held.clone()
-		lp.block(s.Body.List, bodyHeld, deferred)
-	case *ast.RangeStmt:
-		bodyHeld := held.clone()
-		lp.block(s.Body.List, bodyHeld, deferred)
-	case *ast.SwitchStmt:
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				caseHeld := held.clone()
-				lp.block(cc.Body, caseHeld, deferred)
-			}
+		if s.Init != nil {
+			w.stmt(s.Init, state)
 		}
-	case *ast.GoStmt:
-		lp.expr(s.Call.Fun, held)
+		if s.Cond != nil {
+			w.scanExpr(s.Cond, state)
+		}
+		return w.loopBody(s.Body, s.Post, state, s.Cond != nil)
+	case *ast.RangeStmt:
+		w.scanExpr(s.X, state)
+		return w.loopBody(s.Body, nil, state, true)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, state)
+		}
+		if s.Tag != nil {
+			w.scanExpr(s.Tag, state)
+		}
+		return w.switchBody(s.Body, state, hasDefaultClause(s.Body))
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, state)
+		}
+		return w.switchBody(s.Body, state, hasDefaultClause(s.Body))
+	case *ast.SelectStmt:
+		return w.switchBody(s.Body, state, false)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, state)
 	}
 	return false
 }
 
-// expr handles Lock/Unlock calls and descends into function literals
-// (fresh contexts).
-func (lp *lockPair) expr(e ast.Expr, held heldSet) {
-	ast.Inspect(e, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.FuncLit:
-			lp.checkFunc(n.Body)
-			return false
-		case *ast.CallExpr:
-			switch recv, name := lockCall(n); name {
-			case "Lock":
-				held[recv] = n
-			case "Unlock":
-				delete(held, recv)
+// loopBody interprets one loop: the body must be lock-neutral per
+// iteration; breaks carry their state past the loop.
+func (w *lpWalker) loopBody(body *ast.BlockStmt, post ast.Stmt, state *lpState, canSkip bool) bool {
+	ctx := &lpLoopCtx{isLoop: true, entry: state.clone()}
+	w.loops = append(w.loops, ctx)
+	bodyState := state.clone()
+	terminated := w.block(body.List, bodyState)
+	if !terminated {
+		if post != nil {
+			w.stmt(post, bodyState)
+		}
+		w.checkNeutral(ctx.entry, bodyState, body.End())
+	}
+	w.loops = w.loops[:len(w.loops)-1]
+
+	// After the loop: entry state (zero iterations or a clean exit
+	// through the condition) unioned with every break state.
+	var after *lpState
+	if canSkip {
+		after = ctx.entry.clone()
+	}
+	for _, b := range ctx.breaks {
+		if after == nil {
+			after = b
+		} else {
+			after = mergeLPStates(after, b)
+		}
+	}
+	if after == nil {
+		return true // for{} with no breaks: nothing falls through
+	}
+	*state = *after
+	return false
+}
+
+// switchBody interprets switch/type-switch/select clause sets.
+func (w *lpWalker) switchBody(body *ast.BlockStmt, state *lpState, hasDefault bool) bool {
+	ctx := &lpLoopCtx{isLoop: false, entry: state.clone()}
+	w.loops = append(w.loops, ctx)
+	var surviving []*lpState
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.scanExpr(e, state)
 			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				w.stmt(c.Comm, state)
+			}
+			stmts = c.Body
+		}
+		caseState := ctx.entry.clone()
+		if !w.block(stmts, caseState) {
+			surviving = append(surviving, caseState)
+		}
+	}
+	surviving = append(surviving, ctx.breaks...)
+	w.loops = w.loops[:len(w.loops)-1]
+	if !hasDefault {
+		surviving = append(surviving, ctx.entry.clone())
+	}
+	if len(surviving) == 0 {
+		return true
+	}
+	after := surviving[0]
+	for _, s := range surviving[1:] {
+		after = mergeLPStates(after, s)
+	}
+	*state = *after
+	return false
+}
+
+// checkNeutral reports locks whose count changed across one loop
+// iteration (or a continue path).
+func (w *lpWalker) checkNeutral(entry, at *lpState, pos token.Pos) {
+	entryEff := entry.effective()
+	atEff := at.effective()
+	union := make(map[string]bool)
+	for k, v := range entryEff {
+		if v.count != 0 {
+			union[k] = true
+		}
+	}
+	for k, v := range atEff {
+		if v.count != 0 {
+			union[k] = true
+		}
+	}
+	keys := make([]string, 0, len(union))
+	for k := range union {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	for _, key := range keys {
+		e, a := 0, 0
+		if info := entryEff[key]; info != nil {
+			e = info.count
+		}
+		var site ast.Node
+		if info := atEff[key]; info != nil {
+			a = info.count
+			if len(info.sites) > 0 {
+				site = info.sites[len(info.sites)-1]
+			}
+		}
+		if e == a {
+			continue
+		}
+		rpos := pos
+		if a > e && site != nil {
+			rpos = site.Pos()
+		}
+		w.lp.mp.Reportf(rpos,
+			"%s is not lock-neutral across this loop iteration (net %+d per pass)", key, a-e)
+	}
+}
+
+func (w *lpWalker) nearestBreakable() *lpLoopCtx {
+	if len(w.loops) == 0 {
+		return nil
+	}
+	return w.loops[len(w.loops)-1]
+}
+
+func (w *lpWalker) nearestLoop() *lpLoopCtx {
+	for i := len(w.loops) - 1; i >= 0; i-- {
+		if w.loops[i].isLoop {
+			return w.loops[i]
+		}
+	}
+	return nil
+}
+
+// ---- expression scanning ----
+
+// scanExpr applies every call in e (in syntactic order, skipping
+// function literals — they are their own contexts) to the state.
+func (w *lpWalker) scanExpr(e ast.Expr, state *lpState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			w.applyCall(call, state)
 		}
 		return true
 	})
 }
 
-// lockCall returns (receiver, method) for x.Lock(...)/x.Unlock(...),
-// else ("", "").
-func lockCall(call *ast.CallExpr) (string, string) {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
+// applyCall applies one call's lock effect: the syntactic
+// Lock/Unlock primitive, plus the resolved callee's summary.
+func (w *lpWalker) applyCall(call *ast.CallExpr, state *lpState) {
+	pkg := w.node.Pkg
+	if recvExpr, name := lockCallExpr(call); name != "" {
+		key := types.ExprString(recvExpr)
+		root := rootObjOf(pkg, recvExpr)
+		if name == "Lock" {
+			state.add(key, 1, call, root)
+		} else {
+			state.add(key, -1, nil, root)
+		}
+	}
+	callee := w.lp.mp.Prog.ResolveCall(pkg, call)
+	if callee == nil || callee == w.node {
+		return
+	}
+	sum := w.lp.summarize(callee)
+	for _, entry := range sum.entries {
+		key, root := w.substitute(call, callee, entry)
+		state.add(key, entry.count, call, root)
+	}
+}
+
+// deferCall registers a deferred call's releases (a deferred Unlock,
+// or a deferred helper with a negative summary).
+func (w *lpWalker) deferCall(call *ast.CallExpr, state *lpState) {
+	pkg := w.node.Pkg
+	if recvExpr, name := lockCallExpr(call); name == "Unlock" {
+		state.deferred[types.ExprString(recvExpr)]++
+		return
+	} else if name == "Lock" {
+		// defer x.Lock() is nonsense; treat as immediate.
+		state.add(types.ExprString(recvExpr), 1, call, rootObjOf(pkg, recvExpr))
+		return
+	}
+	callee := w.lp.mp.Prog.ResolveCall(pkg, call)
+	if callee == nil {
+		return
+	}
+	sum := w.lp.summarize(callee)
+	for _, entry := range sum.entries {
+		if entry.count >= 0 {
+			continue
+		}
+		key, _ := w.substitute(call, callee, entry)
+		state.deferred[key] += -entry.count
+	}
+}
+
+// substitute renders a callee summary entry in the caller's context.
+func (w *lpWalker) substitute(call *ast.CallExpr, callee *FuncNode, e lpDeltaEntry) (string, types.Object) {
+	pkg := w.node.Pkg
+	switch e.rootKind {
+	case lpRootRecv:
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			base := types.ExprString(sel.X)
+			return base + e.suffix, rootObjOf(pkg, sel.X)
+		}
+	case lpRootParam:
+		if e.param < len(call.Args) {
+			arg := call.Args[e.param]
+			base := types.ExprString(arg)
+			return base + e.suffix, rootObjOf(pkg, arg)
+		}
+	case lpRootGlobal:
+		base := e.global.Name()
+		if e.global.Pkg() != nil {
+			base = e.global.Pkg().Path() + "." + base
+		}
+		return base + e.suffix, e.global
+	}
+	if e.opaque != "" {
+		return e.opaque, nil
+	}
+	return callee.Name + "#" + e.suffix, nil
+}
+
+// ---- small helpers ----
+
+// mergeLPStates unions two states (max held count per key — a lock
+// held on either surviving branch is treated as held after the merge).
+func mergeLPStates(a, b *lpState) *lpState {
+	out := a.clone()
+	for k, bi := range b.held {
+		ai := out.held[k]
+		if ai == nil {
+			out.held[k] = bi.clone()
+			continue
+		}
+		if bi.count > ai.count {
+			ai.count = bi.count
+		}
+		if len(ai.sites) == 0 {
+			ai.sites = append([]ast.Node(nil), bi.sites...)
+		}
+		if ai.root == nil {
+			ai.root = bi.root
+		}
+	}
+	for k, d := range b.deferred {
+		if d > out.deferred[k] {
+			out.deferred[k] = d
+		}
+	}
+	return out
+}
+
+// lockCallExpr returns (receiver expr, method) for x.Lock()/x.Unlock().
+func lockCallExpr(call *ast.CallExpr) (ast.Expr, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
-		return "", ""
+		return nil, ""
 	}
 	if name := sel.Sel.Name; name == "Lock" || name == "Unlock" {
-		return types.ExprString(sel.X), name
+		return sel.X, name
 	}
-	return "", ""
+	return nil, ""
 }
+
+// rootObjOf returns the leftmost identifier's object in an expression
+// chain (x in x.a.b, after unwrapping parens/stars/indexes).
+func rootObjOf(pkg *Package, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := pkg.Info.Uses[x]; obj != nil {
+				return obj
+			}
+			return pkg.Info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.CallExpr:
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// suffixAfterRoot strips the leading identifier from a rendered
+// expression ("l.wl" -> ".wl", "mu" -> "").
+func suffixAfterRoot(key string) string {
+	if i := strings.IndexAny(key, ".["); i >= 0 {
+		return key[i:]
+	}
+	return ""
+}
+
+// calleeParams returns the receiver and parameter objects of a
+// declared function (nil/nil for literals — their summaries root at
+// globals or opaque tokens only... parameters of literals work too).
+func calleeParams(n *FuncNode) (types.Object, []types.Object) {
+	info := n.Pkg.Info
+	var recv types.Object
+	if n.Decl != nil && n.Decl.Recv != nil && len(n.Decl.Recv.List) > 0 && len(n.Decl.Recv.List[0].Names) > 0 {
+		recv = info.Defs[n.Decl.Recv.List[0].Names[0]]
+	}
+	var params []types.Object
+	if t := n.Type(); t.Params != nil {
+		for _, field := range t.Params.List {
+			for _, name := range field.Names {
+				params = append(params, info.Defs[name])
+			}
+		}
+	}
+	return recv, params
+}
+
+func paramIndex(params []types.Object, obj types.Object) int {
+	for i, p := range params {
+		if p != nil && p == obj {
+			return i
+		}
+	}
+	return -1
+}
+
+// isPackageLevel reports whether obj is declared at package scope.
+func isPackageLevel(obj types.Object) bool {
+	return obj != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+}
+
+// isTerminalCall reports whether the expression statement ends the
+// path: panic(...) or os.Exit(...).
+func isTerminalCall(pkg *Package, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if _, ok := pkg.Info.Uses[fun].(*types.Builtin); ok && fun.Name == "panic" {
+			return true
+		}
+	case *ast.SelectorExpr:
+		if pkgName, ok := fun.X.(*ast.Ident); ok {
+			if pn, ok := pkg.Info.Uses[pkgName].(*types.PkgName); ok {
+				p, m := pn.Imported().Path(), fun.Sel.Name
+				if p == "os" && m == "Exit" {
+					return true
+				}
+				if p == "log" && (m == "Fatal" || m == "Fatalf" || m == "Fatalln" || m == "Panic" || m == "Panicf") {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// hasDefaultClause reports whether a switch body has a default case.
+func hasDefaultClause(body *ast.BlockStmt) bool {
+	for _, clause := range body.List {
+		if c, ok := clause.(*ast.CaseClause); ok && c.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// sortStrings keeps report order deterministic.
+func sortStrings(s []string) { sort.Strings(s) }

@@ -1,0 +1,39 @@
+// Package fixture exercises the costcoverage pass: free Word.V peeks
+// and kernel-side writes reachable from simulated-thread context
+// (functions taking *sim.Proc, Spawn bodies), interprocedurally.
+package fixture
+
+import "repro/internal/sim"
+
+// peek free-peeks directly in a function taking *sim.Proc — thread
+// context by signature.
+func peek(p *sim.Proc, w *sim.Word) uint64 {
+	if w.V() == 0 { // want "free peek Word.V on a simulated-thread path"
+		return p.Load(w)
+	}
+	return w.V() // want "free peek Word.V on a simulated-thread path"
+}
+
+// helper has no Proc parameter; it is flagged because thread context
+// reaches it through the call below.
+func helper(w *sim.Word) uint64 {
+	return w.V() // want "free peek Word.V on a simulated-thread path"
+}
+
+func callsHelper(p *sim.Proc, w *sim.Word) uint64 {
+	return helper(w)
+}
+
+// spawn bodies are thread context even without a named Proc function.
+func spawns(m *sim.Machine, w *sim.Word) {
+	m.Spawn("w", func(p *sim.Proc) {
+		_ = w.V() // want "free peek Word.V on a simulated-thread path"
+	})
+}
+
+// kernel-side writes must never be reachable from thread context: they
+// bypass the cost model and the tracer's ordering edges.
+func kernelFromThread(p *sim.Proc, m *sim.Machine, w *sim.Word) {
+	m.KernelStore(w, 1) // want "kernel-side write Machine.KernelStore reachable from simulated-thread context"
+	m.KernelAdd(w, -1)  // want "kernel-side write Machine.KernelAdd reachable from simulated-thread context"
+}

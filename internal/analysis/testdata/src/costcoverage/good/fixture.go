@@ -1,0 +1,35 @@
+// Package fixture holds only legal access patterns: the free peek
+// inside spin conditions (and helpers reached only from them),
+// post-run inspection off the thread path, kernel hooks that never
+// take a Proc, and the costed op API everywhere else.
+package fixture
+
+import "repro/internal/sim"
+
+// spin conditions are the sanctioned home of the free peek — the event
+// loop re-evaluates them from inside the scheduler.
+func waitZero(p *sim.Proc, w *sim.Word) {
+	p.SpinOn(func() bool { return w.V() == 0 }, w)
+}
+
+// spinHelper is reachable only from a spin condition — silent.
+func spinHelper(w *sim.Word) bool { return w.V() == 0 }
+
+func waitHelper(p *sim.Proc, w *sim.Word) {
+	p.SpinOn(func() bool { return spinHelper(w) }, w)
+}
+
+// inspect is post-run verification: no Proc anywhere in its reach.
+func inspect(w *sim.Word) uint64 { return w.V() }
+
+// hook is kernel-side code (sched_switch shape): KernelStore is its
+// sanctioned API, and no simulated thread ever calls it.
+func hook(m *sim.Machine, w *sim.Word) {
+	m.KernelStore(w, 1)
+}
+
+// costed ops are the thread-side surface.
+func costed(p *sim.Proc, w *sim.Word) uint64 {
+	p.Store(w, 1)
+	return p.Load(w)
+}

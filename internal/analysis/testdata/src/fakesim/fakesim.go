@@ -1,0 +1,14 @@
+// Package sim is a fixture stand-in for internal/sim, mounted by the
+// fixture loader under an import path ending in "internal/sim". It
+// exports the word arena's SoA backing arrays so a fixture outside the
+// real package can express a direct-access violation that still
+// type-checks (the real fields are unexported, making the violation a
+// compile error anywhere else).
+package sim
+
+// Machine mirrors the real sim.Machine's arena layout, fields exported.
+type Machine struct {
+	LineOwner   []int32
+	LineSharers []uint64
+	ValChunks   [][]uint64
+}

@@ -1,0 +1,68 @@
+// Package fixture exercises the hotalloc pass: allocating constructs
+// reachable from hot roots — here a //flexlint:hotpath opt-in and a
+// structural lock implementation (Lock/Unlock methods on one receiver
+// taking *sim.Proc).
+package fixture
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+//flexlint:hotpath
+func hotStep(p *sim.Proc, w *sim.Word) {
+	buf := make([]uint64, 8)     // want "heap allocation on a hot path: make"
+	buf = append(buf, p.Load(w)) // want "append on a hot path"
+	_ = buf
+	xs := []uint64{1, 2} // want "heap allocation on a hot path: slice literal"
+	_ = xs
+	helper(p, w)
+}
+
+// helper allocates two frames below the hot root — flagged with the
+// root attributed.
+func helper(p *sim.Proc, w *sim.Word) {
+	msg := fmt.Sprintln("hot") // want "call to fmt.Sprintln on a hot path"
+	_ = msg
+	sink(p.Load(w)) // want "value boxed into interface argument"
+}
+
+func sink(vals ...any) {}
+
+type node struct{ next *node }
+
+type hotLock struct {
+	w       *sim.Word
+	waiters map[int]bool
+	name    string
+}
+
+func (l *hotLock) Lock(p *sim.Proc) {
+	for p.CAS(l.w, 0, 1) != 0 {
+		p.Pause()
+	}
+	l.waiters[p.ID()] = true // want "map write on a hot path"
+	go background(l)         // want "goroutine launch on a hot path"
+}
+
+func (l *hotLock) Unlock(p *sim.Proc) {
+	n := &node{} // want "composite literal escapes via &"
+	_ = n
+	tag := "lock-" + l.name // want "string concatenation on a hot path"
+	_ = tag
+	p.StoreRel(l.w, 0)
+}
+
+// background is behind a go statement: the launch itself is flagged,
+// the body is off the synchronous hot path.
+func background(l *hotLock) {
+	l.waiters = make(map[int]bool)
+}
+
+//flexlint:hotpath
+func hotClosure(p *sim.Proc, w *sim.Word) {
+	v := p.Load(w)
+	f := func() uint64 { return v } // want "closure captures variables"
+	p.Store(w, f())
+}

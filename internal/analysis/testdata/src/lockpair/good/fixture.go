@@ -1,5 +1,7 @@
-// Package fixture holds balanced critical sections: per-path unlocks, a
-// deferred unlock, and an unannotated function the pass must skip.
+// Package fixture holds lock flows the interprocedural pass must
+// accept: per-path unlocks, deferred unlocks, acquire/release helpers
+// composing across calls, lock wrappers with a consistent nonzero
+// delta, and loop-neutral bodies.
 package fixture
 
 import "repro/internal/sim"
@@ -10,8 +12,6 @@ func (*mutex) Lock(p *sim.Proc)   {}
 func (*mutex) Unlock(p *sim.Proc) {}
 
 // balanced releases on every path.
-//
-//flexlint:critical-section
 func balanced(p *sim.Proc, mu *mutex, w *sim.Word) uint64 {
 	mu.Lock(p)
 	if p.Load(w) == 0 {
@@ -24,8 +24,6 @@ func balanced(p *sim.Proc, mu *mutex, w *sim.Word) uint64 {
 }
 
 // deferred satisfies every exit.
-//
-//flexlint:critical-section
 func deferred(p *sim.Proc, mu *mutex, w *sim.Word) uint64 {
 	mu.Lock(p)
 	defer mu.Unlock(p)
@@ -35,7 +33,37 @@ func deferred(p *sim.Proc, mu *mutex, w *sim.Word) uint64 {
 	return p.Load(w)
 }
 
-// unannotated functions are not analyzed: the pass is opt-in.
-func unannotated(p *sim.Proc, mu *mutex) {
+// acquire and release are helpers; their summaries (+mu / -mu) pair up
+// at the call sites below without any annotation.
+func acquire(p *sim.Proc, mu *mutex) {
 	mu.Lock(p)
+}
+
+func release(p *sim.Proc, mu *mutex) {
+	mu.Unlock(p)
+}
+
+// viaHelpers is a thread body balanced through the helper pair.
+func viaHelpers(m *sim.Machine, mu *mutex, w *sim.Word) {
+	m.Spawn("w", func(p *sim.Proc) {
+		acquire(p, mu)
+		p.Store(w, 1)
+		release(p, mu)
+	})
+}
+
+// wrapper is a lock built on an inner lock: a consistent nonzero
+// delta (+s.inner in Lock, -s.inner in Unlock) is a legal summary.
+type wrapper struct{ inner mutex }
+
+func (s *wrapper) Lock(p *sim.Proc)   { s.inner.Lock(p) }
+func (s *wrapper) Unlock(p *sim.Proc) { s.inner.Unlock(p) }
+
+// loopNeutral acquires and releases within each iteration.
+func loopNeutral(p *sim.Proc, mu *mutex, w *sim.Word, n int) {
+	for i := 0; i < n; i++ {
+		mu.Lock(p)
+		p.Store(w, uint64(i))
+		mu.Unlock(p)
+	}
 }

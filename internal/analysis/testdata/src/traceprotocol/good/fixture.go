@@ -1,0 +1,77 @@
+// Package fixture holds protocol-clean locks: exactly one
+// acquire-class event per Lock exit and one release-class event per
+// Unlock exit — across retry loops, two-path acquires, helper
+// composition, wrappers, interface delegation, defers, and uncounted
+// auxiliary kinds (TraceSpinStart and friends).
+package fixture
+
+import "repro/internal/sim"
+
+// tas is the canonical shape: spin, then emit exactly once.
+type tas struct{ w *sim.Word }
+
+func (l *tas) Lock(p *sim.Proc) {
+	for p.CAS(l.w, 0, 1) != 0 {
+		p.LockEvent(sim.TraceSpinStart, l.w.ID()) // uncounted kind
+		p.SpinOn(func() bool { return l.w.V() == 0 }, l.w)
+	}
+	p.LockEvent(sim.TraceAcquire, l.w.ID())
+}
+
+func (l *tas) Unlock(p *sim.Proc) {
+	p.StoreRel(l.w, 0)
+	p.LockEvent(sim.TraceRelease, l.w.ID())
+}
+
+// twoPath emits once on each of two disjoint acquire paths.
+type twoPath struct{ w *sim.Word }
+
+func (l *twoPath) Lock(p *sim.Proc) {
+	if p.CAS(l.w, 0, 1) == 0 {
+		p.LockEvent(sim.TraceAcquire, l.w.ID())
+		return
+	}
+	p.SpinOn(func() bool { return l.w.V() == 0 }, l.w)
+	p.Store(l.w, 1)
+	p.LockEvent(sim.TraceAcquire, l.w.ID())
+}
+
+func (l *twoPath) Unlock(p *sim.Proc) {
+	p.StoreRel(l.w, 0)
+	p.LockEvent(sim.TraceRelease, l.w.ID())
+}
+
+// wrapper delegates to a concrete inner lock; the inner summary (1,1)
+// composes.
+type wrapper struct{ inner tas }
+
+func (l *wrapper) Lock(p *sim.Proc)   { l.inner.Lock(p) }
+func (l *wrapper) Unlock(p *sim.Proc) { l.inner.Unlock(p) }
+
+// Locker is the protocol contract; dynamic calls through it are
+// assumed to emit exactly one event — the very property this pass
+// verifies for each concrete implementation.
+type Locker interface {
+	Lock(p *sim.Proc)
+	Unlock(p *sim.Proc)
+}
+
+type viaIface struct{ inner Locker }
+
+func (l *viaIface) Lock(p *sim.Proc)   { l.inner.Lock(p) }
+func (l *viaIface) Unlock(p *sim.Proc) { l.inner.Unlock(p) }
+
+// deferRelease emits its release event via defer — it still lands
+// exactly once on the exit.
+type deferRelease struct{ w *sim.Word }
+
+func (l *deferRelease) Lock(p *sim.Proc) {
+	p.SpinOn(func() bool { return l.w.V() == 0 }, l.w)
+	p.Store(l.w, 1)
+	p.LockEvent(sim.TraceAcquire, l.w.ID())
+}
+
+func (l *deferRelease) Unlock(p *sim.Proc) {
+	defer p.LockEvent(sim.TraceRelease, l.w.ID())
+	p.StoreRel(l.w, 0)
+}

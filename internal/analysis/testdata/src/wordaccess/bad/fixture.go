@@ -1,34 +1,25 @@
-// Package fixture exercises the wordaccess pass: free Word.V peeks
-// outside spin conditions and kernel-side writes from lock code.
+// Package fixture exercises the wordaccess pass: direct access to the
+// word arena's backing state on sim.Machine, and kernel-side writes
+// from lock code.
 package fixture
 
-import "repro/internal/sim"
+import (
+	fsim "fixture/fake/internal/sim"
 
-// peek reads a Word outside any spin condition — twice.
-func peek(p *sim.Proc, w *sim.Word) uint64 {
-	if w.V() == 0 { // want "free peek Word.V outside a spin condition"
-		return p.Load(w)
-	}
-	return w.V() // want "free peek Word.V outside a spin condition"
+	"repro/internal/sim"
+)
+
+// pokeArena reaches into the SoA backing arrays of a Machine. The fake
+// sim package stands in for internal/sim with the fields exported —
+// the only way the violation can type-check outside the real package.
+func pokeArena(m *fsim.Machine, id int32) uint64 {
+	m.LineOwner[id] = -1      // want "direct access to word-arena backing state sim.Machine.LineOwner"
+	_ = m.LineSharers[0]      // want "direct access to word-arena backing state sim.Machine.LineSharers"
+	return m.ValChunks[0][id] // want "direct access to word-arena backing state sim.Machine.ValChunks"
 }
 
 // kernelWrite uses the sched-hook API from lock code.
 func kernelWrite(m *sim.Machine, w *sim.Word) {
 	m.KernelStore(w, 1) // want "kernel-side write Machine.KernelStore"
 	m.KernelAdd(w, -1)  // want "kernel-side write Machine.KernelAdd"
-}
-
-// arenaEscape mirrors the shape of a leaked arena accessor: any
-// identifier named after the SoA backing arrays is flagged, typed or
-// not, because nothing outside internal/sim may hold them.
-type arenaEscape struct {
-	LineOwner   []int32
-	lineSharers []uint64
-	ValChunks   [][]uint64
-}
-
-func pokeArena(a *arenaEscape, id int32) uint64 {
-	a.LineOwner[id] = -1            // want "direct access to word-arena backing array LineOwner"
-	_ = a.lineSharers[0]            // want "direct access to word-arena backing array lineSharers"
-	return a.ValChunks[id/256][id%256] // want "direct access to word-arena backing array ValChunks"
 }

@@ -1,32 +1,30 @@
-// Package fixture holds only legal Word accesses: V peeks inside spin
-// conditions, costed Proc ops, and one annotated exception.
+// Package fixture holds only legal accesses. The load-bearing case is
+// shadowArena: a local struct whose fields shadow the arena names. The
+// old name-based check flagged any struct with these field names (the
+// PR 9 false positive); the type-resolved check must stay silent for
+// everything that is not actually sim.Machine.
 package fixture
 
 import "repro/internal/sim"
 
-// waitZero spins with the free peek inside the condition closure — the
-// one legal place for Word.V.
-func waitZero(p *sim.Proc, w *sim.Word) {
-	p.SpinOn(func() bool { return w.V() == 0 }, w)
+// shadowArena is NOT sim.Machine: same field names, different type.
+type shadowArena struct {
+	lineOwner   []int32
+	LineSharers []uint64
+	valChunks   [][]uint64
 }
 
-// waitBoth shows a multi-word watch set; literals nested anywhere in
-// the condition argument are part of it.
-func waitBoth(p *sim.Proc, a, b *sim.Word) {
-	p.SpinOnMax(func() bool { return a.V() == 0 && b.V() == 0 }, 100, a, b)
+func pokeShadow(a *shadowArena, id int32) uint64 {
+	a.lineOwner[id] = -1      // regression: must not be flagged
+	_ = a.LineSharers[0]      // regression: must not be flagged
+	return a.valChunks[0][id] // regression: must not be flagged
 }
 
-// annotated exceptions are audited, not flagged.
-func monitorPeek(w *sim.Word) uint64 {
-	//flexlint:allow wordaccess advisory read, never feeds a decision
-	return w.V()
-}
-
-// costed is the default way to read shared state.
+// costed ops are the sanctioned thread-side surface.
 func costed(p *sim.Proc, w *sim.Word) uint64 {
+	p.Store(w, 1)
 	return p.Load(w)
 }
 
-// owner-style lookups that go through the exported Word API are fine;
-// only the backing-array names themselves are reserved.
+// the exported Word API never touches backing arrays directly.
 func lineOf(w *sim.Word) int32 { return w.ID() }

@@ -1,0 +1,611 @@
+package analysis
+
+// The traceprotocol module pass: every path through a lock's acquire
+// must emit exactly one acquire-class trace event (sim.TraceAcquire)
+// and every path through its release exactly one release-class event
+// (sim.TraceRelease) before returning. The verdict layer derives
+// happens-before edges and handover accounting from these events; a
+// path that emits zero breaks ordering reconstruction silently, and a
+// path that emits two double-counts a handover.
+//
+// Roots are found structurally: methods named Lock/Unlock whose
+// receiver type has both, each with signature func(*sim.Proc) and no
+// results. Each function summarizes to a saturating interval per
+// class — [lo,hi] trace events emitted, capped at 2 — computed over
+// the same outcome walker lockpair uses: branches union their
+// intervals, loop back edges must emit zero in both classes (a spin
+// retry must not re-emit), deferred emissions land on every
+// subsequent exit, and panic/os.Exit paths don't count as exits.
+// Helper summaries compose across calls; a call through an interface
+// that declares both Lock and Unlock (func(*sim.Proc)) is assumed to
+// honor the protocol — exactly the contract this pass verifies for
+// every concrete implementation.
+//
+// Emission sites must pass a constant trace kind to Proc.LockEvent /
+// LockEventArg: a variable kind on a lock path is unclassifiable and
+// reported directly.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ---- intervals ----
+
+// tpInterval is a saturating event-count interval. Anything at or
+// above 2 is already a protocol violation, so counts cap there.
+type tpInterval struct{ lo, hi int }
+
+func tpSat(x int) int {
+	if x > 2 {
+		return 2
+	}
+	if x < 0 {
+		return 0
+	}
+	return x
+}
+
+func (i tpInterval) add(o tpInterval) tpInterval {
+	return tpInterval{tpSat(i.lo + o.lo), tpSat(i.hi + o.hi)}
+}
+
+func (i tpInterval) union(o tpInterval) tpInterval {
+	lo, hi := i.lo, i.hi
+	if o.lo < lo {
+		lo = o.lo
+	}
+	if o.hi > hi {
+		hi = o.hi
+	}
+	return tpInterval{lo, hi}
+}
+
+var tpOne = tpInterval{1, 1}
+
+// tpState tracks events emitted so far on the current path, plus
+// deferred emissions that will land at exit.
+type tpState struct {
+	a, r   tpInterval // emitted acquire-/release-class events
+	da, dr tpInterval // deferred emissions
+}
+
+// exitEffect is the state observed by the caller at an exit.
+func (s tpState) exitEffect() (a, r tpInterval) {
+	return s.a.add(s.da), s.r.add(s.dr)
+}
+
+type tpClass int
+
+const (
+	tpNone tpClass = iota
+	tpAcq
+	tpRel
+)
+
+// ---- the pass ----
+
+// tpExit is one recorded exit path.
+type tpExit struct {
+	pos   token.Pos
+	state tpState
+}
+
+// tpResult is a function's memoized analysis: per-exit states plus
+// the union summary its callers compose with.
+type tpResult struct {
+	a, r  tpInterval
+	exits []tpExit
+}
+
+type traceProtocol struct {
+	mp       *ModulePass
+	results  map[*FuncNode]*tpResult
+	visiting map[*FuncNode]bool
+	acqVal   constant.Value
+	relVal   constant.Value
+}
+
+func runTraceProtocol(mp *ModulePass) {
+	tp := &traceProtocol{
+		mp:       mp,
+		results:  make(map[*FuncNode]*tpResult),
+		visiting: make(map[*FuncNode]bool),
+	}
+	tp.findKindConsts()
+	if tp.acqVal == nil || tp.relVal == nil {
+		return // no sim package in scope: nothing to classify
+	}
+	for _, n := range mp.Prog.Nodes {
+		if n.Decl == nil || inSimPackage(n) || !isLockImplMethod(n) {
+			continue
+		}
+		tp.checkRoot(n)
+	}
+}
+
+// findKindConsts resolves the canonical TraceAcquire/TraceRelease
+// constant values from the sim package (directly loaded or imported),
+// so emissions classify by value even through local constant aliases.
+func (tp *traceProtocol) findKindConsts() {
+	seen := make(map[*types.Package]bool)
+	var visit func(p *types.Package)
+	visit = func(p *types.Package) {
+		if p == nil || seen[p] {
+			return
+		}
+		seen[p] = true
+		if p.Path() == "repro/internal/sim" || strings.HasSuffix(p.Path(), "/internal/sim") {
+			if c, ok := p.Scope().Lookup("TraceAcquire").(*types.Const); ok {
+				tp.acqVal = c.Val()
+			}
+			if c, ok := p.Scope().Lookup("TraceRelease").(*types.Const); ok {
+				tp.relVal = c.Val()
+			}
+			return
+		}
+		for _, imp := range p.Imports() {
+			visit(imp)
+		}
+	}
+	for _, pkg := range tp.mp.Prog.Pkgs {
+		visit(pkg.Types)
+	}
+}
+
+// checkRoot verifies that every exit of a Lock (Unlock) method emits
+// exactly one acquire-class (release-class) event.
+func (tp *traceProtocol) checkRoot(n *FuncNode) {
+	res := tp.analyze(n)
+	isLock := n.Decl.Name.Name == "Lock"
+	for _, ex := range res.exits {
+		a, r := ex.state.exitEffect()
+		iv, class, want := a, "acquire", "TraceAcquire"
+		if !isLock {
+			iv, class, want = r, "release", "TraceRelease"
+		}
+		if iv == tpOne {
+			continue
+		}
+		desc := fmt.Sprintf("%d", iv.lo)
+		if iv.hi != iv.lo {
+			desc = fmt.Sprintf("between %d and %d", iv.lo, iv.hi)
+		}
+		tp.mp.Reportf(ex.pos,
+			"this path through %s emits %s %s-class trace events (exactly one %s required)",
+			n.Name, desc, class, want)
+	}
+}
+
+// analyze walks a function once (memoized). Cycles and bodyless
+// functions summarize to zero.
+func (tp *traceProtocol) analyze(n *FuncNode) *tpResult {
+	if r, ok := tp.results[n]; ok {
+		return r
+	}
+	if tp.visiting[n] || n.Body() == nil {
+		return &tpResult{}
+	}
+	tp.visiting[n] = true
+	defer delete(tp.visiting, n)
+
+	w := &tpWalker{tp: tp, node: n}
+	var state tpState
+	if !w.block(n.Body().List, &state) {
+		w.recordExit(n.Body().End(), state)
+	}
+	res := &tpResult{exits: w.exits}
+	for i, ex := range w.exits {
+		a, r := ex.state.exitEffect()
+		if i == 0 {
+			res.a, res.r = a, r
+		} else {
+			res.a = res.a.union(a)
+			res.r = res.r.union(r)
+		}
+	}
+	tp.results[n] = res
+	return res
+}
+
+// ---- statement interpretation (the lockpair outcome walker, over
+// interval state) ----
+
+type tpWalker struct {
+	tp    *traceProtocol
+	node  *FuncNode
+	exits []tpExit
+	loops []*tpLoopCtx
+}
+
+type tpLoopCtx struct {
+	isLoop bool
+	entry  tpState
+	breaks []tpState
+}
+
+func (w *tpWalker) recordExit(pos token.Pos, state tpState) {
+	w.exits = append(w.exits, tpExit{pos: pos, state: state})
+}
+
+// block interprets a statement list; true means every path terminated.
+func (w *tpWalker) block(stmts []ast.Stmt, state *tpState) bool {
+	for _, s := range stmts {
+		if w.stmt(s, state) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *tpWalker) stmt(s ast.Stmt, state *tpState) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.scanExpr(s.X, state)
+		if isTerminalCall(w.node.Pkg, s.X) {
+			return true
+		}
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			w.scanExpr(rhs, state)
+		}
+		for _, lhs := range s.Lhs {
+			w.scanExpr(lhs, state)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.scanExpr(v, state)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		w.scanExpr(s.X, state)
+	case *ast.SendStmt:
+		w.scanExpr(s.Chan, state)
+		w.scanExpr(s.Value, state)
+	case *ast.DeferStmt:
+		w.deferCall(s.Call, state)
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			w.scanExpr(a, state)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.scanExpr(r, state)
+		}
+		w.recordExit(s.Pos(), *state)
+		return true
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if ctx := w.nearestBreakable(); ctx != nil {
+				ctx.breaks = append(ctx.breaks, *state)
+			}
+			return true
+		case token.CONTINUE:
+			if ctx := w.nearestLoop(); ctx != nil {
+				w.checkBackEdge(ctx.entry, *state, s.Pos())
+			}
+			return true
+		case token.GOTO:
+			return true
+		}
+	case *ast.BlockStmt:
+		return w.block(s.List, state)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, state)
+		}
+		w.scanExpr(s.Cond, state)
+		thenState := *state
+		thenTerm := w.block(s.Body.List, &thenState)
+		elseState := *state
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = w.stmt(s.Else, &elseState)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			*state = elseState
+		case elseTerm:
+			*state = thenState
+		default:
+			*state = mergeTPStates(thenState, elseState)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, state)
+		}
+		if s.Cond != nil {
+			w.scanExpr(s.Cond, state)
+		}
+		return w.loopBody(s.Body, s.Post, state, s.Cond != nil)
+	case *ast.RangeStmt:
+		w.scanExpr(s.X, state)
+		return w.loopBody(s.Body, nil, state, true)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, state)
+		}
+		if s.Tag != nil {
+			w.scanExpr(s.Tag, state)
+		}
+		return w.switchBody(s.Body, state, hasDefaultClause(s.Body))
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, state)
+		}
+		return w.switchBody(s.Body, state, hasDefaultClause(s.Body))
+	case *ast.SelectStmt:
+		return w.switchBody(s.Body, state, false)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, state)
+	}
+	return false
+}
+
+// loopBody interprets one loop: the back edge must emit nothing.
+func (w *tpWalker) loopBody(body *ast.BlockStmt, post ast.Stmt, state *tpState, canSkip bool) bool {
+	ctx := &tpLoopCtx{isLoop: true, entry: *state}
+	w.loops = append(w.loops, ctx)
+	bodyState := *state
+	terminated := w.block(body.List, &bodyState)
+	if !terminated {
+		if post != nil {
+			w.stmt(post, &bodyState)
+		}
+		w.checkBackEdge(ctx.entry, bodyState, body.End())
+	}
+	w.loops = w.loops[:len(w.loops)-1]
+
+	var after *tpState
+	if canSkip {
+		e := ctx.entry
+		after = &e
+	}
+	for i := range ctx.breaks {
+		if after == nil {
+			after = &ctx.breaks[i]
+		} else {
+			m := mergeTPStates(*after, ctx.breaks[i])
+			after = &m
+		}
+	}
+	if after == nil {
+		return true
+	}
+	*state = *after
+	return false
+}
+
+// switchBody interprets switch/type-switch/select clause sets.
+func (w *tpWalker) switchBody(body *ast.BlockStmt, state *tpState, hasDefault bool) bool {
+	ctx := &tpLoopCtx{isLoop: false, entry: *state}
+	w.loops = append(w.loops, ctx)
+	var surviving []tpState
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.scanExpr(e, state)
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				w.stmt(c.Comm, state)
+			}
+			stmts = c.Body
+		}
+		caseState := ctx.entry
+		if !w.block(stmts, &caseState) {
+			surviving = append(surviving, caseState)
+		}
+	}
+	surviving = append(surviving, ctx.breaks...)
+	w.loops = w.loops[:len(w.loops)-1]
+	if !hasDefault {
+		surviving = append(surviving, ctx.entry)
+	}
+	if len(surviving) == 0 {
+		return true
+	}
+	after := surviving[0]
+	for _, s := range surviving[1:] {
+		after = mergeTPStates(after, s)
+	}
+	*state = after
+	return false
+}
+
+// checkBackEdge reports emissions that would repeat every loop
+// iteration (including defers accumulated inside the loop).
+func (w *tpWalker) checkBackEdge(entry, at tpState, pos token.Pos) {
+	if entry.a != at.a || entry.da != at.da {
+		w.tp.mp.Reportf(pos,
+			"acquire-class trace event may be emitted on this loop's back edge; each retry would emit another TraceAcquire")
+	}
+	if entry.r != at.r || entry.dr != at.dr {
+		w.tp.mp.Reportf(pos,
+			"release-class trace event may be emitted on this loop's back edge; each retry would emit another TraceRelease")
+	}
+}
+
+func (w *tpWalker) nearestBreakable() *tpLoopCtx {
+	if len(w.loops) == 0 {
+		return nil
+	}
+	return w.loops[len(w.loops)-1]
+}
+
+func (w *tpWalker) nearestLoop() *tpLoopCtx {
+	for i := len(w.loops) - 1; i >= 0; i-- {
+		if w.loops[i].isLoop {
+			return w.loops[i]
+		}
+	}
+	return nil
+}
+
+// mergeTPStates unions two surviving branches' intervals.
+func mergeTPStates(a, b tpState) tpState {
+	return tpState{
+		a:  a.a.union(b.a),
+		r:  a.r.union(b.r),
+		da: a.da.union(b.da),
+		dr: a.dr.union(b.dr),
+	}
+}
+
+// ---- expression scanning ----
+
+func (w *tpWalker) scanExpr(e ast.Expr, state *tpState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			w.applyCall(call, state)
+		}
+		return true
+	})
+}
+
+// applyCall adds one call's emission effect: a direct LockEvent
+// emission, a resolved callee's summary, or the interface-contract
+// assumption for dynamic Lock/Unlock calls.
+func (w *tpWalker) applyCall(call *ast.CallExpr, state *tpState) {
+	info := w.node.Pkg.Info
+	if name := simMethodCall(info, call, "Proc"); name == "LockEvent" || name == "LockEventArg" {
+		switch w.tp.classify(info, call) {
+		case tpAcq:
+			state.a = state.a.add(tpOne)
+		case tpRel:
+			state.r = state.r.add(tpOne)
+		}
+		return
+	}
+	callee := w.tp.mp.Prog.ResolveCall(w.node.Pkg, call)
+	if callee == nil {
+		switch ifaceLockCall(info, call) {
+		case tpAcq:
+			state.a = state.a.add(tpOne)
+		case tpRel:
+			state.r = state.r.add(tpOne)
+		}
+		return
+	}
+	if callee == w.node || inSimPackage(callee) {
+		return
+	}
+	res := w.tp.analyze(callee)
+	state.a = state.a.add(res.a)
+	state.r = state.r.add(res.r)
+}
+
+// deferCall registers a deferred call's emissions for every later exit.
+func (w *tpWalker) deferCall(call *ast.CallExpr, state *tpState) {
+	info := w.node.Pkg.Info
+	if name := simMethodCall(info, call, "Proc"); name == "LockEvent" || name == "LockEventArg" {
+		switch w.tp.classify(info, call) {
+		case tpAcq:
+			state.da = state.da.add(tpOne)
+		case tpRel:
+			state.dr = state.dr.add(tpOne)
+		}
+		return
+	}
+	callee := w.tp.mp.Prog.ResolveCall(w.node.Pkg, call)
+	if callee == nil {
+		switch ifaceLockCall(info, call) {
+		case tpAcq:
+			state.da = state.da.add(tpOne)
+		case tpRel:
+			state.dr = state.dr.add(tpOne)
+		}
+		return
+	}
+	if callee == w.node || inSimPackage(callee) {
+		return
+	}
+	res := w.tp.analyze(callee)
+	state.da = state.da.add(res.a)
+	state.dr = state.dr.add(res.r)
+}
+
+// classify resolves an emission's trace kind by constant value; a
+// non-constant kind on a lock path is itself a finding.
+func (tp *traceProtocol) classify(info *types.Info, call *ast.CallExpr) tpClass {
+	if len(call.Args) == 0 {
+		return tpNone
+	}
+	arg := call.Args[0]
+	tv, ok := info.Types[arg]
+	if !ok || tv.Value == nil {
+		tp.mp.Reportf(arg.Pos(),
+			"trace kind passed to LockEvent is not a constant; traceprotocol cannot classify this emission on a lock path")
+		return tpNone
+	}
+	if constant.Compare(tv.Value, token.EQL, tp.acqVal) {
+		return tpAcq
+	}
+	if constant.Compare(tv.Value, token.EQL, tp.relVal) {
+		return tpRel
+	}
+	return tpNone
+}
+
+// ifaceLockCall reports whether an unresolved call is x.Lock(p) or
+// x.Unlock(p) through an interface declaring both — assumed to honor
+// the protocol this pass verifies per concrete implementation.
+func ifaceLockCall(info *types.Info, call *ast.CallExpr) tpClass {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return tpNone
+	}
+	name := sel.Sel.Name
+	if name != "Lock" && name != "Unlock" {
+		return tpNone
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return tpNone
+	}
+	iface, ok := tv.Type.Underlying().(*types.Interface)
+	if !ok {
+		return tpNone
+	}
+	hasLock, hasUnlock := false, false
+	for i := 0; i < iface.NumMethods(); i++ {
+		m := iface.Method(i)
+		if !isProcMethodShape(m) {
+			continue
+		}
+		switch m.Name() {
+		case "Lock":
+			hasLock = true
+		case "Unlock":
+			hasUnlock = true
+		}
+	}
+	if !hasLock || !hasUnlock {
+		return tpNone
+	}
+	if name == "Lock" {
+		return tpAcq
+	}
+	return tpRel
+}

@@ -1,80 +1,54 @@
 package analysis
 
-// The wordaccess pass: lock and fault code must touch sim.Word through
-// the Proc op API (Load/Store/CAS/Xchg/Add), which costs virtual time
-// and serializes through the event loop. The free peek Word.V exists
-// for exactly one purpose — spin conditions, where SpinOn re-evaluates
-// the closure from inside the event loop — so a V call is legal only
-// lexically inside a function literal passed to SpinOn/SpinOnMax/
-// SpinWhile. Kernel-side writes (KernelStore/KernelAdd) belong to
-// sched_switch hook code, never to lock algorithms.
+// The wordaccess pass: two lexical disciplines for lock and fault
+// code.
+//
+//  1. The word arena's backing state (the SoA slices lineOwner/
+//     lineSharers/valChunks on sim.Machine) belongs to internal/sim
+//     alone. The check is type-resolved: a selection fires only when
+//     its receiver actually is sim.Machine — a struct in another
+//     package that happens to have a field named lineOwner is not a
+//     finding (that was PR 9's false-positive surface). The name match
+//     stays case-insensitive on the Machine receiver so a future
+//     exported accessor (LineOwner()) is caught the day it appears.
+//  2. Kernel-side writes (Machine.KernelStore/KernelAdd) belong to
+//     sched_switch hook code, never to lock algorithms.
+//
+// The free-peek rule (Word.V only in spin conditions) moved to the
+// interprocedural costcoverage pass, which checks it by reachability
+// from simulated-thread context instead of lexically.
 
 import (
 	"go/ast"
 	"strings"
 )
 
-// spinTakers are the Proc methods whose first argument is a spin
-// condition closure.
-var spinTakers = map[string]bool{
-	"SpinOn": true, "SpinOnMax": true, "SpinWhile": true,
-}
-
-// arenaFields names the SoA backing arrays of the word arena (the
-// machine-owned lineOwner/lineSharers/valChunks slices words index
-// into). They are unexported, so the compiler already rejects typed
-// cross-package access; this check is deliberately name-based
-// (case-insensitive) so it also fires on a future exported accessor or
-// a copied-out alias — nothing outside internal/sim has any business
-// holding an identifier by these names, let alone indexing into one.
+// arenaFields names the SoA backing arrays of the word arena. Matched
+// case-insensitively, but only on selections whose receiver resolves
+// to internal/sim's Machine type.
 var arenaFields = map[string]bool{
 	"lineowner": true, "linesharers": true, "valchunks": true,
 }
 
 func runWordAccess(pass *Pass) {
 	for _, f := range pass.Files {
-		// Collect every function literal passed as a spin condition; V
-		// calls inside them (at any depth — conditions may call helpers,
-		// but literals nested in the condition are part of it) are legal.
-		condRanges := make([][2]int, 0)
-		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			if name := simMethodCall(pass.Info, call, "Proc"); !spinTakers[name] || len(call.Args) == 0 {
-				return true
-			}
-			if lit, ok := call.Args[0].(*ast.FuncLit); ok {
-				condRanges = append(condRanges, [2]int{int(lit.Pos()), int(lit.End())})
-			}
-			return true
-		})
-		inCond := func(n ast.Node) bool {
-			p := int(n.Pos())
-			for _, r := range condRanges {
-				if r[0] <= p && p < r[1] {
-					return true
-				}
-			}
-			return false
-		}
-
 		ast.Inspect(f, func(n ast.Node) bool {
 			if sel, ok := n.(*ast.SelectorExpr); ok {
-				if name := sel.Sel.Name; arenaFields[strings.ToLower(name)] {
-					pass.Reportf(sel.Sel.Pos(),
-						"direct access to word-arena backing array %s outside internal/sim; go through the Word/Proc API", name)
+				name := sel.Sel.Name
+				if !arenaFields[strings.ToLower(name)] {
+					return true
 				}
+				tv, ok := pass.Info.Types[sel.X]
+				if !ok || !isSimNamed(tv.Type, "Machine") {
+					return true
+				}
+				pass.Reportf(sel.Sel.Pos(),
+					"direct access to word-arena backing state sim.Machine.%s outside internal/sim; go through the Word/Proc API", name)
 				return true
 			}
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true
-			}
-			if simMethodCall(pass.Info, call, "Word") == "V" && !inCond(call) {
-				pass.Reportf(call.Pos(),
-					"free peek Word.V outside a spin condition; use Proc.Load (costed, serialized)")
 			}
 			switch name := simMethodCall(pass.Info, call, "Machine"); name {
 			case "KernelStore", "KernelAdd":

@@ -84,14 +84,13 @@ func (l *FlexGuard) String() string { return fmt.Sprintf("flexguard(%s)", l.name
 func (l *FlexGuard) modeSpin(p *sim.Proc) bool {
 	// The stale flag is monitor-maintained advice, not shared lock state:
 	// reading it free-of-cost matches the paper's uncosted mode check.
-	//flexlint:allow wordaccess stale is advisory monitor state, peek is deliberate
+	//flexlint:allow costcoverage stale is advisory monitor state, peek is deliberate
 	return p.Load(l.npcs) == 0 && l.stale.V() == 0
 }
 
 // spinOK is the uncosted predicate evaluated inside busy-wait loops:
 // keep spinning only while NPCS is zero and the signal is fresh.
 func (l *FlexGuard) spinOK() bool {
-	//flexlint:allow wordaccess helper is only called from spin conditions
 	return l.npcs.V() == 0 && l.stale.V() == 0
 }
 

@@ -15,6 +15,7 @@ import "repro/internal/sim"
 
 // enter records that thread id is inside l's lock protocol.
 func (rt *Runtime) enter(id int, l *FlexGuard) {
+	//flexlint:allow hotalloc engaged-stack push; capacity is reused once nesting depth has been seen
 	rt.engaged[id] = append(rt.engaged[id], l)
 }
 
@@ -24,7 +25,7 @@ func (rt *Runtime) exit(id int, l *FlexGuard) {
 	st := rt.engaged[id]
 	for i := len(st) - 1; i >= 0; i-- {
 		if st[i] == l {
-			rt.engaged[id] = append(st[:i], st[i+1:]...)
+			rt.engaged[id] = append(st[:i], st[i+1:]...) //flexlint:allow hotalloc in-place slice delete; never grows
 			return
 		}
 	}
@@ -79,7 +80,7 @@ func (l *FlexGuard) heldAtDeath(dead *sim.Thread, top bool, depth int) bool {
 func (l *FlexGuard) ownerDied(dead *sim.Thread) {
 	rt := l.rt
 	rt.OwnerDeaths++
-	v := l.val.V() //flexlint:allow wordaccess kernel robust walk reads the word it repairs
+	v := l.val.V()
 	//flexlint:allow wordaccess kernel robust walk flags FUTEX_OWNER_DIED
 	rt.m.KernelStore(l.val, OwnerDied)
 	rt.m.KernelLockEvent(sim.TraceOwnerDead, l.lid, int32(dead.ID()), -1)

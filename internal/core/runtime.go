@@ -116,7 +116,6 @@ func NewRuntime(m *sim.Machine, mon *monitor.Monitor) *Runtime {
 			if t.Region != regP1Spin {
 				return false, nil
 			}
-			//flexlint:allow wordaccess kernel-side sched-hook read, Proc op API unavailable here
 			if n := rt.nodes[t.ID()]; n != nil && n.waiting.V() == 0 {
 				return true, t.MonitorHint
 			}
@@ -130,6 +129,8 @@ func NewRuntime(m *sim.Machine, mon *monitor.Monitor) *Runtime {
 func (rt *Runtime) Monitor() *monitor.Monitor { return rt.mon }
 
 // node returns (allocating on first use) thread id's global queue node.
+//
+//flexlint:coldpath
 func (rt *Runtime) node(id int) *QNode {
 	if id >= len(rt.nodes) {
 		panic(fmt.Sprintf("core: thread id %d exceeds MaxThreads %d", id, len(rt.nodes)))
@@ -167,7 +168,6 @@ func (rt *Runtime) classify(t *sim.Thread) (bool, *sim.Word) {
 		// thread was running its spin loop: it is the MCS holder iff its
 		// waiting flag has been cleared.
 		if n := rt.nodes[t.ID()]; n != nil {
-			//flexlint:allow wordaccess kernel-side sched-hook read, Proc op API unavailable here
 			return n.waiting.V() == 0, t.MonitorHint
 		}
 	}

@@ -154,6 +154,9 @@ func newMCSNoHandover(m *sim.Machine, name string) *mcsNoHandover {
 	}
 }
 
+// node returns (allocating on first use) thread id's queue node.
+//
+//flexlint:coldpath
 func (l *mcsNoHandover) node(id int) *mutNode {
 	n := l.nodes[id]
 	if n == nil {

@@ -52,7 +52,6 @@ func SweepSmoke(reps, workers int, rep *Report, w io.Writer) error {
 			events += r.TraceEvents
 		}
 	}
-	//flexlint:allow determinism wall-clock throughput measurement; feeds no digest
 	elapsed := time.Since(start).Seconds()
 	cells := float64(reps * len(algs))
 
@@ -97,7 +96,6 @@ func cloneSpeedup() (float64, error) {
 			return 0, err
 		}
 	}
-	//flexlint:allow determinism wall-clock cost measurement; feeds no digest
 	cold := time.Since(t0)
 
 	//flexlint:allow determinism wall-clock cost measurement; feeds no digest
@@ -105,7 +103,6 @@ func cloneSpeedup() (float64, error) {
 	for i := 0; i < iters; i++ {
 		wm.clone(uint64(i + 1))
 	}
-	//flexlint:allow determinism wall-clock cost measurement; feeds no digest
 	clone := time.Since(t1)
 	if clone <= 0 {
 		clone = 1

@@ -64,6 +64,9 @@ func NewMalthusian(m *sim.Machine, name string) *Malthusian {
 	}
 }
 
+// node returns (allocating on first use) thread id's queue node.
+//
+//flexlint:coldpath
 func (l *Malthusian) node(id int) *mNode {
 	n := l.nodes[id]
 	if n == nil {
@@ -173,6 +176,7 @@ func (l *Malthusian) Unlock(p *sim.Proc) {
 		}
 		if culled {
 			p.Store(n2.next, 0)
+			//flexlint:allow hotalloc culled-waiter list bounded by the thread count; capacity is reused
 			l.passive = append(l.passive, dec(n1next))
 			if p.Xchg(n2.locked, mCulled) == mParked {
 				// Active waiters do not park, but be safe.

@@ -35,6 +35,9 @@ func NewMCS(m *sim.Machine, name string) *MCS {
 	}
 }
 
+// node returns (allocating on first use) thread id's queue node.
+//
+//flexlint:coldpath
 func (l *MCS) node(id int) *mcsNode {
 	n := l.nodes[id]
 	if n == nil {
@@ -93,20 +96,16 @@ type CLH struct {
 	// nodes is the node pool; mine maps a thread to the node it will
 	// enqueue next (nodes rotate thread→thread at release, as in CLH);
 	// adopt maps a holder to the predecessor node it takes over at unlock.
-	// Both maps are only mutated by their owning thread / the holder.
+	// Both are indexed by thread id (-1 = no node yet) and only mutated
+	// by their owning thread / the holder.
 	nodes []*clhNode
-	mine  map[int]int
-	adopt map[int]int
+	mine  []int
+	adopt []int
 }
 
 // NewCLH returns a CLH lock.
 func NewCLH(m *sim.Machine, name string) *CLH {
-	l := &CLH{
-		m:     m,
-		name:  name,
-		mine:  make(map[int]int),
-		adopt: make(map[int]int),
-	}
+	l := &CLH{m: m, name: name}
 	// Node 0 is the initial dummy (released).
 	l.nodes = []*clhNode{{succMustWait: m.NewWord(name+".clh0", 0)}}
 	l.tail = m.NewWord(name+".tail", 1) // points at the dummy
@@ -114,6 +113,19 @@ func NewCLH(m *sim.Machine, name string) *CLH {
 	return l
 }
 
+// slot grows the per-thread tables to cover id (first acquisition).
+//
+//flexlint:coldpath
+func (l *CLH) slot(id int) {
+	for id >= len(l.mine) {
+		l.mine = append(l.mine, -1)
+		l.adopt = append(l.adopt, -1)
+	}
+}
+
+// newNode grows the node pool by one (first acquisition per thread).
+//
+//flexlint:coldpath
 func (l *CLH) newNode() int {
 	idx := len(l.nodes)
 	l.nodes = append(l.nodes, &clhNode{
@@ -125,8 +137,9 @@ func (l *CLH) newNode() int {
 // Lock implements Lock.
 func (l *CLH) Lock(p *sim.Proc) {
 	id := p.ID()
-	my, ok := l.mine[id]
-	if !ok {
+	l.slot(id)
+	my := l.mine[id]
+	if my < 0 {
 		my = l.newNode()
 		l.mine[id] = my
 	}

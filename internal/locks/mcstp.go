@@ -68,6 +68,9 @@ func NewMCSTP(m *sim.Machine, name string) *MCSTP {
 	}
 }
 
+// node returns (allocating on first use) thread id's queue node.
+//
+//flexlint:coldpath
 func (l *MCSTP) node(id int) *tpNode {
 	n := l.nodes[id]
 	if n == nil {

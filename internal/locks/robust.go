@@ -141,7 +141,7 @@ func (l *RobustBlocking) Unlock(p *sim.Proc) {
 // flag it owner-died and wake one waiter to run the EOWNERDEAD path.
 // Kernel context — free peeks and kernel stores, not Proc ops.
 func (l *RobustBlocking) threadDied(reg *RobustRegistry, dead *sim.Thread) {
-	v := l.v.V() //flexlint:allow wordaccess kernel robust walk reads the word it repairs
+	v := l.v.V()
 	if v&rbOwnerMask != enc(dead.ID()) || v&rbOwnerDied != 0 {
 		return
 	}
@@ -221,6 +221,9 @@ func NewRobustMCS(m *sim.Machine, reg *RobustRegistry, name string) *RobustMCS {
 	return l
 }
 
+// node returns (allocating on first use) thread id's queue node.
+//
+//flexlint:coldpath
 func (l *RobustMCS) node(id int) *rmNode {
 	n := l.nodes[id]
 	if n == nil {
@@ -317,7 +320,7 @@ func (l *RobustMCS) threadDied(reg *RobustRegistry, dead *sim.Thread) {
 	if qn == nil {
 		return
 	}
-	if qn.status.V() != rmWaiting { //flexlint:allow wordaccess kernel robust walk reads the word it repairs
+	if qn.status.V() != rmWaiting {
 		return
 	}
 	switch dead.Region {
@@ -326,7 +329,7 @@ func (l *RobustMCS) threadDied(reg *RobustRegistry, dead *sim.Thread) {
 			// Empty-queue winner: a holder crash, not a waiter crash.
 			reg.OwnerDeaths++
 			l.m.KernelLockEvent(sim.TraceOwnerDead, l.lid, int32(dead.ID()), -1)
-			if l.tail.V() == enc(dead.ID()) { //flexlint:allow wordaccess kernel robust walk reads the word it repairs
+			if l.tail.V() == enc(dead.ID()) {
 				//flexlint:allow wordaccess kernel robust walk resets the tail of the dead holder's empty queue
 				l.m.KernelStore(l.tail, 0)
 			}

@@ -32,6 +32,9 @@ type shuffleNode struct {
 	next    *sim.Word
 }
 
+// shuffleNode returns (allocating on first use) thread id's node.
+//
+//flexlint:coldpath
 func (s *Shared) shuffleNode(id int) *shuffleNode {
 	n := s.shuffleNodes[id]
 	if n == nil {

@@ -35,16 +35,20 @@ type USCL struct {
 	sliceOwner *sim.Word // ticket currently allowed to use the lock
 	sliceStart *sim.Word // grant timestamp of the current slice (0 = unclaimed)
 	inner      *sim.Word // the actual mutual-exclusion word
-	// Per-thread bookkeeping; each entry is touched only by its thread.
-	ticket     map[int]uint64
-	haveTicket map[int]bool
-	waitSeen   map[int]*usclWait
+	// Per-thread bookkeeping, indexed by thread id; each slot is touched
+	// only by its thread. The spine is a pointer slice so a slot pointer
+	// held across a yield stays valid while another thread's first
+	// acquisition grows the table.
+	slots []*usclSlot
 }
 
-type usclWait struct {
-	cur     uint64
-	since   sim.Time
-	claimed uint64 // last ticket whose slice we stamped (claimed+1 encoding)
+// usclSlot is one thread's u-SCL bookkeeping.
+type usclSlot struct {
+	ticket     uint64
+	haveTicket bool
+	cur        uint64
+	since      sim.Time
+	claimed    uint64 // last ticket whose slice we stamped (claimed+1 encoding)
 }
 
 // NewUSCL returns a u-SCL lock.
@@ -56,25 +60,31 @@ func NewUSCL(m *sim.Machine, name string) *USCL {
 		sliceOwner: m.NewWord(name+".sowner", 0),
 		sliceStart: m.NewWord(name+".sstart", 0),
 		inner:      m.NewWord(name+".inner", 0),
-		ticket:     make(map[int]uint64),
-		haveTicket: make(map[int]bool),
-		waitSeen:   make(map[int]*usclWait),
 	}
+}
+
+// slot returns (allocating on first use) thread id's bookkeeping.
+//
+//flexlint:coldpath
+func (l *USCL) slot(id int) *usclSlot {
+	for id >= len(l.slots) {
+		l.slots = append(l.slots, nil)
+	}
+	if l.slots[id] == nil {
+		l.slots[id] = &usclSlot{}
+	}
+	return l.slots[id]
 }
 
 // Lock implements Lock.
 func (l *USCL) Lock(p *sim.Proc) {
 	id := p.ID()
-	if !l.haveTicket[id] {
-		l.ticket[id] = p.Add(l.sliceNext, 1) - 1
-		l.haveTicket[id] = true
+	s := l.slot(id)
+	if !s.haveTicket {
+		s.ticket = p.Add(l.sliceNext, 1) - 1
+		s.haveTicket = true
 	}
-	my := l.ticket[id]
-	w := l.waitSeen[id]
-	if w == nil {
-		w = &usclWait{}
-		l.waitSeen[id] = w
-	}
+	my := s.ticket
 	blocked := false
 	for {
 		cur := p.Load(l.sliceOwner)
@@ -85,16 +95,16 @@ func (l *USCL) Lock(p *sim.Proc) {
 			// Our slice was reclaimed while we were off-CPU: re-queue with
 			// a fresh ticket rather than waiting for a ticket that will
 			// never come around again.
-			l.ticket[id] = p.Add(l.sliceNext, 1) - 1
-			my = l.ticket[id]
+			s.ticket = p.Add(l.sliceNext, 1) - 1
+			my = s.ticket
 			continue
 		}
-		if w.cur != cur {
-			w.cur, w.since = cur, p.Now()
+		if s.cur != cur {
+			s.cur, s.since = cur, p.Now()
 		}
 		st := p.Load(l.sliceStart)
 		expired := (st != 0 && p.Now()-sim.Time(st) > 2*usclSlice) ||
-			(st == 0 && p.Now()-w.since > 2*usclSlice)
+			(st == 0 && p.Now()-s.since > 2*usclSlice)
 		if expired {
 			// The slice owner has gone quiet (preempted for a long time,
 			// or holds a ticket it will never use): advance on its behalf.
@@ -111,9 +121,9 @@ func (l *USCL) Lock(p *sim.Proc) {
 		}
 		p.Sleep(usclPoll)
 	}
-	if w.claimed != my+1 {
+	if s.claimed != my+1 {
 		// First acquisition of this slice: stamp its start.
-		w.claimed = my + 1
+		s.claimed = my + 1
 		p.Store(l.sliceStart, uint64(p.Now()))
 	}
 	// Within our slice the inner lock is normally uncontended; a stolen
@@ -135,13 +145,14 @@ func (l *USCL) Lock(p *sim.Proc) {
 // Unlock implements Lock.
 func (l *USCL) Unlock(p *sim.Proc) {
 	id := p.ID()
-	my := l.ticket[id]
+	s := l.slot(id)
+	my := s.ticket
 	p.LockEvent(sim.TraceRelease, l.lid)
 	p.Compute(usclAccounting)
 	p.Store(l.inner, 0)
 	// Our slice may have been reclaimed while we were preempted.
 	if p.Load(l.sliceOwner) != my {
-		l.haveTicket[id] = false
+		s.haveTicket = false
 		return
 	}
 	st := p.Load(l.sliceStart)
@@ -149,7 +160,7 @@ func (l *USCL) Unlock(p *sim.Proc) {
 		return
 	}
 	// Slice over: rotate to the next ticket.
-	l.haveTicket[id] = false
+	s.haveTicket = false
 	p.Store(l.sliceStart, 0)
 	p.Store(l.sliceOwner, my+1)
 }

@@ -354,6 +354,8 @@ func (m *Machine) RunqDepths(dst []int32) []int32 {
 
 // Spawn creates a simulated thread executing body and makes it runnable at
 // the current time. Must not be called after Run returns.
+//
+//flexlint:coldpath
 func (m *Machine) Spawn(name string, body func(p *Proc)) *Thread {
 	if m.finished {
 		panic("sim: Spawn after Run finished")

@@ -310,7 +310,7 @@ func (m *Machine) unregisterSpinner(t *Thread) {
 		scoped = true
 		for i, s := range w.watchers {
 			if s == int32(t.id) {
-				w.watchers = append(w.watchers[:i], w.watchers[i+1:]...)
+				w.watchers = append(w.watchers[:i], w.watchers[i+1:]...) //flexlint:allow hotalloc in-place slice delete; never grows
 				break
 			}
 		}
@@ -320,7 +320,7 @@ func (m *Machine) unregisterSpinner(t *Thread) {
 	}
 	for i, s := range m.spinners {
 		if s == t {
-			m.spinners = append(m.spinners[:i], m.spinners[i+1:]...)
+			m.spinners = append(m.spinners[:i], m.spinners[i+1:]...) //flexlint:allow hotalloc in-place slice delete; never grows
 			return
 		}
 	}
@@ -538,6 +538,7 @@ func (m *Machine) futexWake(w *Word, n int, waker int32) int {
 	if len(q) == 0 {
 		delete(m.futexQ, w)
 	} else {
+		//flexlint:allow hotalloc writes a shrunk queue back under its existing key; no growth
 		m.futexQ[w] = q
 	}
 	return woken

@@ -237,6 +237,7 @@ func (tr *Tracer) record(at Time, kind TraceKind, prev, next, lock int32) {
 	}
 	ev := TraceEvent{At: at, Kind: kind, Prev: prev, Next: next, Lock: lock}
 	tr.Seen++
+	//flexlint:allow hotalloc digest batch buffer; reaches digestBatch capacity once and is reused
 	tr.pending = append(tr.pending,
 		uint64(at),
 		uint64(kind),
@@ -246,6 +247,7 @@ func (tr *Tracer) record(at Time, kind TraceKind, prev, next, lock int32) {
 		tr.flush()
 	}
 	if len(tr.events) < tr.max {
+		//flexlint:allow hotalloc trace ring fills to its cap once, then overwrites in place
 		tr.events = append(tr.events, ev)
 		return
 	}

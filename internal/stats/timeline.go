@@ -15,8 +15,8 @@ func (tl *Timeline) Record(t, v int64) {
 	if n := len(tl.values); n > 0 && tl.values[n-1] == v {
 		return
 	}
-	tl.times = append(tl.times, t)
-	tl.values = append(tl.values, v)
+	tl.times = append(tl.times, t)   //flexlint:allow hotalloc timeline accumulation is the instrument's output; amortized growth
+	tl.values = append(tl.values, v) //flexlint:allow hotalloc timeline accumulation is the instrument's output; amortized growth
 }
 
 // Len returns the number of recorded steps.

@@ -271,7 +271,10 @@ func (e *Engine) finishGen(stalled bool) {
 }
 
 // spawnWorker grows the pool by one (kernel context; the thread
-// dispatches at the current virtual time).
+// dispatches at the current virtual time). Pool growth is bounded by
+// maxWorkers and each worker is set up once.
+//
+//flexlint:coldpath
 func (e *Engine) spawnWorker() {
 	ws := &workerState{}
 	ws.t = e.m.Spawn("loadworker", func(p *sim.Proc) { e.worker(p, ws) })
@@ -300,8 +303,6 @@ func (e *Engine) pop() (request, bool) {
 // worker is one pool thread: dequeue, serve (compute around a lock
 // critical section), complete; park on the doorbell when the queue is
 // empty, exit once generation has closed and the backlog is drained.
-//
-//flexlint:critical-section
 func (e *Engine) worker(p *sim.Proc, ws *workerState) {
 	for {
 		seen := p.Load(e.db)

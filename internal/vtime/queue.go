@@ -132,6 +132,7 @@ func (q *Queue) schedule(at Time, fn func(), weak bool) *Event {
 		q.free = q.free[:n-1]
 		*e = Event{At: at, seq: q.seq, weak: weak, q: q, Fn: fn}
 	} else {
+		//flexlint:allow hotalloc allocates only while the free list is empty; steady state recycles
 		e = &Event{At: at, seq: q.seq, weak: weak, q: q, Fn: fn}
 	}
 	q.seq++
@@ -152,7 +153,7 @@ func (q *Queue) Recycle(e *Event) {
 	}
 	e.Fn = nil
 	e.pooled = true
-	q.free = append(q.free, e)
+	q.free = append(q.free, e) //flexlint:allow hotalloc free list capped at maxFree; capacity is reused
 }
 
 // Reset discards every remaining event — canceled stragglers and weak
@@ -202,7 +203,7 @@ func (q *Queue) dropCanceled() {
 func (q *Queue) push(e *Event) {
 	en := entry{at: e.At, seq: e.seq, ev: e}
 	i := len(q.heap)
-	q.heap = append(q.heap, en)
+	q.heap = append(q.heap, en) //flexlint:allow hotalloc heap spine; amortized, capacity is reused across phases
 	for i > 0 {
 		p := (i - 1) / arity
 		parent := q.heap[p]

@@ -144,9 +144,10 @@ func (t *Tree) access(p *sim.Proc, key int, write bool) {
 			idx = len(cur.children) - 1
 		}
 		child := cur.children[idx]
+		//flexlint:allow lockpair hand-over-hand coupling: the child is acquired before the parent is released
 		child.lock.Lock(p)
 		cur.lock.Unlock(p)
-		cur = child
+		cur = child //flexlint:allow lockpair hand-over-hand coupling releases the parent each pass
 	}
 	p.Load(cur.header)
 	p.Compute(30)

@@ -26,8 +26,6 @@ type Workload struct {
 }
 
 // Build creates the lock and cache lines and spawns the worker threads.
-//
-//flexlint:critical-section
 func Build(m *sim.Machine, o Options) *Workload {
 	if o.Threads <= 0 {
 		panic("sharedmem: Threads must be positive")
